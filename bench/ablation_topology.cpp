@@ -1,0 +1,100 @@
+// Ablation: TBON depth and fanout at fixed job size.
+//
+// DESIGN.md calls out two design choices the paper motivates but does not
+// sweep exhaustively: tree depth (Figs. 4/5 test only 1/2/3-deep) and the
+// comm-process budget on the login-node tier. This ablation sweeps both at
+// the full-machine BG/L scale for both task-set representations, showing
+// (a) where adding depth stops paying, and (b) that the optimized
+// representation makes the tool far less sensitive to topology — the
+// paper's Sec. V-C observation that it achieved logarithmic scaling
+// "despite limitations on the number of communication processes".
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+double run_depth(std::uint32_t depth, stat::TaskSetRepr repr,
+                 std::vector<std::uint32_t> widths = {}) {
+  stat::StatOptions options;
+  if (widths.empty()) {
+    options.topology = depth == 1 ? tbon::TopologySpec::flat()
+                                  : tbon::TopologySpec::bgl(depth);
+  } else {
+    options.topology.depth = depth;
+    options.topology.level_widths = std::move(widths);
+  }
+  options.repr = repr;
+  options.launcher = stat::LauncherKind::kCiodPatched;
+  auto result = run_scenario(machine::bgl(), 212992,
+                             machine::BglMode::kVirtualNode, options);
+  if (!result.status.is_ok()) return -1.0;
+  return to_seconds(result.phases.merge_time + result.phases.remap_time);
+}
+
+}  // namespace
+
+int main() {
+  title("Ablation", "TBON depth & comm-process budget at 212,992 tasks (BG/L VN)");
+
+  std::printf("\n  depth sweep (paper rules):\n");
+  std::printf("  %-22s %14s %14s\n", "topology", "dense(s)", "hier(s)");
+  Series dense_depth("dense");
+  Series hier_depth("hier");
+  for (std::uint32_t depth = 1; depth <= 3; ++depth) {
+    const double dense = run_depth(depth, stat::TaskSetRepr::kDenseGlobal);
+    const double hier = run_depth(depth, stat::TaskSetRepr::kHierarchical);
+    dense_depth.add(depth, dense);
+    hier_depth.add(depth, hier);
+    char dense_buf[32], hier_buf[32];
+    std::snprintf(dense_buf, sizeof dense_buf, dense < 0 ? "FAIL" : "%.3f", dense);
+    std::snprintf(hier_buf, sizeof hier_buf, hier < 0 ? "FAIL" : "%.3f", hier);
+    std::printf("  %-22s %14s %14s\n",
+                (std::to_string(depth) + "-deep").c_str(), dense_buf, hier_buf);
+  }
+
+  std::printf("\n  2-deep comm-process budget sweep (login tier holds <= 336):\n");
+  std::printf("  %-22s %14s %14s\n", "comm procs", "dense(s)", "hier(s)");
+  Series dense_width("dense");
+  Series hier_width("hier");
+  for (const std::uint32_t width : {7u, 14u, 28u, 56u, 112u, 224u}) {
+    const double dense =
+        run_depth(2, stat::TaskSetRepr::kDenseGlobal, {width});
+    const double hier =
+        run_depth(2, stat::TaskSetRepr::kHierarchical, {width});
+    dense_width.add(width, dense);
+    hier_width.add(width, hier);
+    std::printf("  %-22u %14.3f %14.3f\n", width, dense, hier);
+  }
+
+  const auto spread = [](const Series& s) {
+    const Series ok = s.successes();
+    const auto [mn, mx] = std::minmax_element(ok.y.begin(), ok.y.end());
+    return *mx / *mn;
+  };
+  shape_check("1-deep fails at full scale regardless of representation",
+              dense_depth.y.front() < 0 && hier_depth.y.front() < 0);
+  shape_check("hierarchical repr is much less sensitive to comm-proc budget "
+              "than dense (sensitivity ratio > 2)",
+              spread(dense_width) > 2.0 * spread(hier_width) ||
+                  spread(hier_width) < 1.5);
+  // The width sweep is U-shaped: too few comm procs starves parallel filter
+  // CPU, too many multiplies per-packet overhead at the front end. The
+  // paper's min(sqrt(n), 28) rule sits near the optimum.
+  const auto interior_optimum = [](const Series& s) {
+    const Series ok = s.successes();
+    const double best = *std::min_element(ok.y.begin(), ok.y.end());
+    return best < ok.y.front() && best < ok.y.back();
+  };
+  shape_check("comm-proc budget has an interior optimum (U-shape) for dense",
+              interior_optimum(dense_width));
+  const Series dense_ok = dense_width.successes();
+  shape_check("the paper's fanout rule (28) sits within 25% of the best width "
+              "(dense)",
+              dense_width.y[2] < 1.25 * *std::min_element(dense_ok.y.begin(),
+                                                          dense_ok.y.end()));
+  note("dense spread over widths: " + std::to_string(spread(dense_width)) +
+       "x; hierarchical spread: " + std::to_string(spread(hier_width)) + "x");
+  return 0;
+}

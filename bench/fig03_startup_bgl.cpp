@@ -1,0 +1,99 @@
+// Figure 3: STAT startup time on BG/L with various topologies, before and
+// after the IBM resource-manager patches.
+//
+// Paper: startup exceeds 100 s even at 1024 compute nodes and scales
+// linearly; the system software (process-table generation) accounts for over
+// 86% of startup at 64K processes in virtual-node mode; the unpatched
+// resource manager hangs at 208K processes; the patches yield more than a
+// two-fold speedup at 104K processes in the 2-deep co-processor case.
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+double run_startup(const machine::MachineConfig& machine, std::uint32_t nodes,
+                   machine::BglMode mode, std::uint32_t depth, bool patched,
+                   stat::StatRunResult* out = nullptr) {
+  const std::uint32_t tasks =
+      mode == machine::BglMode::kCoprocessor ? nodes : nodes * 2;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::bgl(depth);
+  options.launcher = patched ? stat::LauncherKind::kCiodPatched
+                             : stat::LauncherKind::kCiodUnpatched;
+  options.run_through = stat::RunThrough::kStartup;
+  auto result = run_scenario(machine, tasks, mode, options);
+  if (out != nullptr) *out = result;
+  if (!result.status.is_ok()) return -1.0;
+  return to_seconds(result.phases.startup_total);
+}
+
+}  // namespace
+
+int main() {
+  title("Figure 3", "STAT startup time on BG/L with various topologies");
+
+  const auto machine = machine::bgl();
+  const std::vector<std::uint32_t> node_counts = {1024, 4096, 16384, 32768,
+                                                  65536, 104448};
+
+  Series co2_unpatched("2deep-CO-orig");
+  Series co2_patched("2deep-CO-patch");
+  Series vn2_unpatched("2deep-VN-orig");
+  Series vn2_patched("2deep-VN-patch");
+  Series co3_patched("3deep-CO-patch");
+
+  for (const auto nodes : node_counts) {
+    co2_unpatched.add(nodes, run_startup(machine, nodes,
+                                         machine::BglMode::kCoprocessor, 2,
+                                         false));
+    co2_patched.add(nodes, run_startup(machine, nodes,
+                                       machine::BglMode::kCoprocessor, 2, true));
+    const double vn_orig =
+        run_startup(machine, nodes, machine::BglMode::kVirtualNode, 2, false);
+    vn2_unpatched.add(nodes, vn_orig, vn_orig < 0 ? "hang" : "");
+    vn2_patched.add(nodes, run_startup(machine, nodes,
+                                       machine::BglMode::kVirtualNode, 2, true));
+    co3_patched.add(nodes, run_startup(machine, nodes,
+                                       machine::BglMode::kCoprocessor, 3, true));
+  }
+
+  print_table("compute-nodes",
+              {co2_unpatched, co2_patched, vn2_unpatched, vn2_patched,
+               co3_patched});
+
+  // Anchors.
+  anchor("startup at 1024 compute nodes (unpatched)", ">100 s",
+         std::to_string(co2_unpatched.y.front()) + " s");
+
+  stat::StatRunResult vn64k;
+  run_startup(machine, 65536 / 2, machine::BglMode::kVirtualNode, 2, false,
+              &vn64k);  // 32768 nodes VN = 65536 procs
+  const double sys_frac =
+      to_seconds(vn64k.phases.launch.system_software_time) /
+      to_seconds(vn64k.phases.startup_total);
+  anchor("system-software share at 64K procs VN (unpatched)", ">86%",
+         std::to_string(sys_frac * 100.0) + "%");
+
+  const double speedup_104k =
+      co2_unpatched.y.back() / co2_patched.y.back();
+  anchor("patch speedup at 104K procs, 2-deep CO", ">2x",
+         std::to_string(speedup_104k) + "x");
+
+  // 208K = full machine in VN mode: the unpatched RM hangs.
+  const double full_vn_orig =
+      run_startup(machine, 106496, machine::BglMode::kVirtualNode, 2, false);
+  const double full_vn_patch =
+      run_startup(machine, 106496, machine::BglMode::kVirtualNode, 2, true);
+  anchor("unpatched RM at 208K processes", "hang",
+         full_vn_orig < 0 ? "hang (DEADLINE_EXCEEDED)" : "completed");
+  anchor("patched RM at 208K processes", "succeeds",
+         full_vn_patch > 0 ? std::to_string(full_vn_patch) + " s" : "FAILED");
+
+  shape_check("startup grows linearly with scale (patched 2-deep CO)",
+              co2_patched.grows_roughly_linearly());
+  shape_check("unpatched grows faster than patched",
+              co2_unpatched.y.back() > co2_patched.y.back() * 1.5);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 4: STAT merge time on Atlas with 1-deep, 2-deep, and 3-deep
+// (balanced) topologies, original dense bit vectors.
+//
+// Paper: even the flat 1-deep tree merges in under half a second at 4,096
+// tasks, but with a clear linear trend; the 2-deep and 3-deep trees scale
+// significantly better.
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+int main() {
+  title("Figure 4", "STAT merge time on Atlas with various topologies");
+
+  const auto machine = machine::atlas();
+  Series d1("1-deep");
+  Series d2("2-deep");
+  Series d3("3-deep");
+
+  for (const std::uint32_t tasks : {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u}) {
+    for (std::uint32_t depth = 1; depth <= 3; ++depth) {
+      stat::StatOptions options;
+      options.topology = tbon::TopologySpec::balanced(depth);
+      options.repr = stat::TaskSetRepr::kDenseGlobal;
+      options.launcher = stat::LauncherKind::kLaunchMon;
+      auto result = run_scenario(machine, tasks,
+                                 machine::BglMode::kCoprocessor, options);
+      Series& series = depth == 1 ? d1 : depth == 2 ? d2 : d3;
+      if (result.status.is_ok()) {
+        series.add(tasks, to_seconds(result.phases.merge_time));
+      } else {
+        series.add(tasks, -1.0, std::string(status_code_name(result.status.code())));
+      }
+    }
+  }
+
+  print_table("tasks", {d1, d2, d3});
+
+  anchor("1-deep merge at 4,096 tasks", "< 0.5 s",
+         std::to_string(d1.y.back()) + " s");
+  shape_check("1-deep shows a clear linear trend", d1.grows_roughly_linearly());
+  shape_check("2-deep beats 1-deep at 4,096 tasks", d2.y.back() < d1.y.back());
+  shape_check("3-deep beats 1-deep at 4,096 tasks", d3.y.back() < d1.y.back());
+  shape_check("deep trees stay several times below the flat tree at scale",
+              d2.y.back() * 3 < d1.y.back());
+  return 0;
+}

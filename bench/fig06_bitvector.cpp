@@ -1,0 +1,123 @@
+// Figure 6: the bit-vector representations themselves, measured for real
+// with google-benchmark.
+//
+// Fig. 6a (original): edge labels are full-job bit vectors — every daemon
+// and comm process carries and ORs ceil(N/8) bytes per edge regardless of
+// how many of those bits it could ever set.
+// Fig. 6b (optimized): subtree-local task lists — merge is concatenation and
+// the wire size tracks the subtree, at the price of a final remap into MPI
+// rank order.
+//
+// These micro-benchmarks quantify the asymmetry the scenario model charges:
+// dense merge/serialize work scales with job size, ranged work scales with
+// subtree membership.
+#include <benchmark/benchmark.h>
+
+#include "machine/machine.hpp"
+#include "stat/hier_taskset.hpp"
+#include "stat/taskset.hpp"
+
+namespace {
+
+using namespace petastat;
+using petastat::stat::DenseBitVector;
+using petastat::stat::HierTaskSet;
+using petastat::stat::TaskMap;
+using petastat::stat::TaskSet;
+
+/// A daemon's local membership: 128 contiguous tasks starting at base.
+TaskSet daemon_block(std::uint32_t base) { return TaskSet::range(base, base + 127); }
+
+void BM_DenseMerge(benchmark::State& state) {
+  const auto job_size = static_cast<std::uint32_t>(state.range(0));
+  DenseBitVector acc(job_size);
+  DenseBitVector child = DenseBitVector::from_task_set(
+      daemon_block(job_size / 2), job_size);
+  for (auto _ : state) {
+    acc.or_with(child);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(child.wire_bytes()));
+}
+BENCHMARK(BM_DenseMerge)->Arg(4096)->Arg(65536)->Arg(212992)->Arg(1048576);
+
+void BM_RangedMerge(benchmark::State& state) {
+  const auto daemons = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    HierTaskSet acc;
+    std::vector<HierTaskSet> children;
+    children.reserve(daemons);
+    for (std::uint32_t d = 0; d < daemons; ++d) {
+      HierTaskSet s;
+      for (std::uint32_t i = 0; i < 128; i += 2) s.insert(d, i);
+      children.push_back(std::move(s));
+    }
+    state.ResumeTiming();
+    for (auto& child : children) acc.merge(child);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_RangedMerge)->Arg(16)->Arg(128)->Arg(1664);
+
+void BM_DenseSerialize(benchmark::State& state) {
+  const auto job_size = static_cast<std::uint32_t>(state.range(0));
+  const TaskSet set = daemon_block(job_size / 2);
+  for (auto _ : state) {
+    ByteSink sink;
+    set.encode_dense(sink, job_size);
+    benchmark::DoNotOptimize(sink.size());
+  }
+}
+BENCHMARK(BM_DenseSerialize)->Arg(4096)->Arg(65536)->Arg(212992);
+
+void BM_RangedSerialize(benchmark::State& state) {
+  const auto job_size = static_cast<std::uint32_t>(state.range(0));
+  const TaskSet set = daemon_block(job_size / 2);
+  for (auto _ : state) {
+    ByteSink sink;
+    set.encode_ranged(sink);
+    benchmark::DoNotOptimize(sink.size());
+  }
+}
+BENCHMARK(BM_RangedSerialize)->Arg(4096)->Arg(65536)->Arg(212992);
+
+void BM_Remap208K(benchmark::State& state) {
+  // The front-end remap at full BG/L VN scale: 1664 daemons x 128 tasks.
+  machine::DaemonLayout layout;
+  layout.num_daemons = 1664;
+  layout.tasks_per_daemon = 128;
+  layout.num_tasks = 212992;
+  const TaskMap map = TaskMap::shuffled(layout, 7);
+  HierTaskSet hier;
+  for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+    HierTaskSet block;
+    for (std::uint32_t i = 0; i < 128; i += 2) block.insert(d, i);
+    hier.merge(block);
+  }
+  for (auto _ : state) {
+    TaskSet global = map.remap(hier);
+    benchmark::DoNotOptimize(global);
+  }
+}
+BENCHMARK(BM_Remap208K);
+
+void BM_WireSizeComparison(benchmark::State& state) {
+  // Not a timing benchmark: reports the wire-size ratio the whole paper
+  // hinges on, as counters.
+  const std::uint32_t job_size = 212992;
+  const TaskSet set = daemon_block(job_size / 2);
+  std::uint64_t dense = 0, ranged = 0;
+  for (auto _ : state) {
+    dense = set.dense_wire_bytes(job_size);
+    ranged = set.ranged_wire_bytes();
+    benchmark::DoNotOptimize(dense + ranged);
+  }
+  state.counters["dense_bytes"] = static_cast<double>(dense);
+  state.counters["ranged_bytes"] = static_cast<double>(ranged);
+  state.counters["ratio"] = static_cast<double>(dense) / static_cast<double>(ranged);
+}
+BENCHMARK(BM_WireSizeComparison);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// Figure 7: BG/L merge time, optimized (hierarchical task lists) versus the
+// original full-job bit vectors.
+//
+// Paper: the optimized bit vector exhibits logarithmic scaling versus the
+// original's linear scaling, because the data volume through the MRNet tree
+// collapses; virtual-node-mode runs merge faster than co-processor runs at
+// equal task counts (the merge is bound by daemon count, and VN packs twice
+// the tasks per daemon); the remap step is an additional cost of the
+// optimized scheme, 0.66 s at 208K tasks.
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+struct MergePoint {
+  double merge = -1.0;
+  double remap = 0.0;
+};
+
+MergePoint run(const machine::MachineConfig& machine, std::uint32_t tasks,
+               stat::TaskSetRepr repr, machine::BglMode mode) {
+  MergePoint point;
+  if (mode == machine::BglMode::kCoprocessor && tasks > 106496) return point;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::bgl(2);
+  options.repr = repr;
+  options.launcher = stat::LauncherKind::kCiodPatched;
+  auto result = run_scenario(machine, tasks, mode, options);
+  if (!result.status.is_ok()) return point;
+  point.merge = to_seconds(result.phases.merge_time);
+  point.remap = to_seconds(result.phases.remap_time);
+  return point;
+}
+
+}  // namespace
+
+int main() {
+  title("Figure 7", "Optimized vs original bit vector STAT merge time (BG/L)");
+
+  const auto machine = machine::bgl();
+  Series orig_co("orig-CO");
+  Series orig_vn("orig-VN");
+  Series opt_co("opt-CO");
+  Series opt_vn("opt-VN");
+  Series opt_vn_remap("opt-VN+remap");
+
+  double remap_at_208k = 0.0;
+
+  const std::vector<std::uint32_t> task_counts = {8192, 16384, 32768, 65536,
+                                                  106496, 212992};
+  for (const auto tasks : task_counts) {
+    orig_co.add(tasks, run(machine, tasks, stat::TaskSetRepr::kDenseGlobal,
+                           machine::BglMode::kCoprocessor).merge);
+    orig_vn.add(tasks, run(machine, tasks, stat::TaskSetRepr::kDenseGlobal,
+                           machine::BglMode::kVirtualNode).merge);
+    opt_co.add(tasks, run(machine, tasks, stat::TaskSetRepr::kHierarchical,
+                          machine::BglMode::kCoprocessor).merge);
+    const MergePoint vn = run(machine, tasks, stat::TaskSetRepr::kHierarchical,
+                              machine::BglMode::kVirtualNode);
+    opt_vn.add(tasks, vn.merge);
+    opt_vn_remap.add(tasks, vn.merge >= 0 ? vn.merge + vn.remap : -1.0);
+    if (tasks == 212992) remap_at_208k = vn.remap;
+  }
+
+  print_table("tasks", {orig_co, orig_vn, opt_co, opt_vn, opt_vn_remap});
+
+  anchor("remap step at 208K tasks", "0.66 s",
+         std::to_string(remap_at_208k) + " s");
+
+  const auto growth = [](const Series& s) {
+    const Series ok = s.successes();
+    return ok.y.back() / ok.y.front();
+  };
+  const double scale_growth =
+      static_cast<double>(task_counts.back()) / task_counts.front();
+
+  shape_check("original grows about linearly or worse with task count",
+              growth(orig_vn) > 0.6 * scale_growth);
+  shape_check("optimized grows dramatically slower than original (<=1/4)",
+              growth(opt_vn) < 0.25 * growth(orig_vn));
+  shape_check("optimized merge stays within one order of magnitude over a "
+              "26x scale sweep (log-like flatness)",
+              growth(opt_vn) < 10.0);
+  shape_check("optimized beats original at full scale (even with remap)",
+              opt_vn_remap.y.back() < orig_vn.y.back());
+  shape_check("VN merges faster than CO at equal task counts (daemon-bound)",
+              orig_vn.y[2] < orig_co.y[2] && orig_vn.y[3] < orig_co.y[3]);
+  note("the optimized scheme's only job-size-proportional cost is the single "
+       "front-end remap, reported separately above, exactly as in the paper");
+  return 0;
+}

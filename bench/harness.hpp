@@ -1,0 +1,121 @@
+// Shared reporting helpers for the figure-reproduction benches. Each bench
+// prints the series the corresponding paper figure plots, one row per
+// (scale, variant), plus the paper's stated anchors where it gives numbers,
+// and a qualitative shape check (who wins / where it fails / crossovers).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/types.hpp"
+#include "stat/scenario.hpp"
+
+namespace petastat::bench {
+
+inline void title(const std::string& figure, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+inline void anchor(const std::string& what, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  paper-anchor: %-52s paper=%-12s measured=%s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+inline void shape_check(const std::string& what, bool holds) {
+  std::printf("  shape-check:  %-52s [%s]\n", what.c_str(),
+              holds ? "OK" : "MISMATCH");
+}
+
+/// One series of (x = scale, y = seconds) measurements.
+struct Series {
+  Series() = default;
+  explicit Series(std::string series_name) : name(std::move(series_name)) {}
+
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;  // seconds; negative = failed at this scale
+  std::vector<std::string> notes;
+
+  void add(double scale, double seconds, std::string note_text = "") {
+    x.push_back(scale);
+    y.push_back(seconds);
+    notes.push_back(std::move(note_text));
+  }
+
+  /// Copy containing only the successful (y >= 0) points.
+  [[nodiscard]] Series successes() const {
+    Series out(name);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (y[i] >= 0) out.add(x[i], y[i], notes[i]);
+    }
+    return out;
+  }
+
+  /// Ratio of per-x slope between last and first half; ~1 for linear,
+  /// < 0.5 for strongly sublinear (logarithmic-ish) growth. Failed points
+  /// are excluded.
+  [[nodiscard]] double tail_slope_ratio() const {
+    const Series ok = successes();
+    if (ok.x.size() < 3) return 1.0;
+    const std::size_t mid = ok.x.size() / 2;
+    const double early = (ok.y[mid] - ok.y[0]) / (ok.x[mid] - ok.x[0]);
+    const double late =
+        (ok.y.back() - ok.y[mid]) / (ok.x.back() - ok.x[mid]);
+    return early != 0.0 ? late / early : 0.0;
+  }
+
+  [[nodiscard]] bool grows_roughly_linearly() const {
+    const double r = tail_slope_ratio();
+    return r > 0.5 && r < 2.0;
+  }
+  [[nodiscard]] bool grows_sublinearly() const {
+    return tail_slope_ratio() < 0.5;
+  }
+};
+
+/// Prints aligned columns: scale, then one column per series.
+inline void print_table(const std::string& x_label,
+                        const std::vector<Series>& series) {
+  std::printf("\n  %-14s", x_label.c_str());
+  for (const auto& s : series) std::printf(" %18s", s.name.c_str());
+  std::printf("\n");
+  if (series.empty()) return;
+  for (std::size_t row = 0; row < series.front().x.size(); ++row) {
+    std::printf("  %-14.0f", series.front().x[row]);
+    for (const auto& s : series) {
+      if (row >= s.y.size()) {
+        std::printf(" %18s", "-");
+      } else if (s.y[row] < 0) {
+        std::printf(" %18s", ("FAIL(" + s.notes[row] + ")").c_str());
+      } else {
+        std::printf(" %16.3fs ", s.y[row]);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+/// Convenience: run a scenario and return the result.
+inline stat::StatRunResult run_scenario(const machine::MachineConfig& machine,
+                                        std::uint32_t num_tasks,
+                                        machine::BglMode mode,
+                                        const stat::StatOptions& options) {
+  machine::JobConfig job;
+  job.num_tasks = num_tasks;
+  job.mode = mode;
+  stat::StatScenario scenario(machine, job, options);
+  return scenario.run();
+}
+
+}  // namespace petastat::bench

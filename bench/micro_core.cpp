@@ -1,0 +1,116 @@
+// Micro-benchmarks of the core data structures and the simulation engine:
+// prefix-tree insert/merge throughput, trace generation, interval-set
+// algebra, and the discrete-event queue.
+#include <benchmark/benchmark.h>
+
+#include "app/appmodel.hpp"
+#include "sim/simulator.hpp"
+#include "stat/prefix_tree.hpp"
+
+namespace {
+
+using namespace petastat;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_in(static_cast<SimTime>(i) * kMicrosecond,
+                            [&fired]() { ++fired; });
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RingStackGeneration(benchmark::State& state) {
+  app::RingHangOptions options;
+  options.num_tasks = 4096;
+  app::RingHangApp app(options);
+  std::uint32_t task = 0;
+  for (auto _ : state) {
+    const auto path = app.stack(TaskId(task % 4096), 0, task / 4096);
+    benchmark::DoNotOptimize(path);
+    ++task;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RingStackGeneration);
+
+void BM_PrefixTreeInsert(benchmark::State& state) {
+  app::RingHangOptions options;
+  options.num_tasks = 4096;
+  app::RingHangApp app(options);
+  std::vector<app::CallPath> paths;
+  for (std::uint32_t t = 0; t < 4096; ++t) paths.push_back(app.stack(TaskId(t), 0, 0));
+
+  for (auto _ : state) {
+    stat::GlobalTree tree;
+    for (std::uint32_t t = 0; t < 4096; ++t) {
+      tree.insert(paths[t], stat::GlobalLabel::for_task(t));
+    }
+    benchmark::DoNotOptimize(tree);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_PrefixTreeInsert);
+
+void BM_PrefixTreeMerge(benchmark::State& state) {
+  // Two daemons' local trees (128 tasks each) merged, the hot loop of every
+  // comm process.
+  app::RingHangOptions options;
+  options.num_tasks = 4096;
+  app::RingHangApp app(options);
+  stat::GlobalTree a, b;
+  for (std::uint32_t t = 0; t < 128; ++t) {
+    a.insert(app.stack(TaskId(t), 0, 0), stat::GlobalLabel::for_task(t));
+    b.insert(app.stack(TaskId(t + 128), 0, 0),
+             stat::GlobalLabel::for_task(t + 128));
+  }
+  for (auto _ : state) {
+    stat::GlobalTree acc = a;
+    acc.merge(b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_PrefixTreeMerge);
+
+void BM_TaskSetUnion(benchmark::State& state) {
+  // Fragmented sets (every other task), the worst realistic case.
+  stat::TaskSet a, b;
+  for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(state.range(0)); ++i) {
+    if (i % 2 == 0) a.insert(i);
+    else b.insert(i);
+  }
+  for (auto _ : state) {
+    stat::TaskSet acc = a;
+    acc.union_with(b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TaskSetUnion)->Arg(1024)->Arg(16384);
+
+void BM_TreeSerializeRoundtrip(benchmark::State& state) {
+  app::RingHangOptions options;
+  options.num_tasks = 1024;
+  app::RingHangApp app(options);
+  stat::GlobalTree tree;
+  for (std::uint32_t t = 0; t < 1024; ++t) {
+    tree.insert(app.stack(TaskId(t), 0, 0), stat::GlobalLabel::for_task(t));
+  }
+  const stat::LabelContext ctx{1024};
+  for (auto _ : state) {
+    ByteSink sink;
+    tree.encode(sink, app.frames(), ctx);
+    auto bytes = sink.take();
+    ByteSource source(bytes);
+    auto decoded = stat::GlobalTree::decode(source, app.frames(), ctx);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_TreeSerializeRoundtrip);
+
+}  // namespace

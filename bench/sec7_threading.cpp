@@ -1,0 +1,102 @@
+// Section VII: the threading challenge ahead.
+//
+// Paper projections we verify:
+//  * "an application running on 10,000 nodes with 8 threads per node
+//    presents many of the same challenges as an application running on
+//    80,000 nodes" — thread count multiplies collected data like node count
+//    does;
+//  * "we expect to see only a constant slowdown per thread in stack trace
+//    sampling time" — sampling is daemon-local and parallel across nodes;
+//  * "we expect that the MRNet scalable features will only cause a
+//    logarithmic slowdown in merging time" — with the hierarchical
+//    representation, extra threads fatten leaf payloads but the tree depth
+//    does the heavy lifting.
+// STAT folds per-thread stacks into the *process* representation: classes
+// stay keyed by task rank.
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+stat::StatRunResult run_threads(std::uint32_t tasks, std::uint32_t threads) {
+  machine::JobConfig job;
+  job.num_tasks = tasks;
+  job.mode = machine::BglMode::kCoprocessor;
+  job.threads_per_task = threads;
+
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::bgl(2);
+  options.launcher = stat::LauncherKind::kCiodPatched;
+  options.app = threads > 1 ? stat::AppKind::kThreadedRing
+                            : stat::AppKind::kRingHang;
+  options.use_sbrs = true;  // isolate the threading effect from FS noise
+
+  stat::StatScenario scenario(machine::bgl(), job, options);
+  return scenario.run();
+}
+
+}  // namespace
+
+int main() {
+  title("Section VII", "Threading: threads multiply tool data like nodes do");
+
+  Series sample("sampling");
+  Series merge("merge+remap");
+  Series payload("leaf-KB");
+
+  std::printf("\n  10,240 tasks, sweeping threads per task:\n");
+  std::printf("  %-10s %14s %14s %16s %12s\n", "threads", "sampling(s)",
+              "merge(s)", "leaf-payload", "classes");
+  std::vector<double> sample_times;
+  std::vector<double> merge_times;
+  std::vector<double> payload_bytes;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    auto result = run_threads(10240, threads);
+    if (!result.status.is_ok()) {
+      std::printf("  %-10u FAILED: %s\n", threads,
+                  result.status.to_string().c_str());
+      return 1;
+    }
+    sample_times.push_back(to_seconds(result.phases.sample_time));
+    merge_times.push_back(
+        to_seconds(result.phases.merge_time + result.phases.remap_time));
+    payload_bytes.push_back(
+        static_cast<double>(result.phases.leaf_payload_bytes));
+    std::printf("  %-10u %14.3f %14.3f %13.1f KB %12zu\n", threads,
+                sample_times.back(), merge_times.back(),
+                payload_bytes.back() / 1024.0, result.classes.size());
+  }
+
+  // The equivalence projection: 10K nodes x 8 threads vs 80K nodes x 1.
+  auto many_threads = run_threads(10240, 8);
+  auto many_nodes = run_threads(81920, 1);
+  const double traces_ratio =
+      (10240.0 * 8.0) / (81920.0 * 1.0);
+  std::printf("\n  10,240 tasks x 8 threads vs 81,920 tasks x 1 thread:\n");
+  std::printf("    traces collected:     %8.0f vs %8.0f (ratio %.2f)\n",
+              10240.0 * 8 * 10.0, 81920.0 * 10.0, traces_ratio);
+  std::printf("    leaf payload bytes:   %8llu vs %8llu\n",
+              static_cast<unsigned long long>(many_threads.phases.leaf_payload_bytes),
+              static_cast<unsigned long long>(many_nodes.phases.leaf_payload_bytes));
+  std::printf("    sampling time:        %8.3f vs %8.3f s\n",
+              to_seconds(many_threads.phases.sample_time),
+              to_seconds(many_nodes.phases.sample_time));
+
+  anchor("per-thread sampling slowdown (8 threads vs 1)", "~constant per thread",
+         std::to_string(sample_times.back() / sample_times.front()) +
+             "x for 8x threads");
+  shape_check("sampling slowdown is roughly linear in threads (parallel "
+              "across nodes, serial within a daemon)",
+              sample_times.back() / sample_times.front() > 3.0 &&
+                  sample_times.back() / sample_times.front() < 10.0);
+  shape_check("merge slows far less than sampling (logarithmic network)",
+              merge_times.back() / merge_times.front() <
+                  0.5 * (sample_times.back() / sample_times.front()));
+  shape_check("classes stay process-keyed (no thread explosion in classes)",
+              many_threads.classes.size() < 16);
+  shape_check("8-thread run collects the same trace volume as the 8x-node run",
+              traces_ratio == 1.0);
+  return 0;
+}

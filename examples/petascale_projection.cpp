@@ -1,0 +1,78 @@
+// Petascale projection (Sec. V's forward-looking claim):
+//
+//   "Looking forward to petascale machines, a million cores would require a
+//    1 megabit bit vector per edge label. This would easily saturate the
+//    network with a large daemon count as well as lead to severe memory
+//    contention on the processing nodes."
+//
+// This example sweeps a hypothetical 1,048,576-core machine with both
+// representations and reports per-edge label sizes, aggregate data volume
+// through the tool tree, and merge times.
+//
+//   $ ./petascale_projection
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "stat/scenario.hpp"
+
+using namespace petastat;
+
+namespace {
+
+void run_at(std::uint32_t tasks) {
+  std::printf("\n--- %u tasks ---\n", tasks);
+  const auto machine = machine::petascale();
+
+  for (const auto repr :
+       {stat::TaskSetRepr::kDenseGlobal, stat::TaskSetRepr::kHierarchical}) {
+    machine::JobConfig job;
+    job.num_tasks = tasks;
+    job.mode = machine::BglMode::kVirtualNode;
+
+    stat::StatOptions options;
+    options.topology = tbon::TopologySpec::bgl(3, 24);
+    options.repr = repr;
+    options.launcher = stat::LauncherKind::kCiodPatched;
+
+    stat::StatScenario scenario(machine, job, options);
+    const auto result = scenario.run();
+    if (!result.status.is_ok()) {
+      std::printf("  %-20s FAILED: %s\n", task_set_repr_name(repr),
+                  result.status.to_string().c_str());
+      continue;
+    }
+    const std::uint64_t per_edge_bits =
+        repr == stat::TaskSetRepr::kDenseGlobal
+            ? static_cast<std::uint64_t>(tasks)
+            : result.phases.leaf_payload_bytes /
+                  std::max<std::size_t>(1, result.tree_3d.node_count()) * 8;
+    std::printf(
+        "  %-20s per-edge label %-12s leaf payload %-12s tree data %-12s "
+        "merge %s (+remap %s)\n",
+        task_set_repr_name(repr),
+        format_bytes(per_edge_bits / 8).c_str(),
+        format_bytes(result.phases.leaf_payload_bytes).c_str(),
+        format_bytes(result.phases.merge_bytes).c_str(),
+        format_duration(result.phases.merge_time).c_str(),
+        format_duration(result.phases.remap_time).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("petascale projection: STAT on a simulated 1M-core machine\n");
+  std::printf("(131,072 nodes x 8 cores, 2,048 I/O nodes, VN-style mode)\n");
+
+  for (const std::uint32_t tasks : {131072u, 262144u, 524288u, 1048576u}) {
+    run_at(tasks);
+  }
+
+  std::printf(
+      "\nconclusion: at 1,048,576 tasks the dense representation needs a "
+      "1-megabit (128 KB)\nlabel on every edge and pushes gigabytes through "
+      "the tool tree; the hierarchical\nrepresentation keeps edge labels "
+      "proportional to the subtree and the only\njob-size-proportional cost "
+      "is the one-time front-end remap.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: run STAT end-to-end on a hung 1,024-task MPI job on the
+// simulated Atlas cluster and print what a user would see — the phase
+// timings, the 2D trace/space prefix tree, and the process equivalence
+// classes that tell you where to point a real debugger.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "stat/scenario.hpp"
+
+using namespace petastat;
+
+int main() {
+  // 1. Describe the job: 1,024 MPI tasks of the ring test with the injected
+  //    hang (task 1 stalls before its send).
+  machine::JobConfig job;
+  job.num_tasks = 1024;
+
+  // 2. Configure STAT: a 2-deep MRNet tree, the optimized hierarchical
+  //    task-list representation, daemons launched through LaunchMON.
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.launcher = stat::LauncherKind::kLaunchMon;
+  options.num_samples = 10;
+
+  // 3. Run all three phases on the simulated machine.
+  stat::StatScenario scenario(machine::atlas(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  if (!result.status.is_ok()) {
+    std::printf("STAT failed: %s\n", result.status.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("STAT attached to %u tasks via %u daemons (%u comm processes)\n",
+              result.layout.num_tasks, result.layout.num_daemons,
+              result.num_comm_procs);
+  std::printf("  startup:   %s\n",
+              format_duration(result.phases.startup_total).c_str());
+  std::printf("  sampling:  %s  (10 samples per task)\n",
+              format_duration(result.phases.sample_time).c_str());
+  std::printf("  merge:     %s  (+ %s remap)\n",
+              format_duration(result.phases.merge_time).c_str(),
+              format_duration(result.phases.remap_time).c_str());
+
+  const auto& frames = scenario.app().frames();
+  std::printf("\n2D trace/space prefix tree:\n");
+  result.tree_2d.visit([&](std::span<const FrameId> path,
+                           const stat::GlobalTree::Node& node) {
+    std::printf("%*s%s  %s\n", static_cast<int>(2 * path.size()), "",
+                std::string(frames.name(node.frame)).c_str(),
+                node.label.tasks.edge_label().c_str());
+  });
+
+  std::printf("\nEquivalence classes (debug these representatives):\n");
+  for (const auto& cls : result.classes) {
+    std::printf("  %s\n", stat::describe(cls, frames).c_str());
+  }
+  const auto reps = stat::representatives(result.classes);
+  std::printf("\nAttach a heavyweight debugger to tasks:");
+  for (const auto rank : reps) std::printf(" %u", rank);
+  std::printf("  (%zu of %u tasks)\n", reps.size(), result.layout.num_tasks);
+  return 0;
+}

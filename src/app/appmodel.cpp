@@ -1,0 +1,202 @@
+#include "app/appmodel.hpp"
+
+namespace petastat::app {
+
+namespace {
+
+/// Deterministic per-(task, sample) noise stream.
+Rng trace_rng(std::uint64_t seed, std::uint32_t task, std::uint32_t thread,
+              std::uint32_t sample) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (task + 1)) ^
+                (0xc2b2ae3d27d4eb4fULL * (thread + 1)) ^
+                (0x165667b19e3779f9ULL * (sample + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RingHangApp
+
+RingHangApp::RingHangApp(RingHangOptions options) : options_(std::move(options)) {
+  check(options_.num_tasks >= 3, "RingHangApp needs at least 3 tasks");
+  f_start_ = frames_.intern(options_.bgl_frames ? "_start_blrts" : "_start");
+  f_main_ = frames_.intern("main");
+  f_barrier_ = frames_.intern("PMPI_Barrier");
+  f_gi_barrier_ = frames_.intern("MPIDI_BGLGI_Barrier");
+  f_bglmp_gibarrier_ = frames_.intern("BGLMP_GIBarrier");
+  f_send_or_stall_ = frames_.intern("do_SendOrStall");
+  f_gettimeofday_ = frames_.intern("__gettimeofday");
+  f_waitall_ = frames_.intern("PMPI_Waitall");
+  f_progress_wait_ = frames_.intern("MPID_Progress_wait");
+  f_pollfcn_ = frames_.intern("BGLML_pollfcn");
+  f_advance_ = frames_.intern("BGLML_Messager_advance");
+  f_cmadvance_ = frames_.intern("BGLML_Messager_CMadvance");
+}
+
+CallPath RingHangApp::stack(TaskId task, std::uint32_t thread,
+                            std::uint32_t sample) const {
+  check(task.value() < options_.num_tasks, "RingHangApp::stack task out of range");
+  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+
+  CallPath path{f_start_, f_main_};
+  if (task.value() == 1) {
+    // The injected bug: task 1 stalls before its send, polling the clock.
+    path.push_back(f_send_or_stall_);
+    path.push_back(f_gettimeofday_);
+    return path;
+  }
+  if (task.value() == 2) {
+    // Task 2 never receives from task 1: stuck in MPI_Waitall driving the
+    // progress engine.
+    path.push_back(f_waitall_);
+    path.push_back(f_progress_wait_);
+    path.push_back(f_pollfcn_);
+    const std::uint32_t spins = static_cast<std::uint32_t>(rng.next_below(3));
+    for (std::uint32_t i = 0; i < spins; ++i) {
+      path.push_back(f_advance_);
+      path.push_back(f_cmadvance_);
+    }
+    return path;
+  }
+  // Everyone else made it to the barrier and churns in the messager advance
+  // loop at a sample-dependent depth; the depth spread produces the nested
+  // sub-classes of Figure 1 (e.g. 577/275/264 of the 1022 barrier tasks).
+  path.push_back(f_barrier_);
+  path.push_back(f_gi_barrier_);
+  path.push_back(f_bglmp_gibarrier_);
+  path.push_back(f_pollfcn_);
+  // Depth distribution: ~44% stop at pollfcn+advance, then tail off.
+  const double u = rng.next_double();
+  std::uint32_t depth = 0;
+  if (u < 0.56) depth = 1;
+  if (u < 0.27) depth = 2;
+  if (u < 0.10) depth = 3;
+  path.push_back(f_advance_);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    path.push_back(f_cmadvance_);
+    if (i + 1 < depth) path.push_back(f_advance_);
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedRingApp
+
+ThreadedRingApp::ThreadedRingApp(ThreadedRingOptions options)
+    : options_(options), ring_(options.ring) {
+  check(options_.threads_per_task >= 1, "threads_per_task must be >= 1");
+}
+
+CallPath ThreadedRingApp::stack(TaskId task, std::uint32_t thread,
+                                std::uint32_t sample) const {
+  if (thread == 0) return ring_.stack(task, 0, sample);
+  // Worker threads: OpenMP-style compute kernel with two hot inner loops.
+  FrameTable& table = frames();
+  Rng rng = trace_rng(options_.ring.seed * 31, task.value(), thread, sample);
+  CallPath path;
+  path.push_back(table.intern("clone"));
+  path.push_back(table.intern("start_thread"));
+  path.push_back(table.intern("gomp_thread_start"));
+  path.push_back(table.intern("compute_kernel"));
+  if (rng.bernoulli(0.6)) {
+    path.push_back(table.intern("stencil_sweep"));
+  } else {
+    path.push_back(table.intern("reduce_partial"));
+    if (rng.bernoulli(0.5)) path.push_back(table.intern("__memcpy"));
+  }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// StatBenchApp
+
+StatBenchApp::StatBenchApp(StatBenchOptions options) : options_(options) {
+  check(options_.num_classes >= 1, "StatBenchApp needs at least 1 class");
+  check(options_.max_depth >= 2, "StatBenchApp max_depth must be >= 2");
+  Rng rng(options_.seed, /*stream_id=*/0xbe);
+  class_paths_.reserve(options_.num_classes);
+  const FrameId start = frames_.intern("_start");
+  const FrameId fmain = frames_.intern("main");
+  for (std::uint32_t c = 0; c < options_.num_classes; ++c) {
+    CallPath path{start, fmain};
+    const std::uint32_t depth = 2 + static_cast<std::uint32_t>(rng.next_below(
+                                        options_.max_depth - 1));
+    std::uint32_t lineage = 0;
+    for (std::uint32_t d = 0; d < depth; ++d) {
+      // Shared prefixes: early frames are drawn from a small pool so classes
+      // overlap near the root (like real programs), diverging deeper down.
+      const std::uint32_t pool =
+          d < 2 ? 2 : options_.branch_factor + d;
+      lineage = lineage * 131 + static_cast<std::uint32_t>(rng.next_below(pool));
+      path.push_back(frames_.intern("f_" + std::to_string(d) + "_" +
+                                    std::to_string(lineage % pool)));
+    }
+    class_paths_.push_back(std::move(path));
+  }
+}
+
+std::uint32_t StatBenchApp::class_of(TaskId task) const {
+  // Zipf-ish skew: class k gets a share proportional to 1/(k+1).
+  double total = 0;
+  for (std::uint32_t k = 0; k < options_.num_classes; ++k) {
+    total += 1.0 / static_cast<double>(k + 1);
+  }
+  const double point =
+      (static_cast<double>(task.value()) + 0.5) /
+      static_cast<double>(options_.num_tasks) * total;
+  double acc = 0;
+  for (std::uint32_t k = 0; k < options_.num_classes; ++k) {
+    acc += 1.0 / static_cast<double>(k + 1);
+    if (point <= acc) return k;
+  }
+  return options_.num_classes - 1;
+}
+
+CallPath StatBenchApp::stack(TaskId task, std::uint32_t /*thread*/,
+                             std::uint32_t sample) const {
+  check(task.value() < options_.num_tasks, "StatBenchApp::stack out of range");
+  // Tasks mostly stay in their class; a small sample-dependent fraction
+  // wander (time dimension of the 3D tree).
+  Rng rng = trace_rng(options_.seed, task.value(), 0, sample);
+  std::uint32_t cls = class_of(task);
+  if (rng.bernoulli(0.05)) {
+    cls = static_cast<std::uint32_t>(rng.next_below(options_.num_classes));
+  }
+  return class_paths_[cls];
+}
+
+// ---------------------------------------------------------------------------
+// Binary layouts
+
+AppBinarySpec ring_binaries_dynamic(const std::string& base_dir, bool slim) {
+  AppBinarySpec spec;
+  spec.images.push_back({base_dir + "/mpi_ringtopo", 10 * 1024});      // 10 KB
+  spec.images.push_back({base_dir + "/lib/libmpi.so.0", 4 * 1024 * 1024});
+  if (!slim) {
+    // Pre-update layout: the whole dependency closure lives on the shared FS.
+    spec.images.push_back({base_dir + "/lib/libc-2.5.so", 1700 * 1024});
+    spec.images.push_back({base_dir + "/lib/libstdc++.so.6", 1000 * 1024});
+    spec.images.push_back({base_dir + "/lib/libm-2.5.so", 600 * 1024});
+    spec.images.push_back({base_dir + "/lib/libibverbs.so.1", 120 * 1024});
+    spec.images.push_back({base_dir + "/lib/libpthread-2.5.so", 130 * 1024});
+    spec.images.push_back({base_dir + "/lib/librt-2.5.so", 40 * 1024});
+    spec.images.push_back({base_dir + "/lib/libelan.so.1", 8 * 1024 * 1024});
+    spec.images.push_back({base_dir + "/lib/libibumad.so.2", 2 * 1024 * 1024});
+  } else {
+    // Post-update: dependent libraries resolved from node-local /usr/lib.
+    spec.images.push_back({"/usr/lib/libc-2.5.so", 1700 * 1024});
+    spec.images.push_back({"/usr/lib/libstdc++.so.6", 1000 * 1024});
+    spec.images.push_back({"/usr/lib/libm-2.5.so", 600 * 1024});
+    spec.images.push_back({"/usr/lib/libpthread-2.5.so", 130 * 1024});
+  }
+  return spec;
+}
+
+AppBinarySpec ring_binaries_static(const std::string& base_dir) {
+  AppBinarySpec spec;
+  spec.images.push_back({base_dir + "/mpi_ringtopo_static", 8 * 1024 * 1024});
+  return spec;
+}
+
+}  // namespace petastat::app

@@ -1,0 +1,176 @@
+// Generative models of the target application (Sec. III).
+//
+// STAT never executes target code; it samples stack traces. So the substrate
+// for reproduction is a generator that yields ground-truth call paths per
+// (task, thread, sample), structured to produce the paper's equivalence
+// classes:
+//
+//  * RingHangApp — the paper's MPI ring test with an injected bug: every
+//    task posts MPI_Irecv from its predecessor and MPI_Isend to its
+//    successor, then MPI_Waitall and MPI_Barrier. Task 1 hangs *before* its
+//    send; task 2 therefore blocks in MPI_Waitall on the missing message;
+//    all other tasks reach MPI_Barrier and churn in the messager progress
+//    engine at varying depths (the 577/275/264-task sub-classes visible in
+//    Figure 1).
+//  * ThreadedRingApp — Sec. VII: each task additionally runs worker threads
+//    in a compute kernel; stacks are collected per thread and folded into
+//    the process-level representation.
+//  * StatBenchApp — a synthetic class generator in the spirit of the
+//    authors' STATBench emulator: configurable task count, distinct-class
+//    count, and path depth, for scalability studies without an application.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/callpath.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace petastat::app {
+
+/// One on-disk binary image the dynamic loader maps.
+struct BinaryImage {
+  std::string path;
+  std::uint64_t bytes = 0;
+};
+
+/// The set of images a tool daemon must parse to symbolize stacks.
+struct AppBinarySpec {
+  std::vector<BinaryImage> images;
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& image : images) sum += image.bytes;
+    return sum;
+  }
+};
+
+/// Abstract target application.
+class AppModel {
+ public:
+  virtual ~AppModel() = default;
+
+  [[nodiscard]] virtual std::uint32_t num_tasks() const = 0;
+  [[nodiscard]] virtual std::uint32_t threads_per_task() const { return 1; }
+
+  /// Ground-truth stack of (task, thread) at sample `sample`. Deterministic
+  /// in (task, thread, sample) given the model seed.
+  [[nodiscard]] virtual CallPath stack(TaskId task, std::uint32_t thread,
+                                       std::uint32_t sample) const = 0;
+
+  [[nodiscard]] virtual const AppBinarySpec& binaries() const = 0;
+
+  /// The intern table that this model's paths reference. Mutable through a
+  /// const model: generating a stack may intern frames lazily.
+  [[nodiscard]] virtual FrameTable& frames() const { return frames_; }
+
+ protected:
+  mutable FrameTable frames_;
+};
+
+struct RingHangOptions {
+  std::uint32_t num_tasks = 1024;
+  /// "_start_blrts" on BG/L, "_start" elsewhere.
+  bool bgl_frames = true;
+  std::uint64_t seed = 2008;
+  AppBinarySpec binaries;
+};
+
+class RingHangApp : public AppModel {
+ public:
+  explicit RingHangApp(RingHangOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return options_.num_tasks;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return options_.binaries;
+  }
+
+ private:
+  RingHangOptions options_;
+  // Pre-interned frame ids for the fixed parts of every class.
+  FrameId f_start_, f_main_;
+  FrameId f_barrier_, f_gi_barrier_, f_bglmp_gibarrier_;
+  FrameId f_send_or_stall_, f_gettimeofday_;
+  FrameId f_waitall_, f_progress_wait_;
+  FrameId f_pollfcn_, f_advance_, f_cmadvance_;
+};
+
+struct ThreadedRingOptions {
+  RingHangOptions ring;
+  std::uint32_t threads_per_task = 4;  // thread 0 is the MPI thread
+};
+
+class ThreadedRingApp : public AppModel {
+ public:
+  explicit ThreadedRingApp(ThreadedRingOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return ring_.num_tasks();
+  }
+  [[nodiscard]] std::uint32_t threads_per_task() const override {
+    return options_.threads_per_task;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return ring_.binaries();
+  }
+  [[nodiscard]] FrameTable& frames() const override { return ring_.frames(); }
+
+ private:
+  ThreadedRingOptions options_;
+  RingHangApp ring_;
+};
+
+struct StatBenchOptions {
+  std::uint32_t num_tasks = 4096;
+  std::uint32_t num_classes = 32;   // distinct behaviour classes
+  std::uint32_t max_depth = 12;
+  std::uint32_t branch_factor = 3;  // distinct callees per frame
+  std::uint64_t seed = 7;
+  AppBinarySpec binaries;
+};
+
+/// Synthetic trace generator (after STATBench [9]): builds `num_classes`
+/// random call paths over a deterministic synthetic call graph and assigns
+/// tasks to classes with a skewed distribution (a few big classes, many
+/// small — the shape real hangs produce).
+class StatBenchApp : public AppModel {
+ public:
+  explicit StatBenchApp(StatBenchOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return options_.num_tasks;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return options_.binaries;
+  }
+
+  [[nodiscard]] std::uint32_t class_of(TaskId task) const;
+
+ private:
+  StatBenchOptions options_;
+  std::vector<CallPath> class_paths_;
+};
+
+/// Binary layout of the ring app as a dynamically linked executable.
+/// `base_dir` is where the user staged it (e.g. "/nfs/home/user").
+/// `slim` models the post-OS-update layout of Fig. 10 where "several
+/// dependent shared libraries" moved off the shared FS: only the executable
+/// (10 KB) and the MPI library (4 MB) remain on `base_dir`; the rest live
+/// under /usr/lib (node-local).
+[[nodiscard]] AppBinarySpec ring_binaries_dynamic(const std::string& base_dir,
+                                                  bool slim);
+
+/// Single statically linked image (BG/L): one ~8 MB file on `base_dir`.
+[[nodiscard]] AppBinarySpec ring_binaries_static(const std::string& base_dir);
+
+}  // namespace petastat::app

@@ -1,0 +1,36 @@
+#include "app/callpath.hpp"
+
+namespace petastat::app {
+
+FrameId FrameTable::intern(std::string_view name) {
+  if (const auto it = ids_.find(std::string(name)); it != ids_.end()) {
+    return it->second;
+  }
+  const FrameId id(static_cast<std::uint32_t>(names_.size()));
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::string_view FrameTable::name(FrameId id) const {
+  check(id.valid() && id.value() < names_.size(), "FrameTable::name unknown id");
+  return names_[id.value()];
+}
+
+CallPath FrameTable::make_path(std::initializer_list<std::string_view> names) {
+  CallPath path;
+  path.reserve(names.size());
+  for (const auto n : names) path.push_back(intern(n));
+  return path;
+}
+
+std::string FrameTable::render(std::span<const FrameId> path) const {
+  std::string out;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += '<';
+    out += name(path[i]);
+  }
+  return out;
+}
+
+}  // namespace petastat::app

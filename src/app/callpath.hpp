@@ -1,0 +1,47 @@
+// Interned call frames and call paths. STAT's unit of data is a stack trace:
+// a root-to-leaf list of function frames. Frame names are interned once per
+// tool process; wire formats carry the names (what a real daemon extracts
+// from the symbol table).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace petastat::app {
+
+/// Root-to-leaf stack trace as interned frame ids.
+using CallPath = std::vector<FrameId>;
+
+/// Bidirectional intern table mapping frame names <-> dense FrameIds.
+/// Shared by the app model (trace generator) and the tool (tree labels).
+class FrameTable {
+ public:
+  /// Returns the id for `name`, interning it on first sight.
+  FrameId intern(std::string_view name);
+
+  /// Name for an id interned earlier; throws on unknown id (programming
+  /// error — ids only come from intern()).
+  [[nodiscard]] std::string_view name(FrameId id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  /// Interns every name and returns the path.
+  CallPath make_path(std::initializer_list<std::string_view> names);
+
+  /// Renders "main<PMPI_Barrier<..." style path (root first, '<' separated).
+  [[nodiscard]] std::string render(std::span<const FrameId> path) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, FrameId, std::hash<std::string>, std::equal_to<>>
+      ids_;
+};
+
+}  // namespace petastat::app

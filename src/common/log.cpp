@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+namespace petastat {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void Logger::log(LogLevel level, SimTime sim_time, std::string_view component,
+                 std::string_view message) const {
+  if (level < level_ || sink_ == nullptr) return;
+  std::fprintf(sink_, "[%12.6f] %s %.*s: %.*s\n", to_seconds(sim_time),
+               level_name(level), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+void log_debug(SimTime t, std::string_view c, std::string_view m) {
+  Logger::global().log(LogLevel::kDebug, t, c, m);
+}
+void log_info(SimTime t, std::string_view c, std::string_view m) {
+  Logger::global().log(LogLevel::kInfo, t, c, m);
+}
+void log_warn(SimTime t, std::string_view c, std::string_view m) {
+  Logger::global().log(LogLevel::kWarn, t, c, m);
+}
+void log_error(SimTime t, std::string_view c, std::string_view m) {
+  Logger::global().log(LogLevel::kError, t, c, m);
+}
+
+}  // namespace petastat

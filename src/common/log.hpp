@@ -1,0 +1,39 @@
+// Leveled logging with a simulation-time column. Components log against the
+// simulated clock so traces read like tool logs from a real run.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace petastat {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static Logger& global() {
+    static Logger instance;
+    return instance;
+  }
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(std::FILE* sink) { sink_ = sink; }
+
+  void log(LogLevel level, SimTime sim_time, std::string_view component,
+           std::string_view message) const;
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::FILE* sink_ = stderr;
+};
+
+void log_debug(SimTime t, std::string_view component, std::string_view message);
+void log_info(SimTime t, std::string_view component, std::string_view message);
+void log_warn(SimTime t, std::string_view component, std::string_view message);
+void log_error(SimTime t, std::string_view component, std::string_view message);
+
+}  // namespace petastat

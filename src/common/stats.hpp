@@ -1,0 +1,59 @@
+// Online summary statistics for experiment reports (run-to-run variation in
+// Fig. 9 is quantified with these).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace petastat {
+
+/// Welford online mean/variance plus min/max.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+  [[nodiscard]] double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  /// (max - min) / mean — the paper reports >20% sampling-time variation.
+  [[nodiscard]] double relative_spread() const {
+    return mean_ != 0.0 ? (max_ - min_) / mean_ : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile over a copy of the samples (nearest-rank).
+double percentile(std::vector<double> samples, double p);
+
+/// Least-squares slope of y over x; used by benches to classify scaling as
+/// linear vs logarithmic.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace petastat

@@ -1,0 +1,135 @@
+// Minimal status/result vocabulary. Recoverable failures in this codebase are
+// *data* — the paper measures launcher failures and merge failures — so they
+// are modelled as values, not exceptions.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace petastat {
+
+enum class StatusCode {
+  kOk,
+  kInvalidArgument,    // caller error detected at a recoverable boundary
+  kFailedPrecondition, // operation not valid in the current state
+  kResourceExhausted,  // buffer/connection limits exceeded (e.g. 1-deep merge)
+  kUnavailable,        // environment refused service (e.g. rsh spawn failure)
+  kDeadlineExceeded,   // modelled hang (e.g. unpatched CIOD at 208K)
+  kNotFound,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string m) {
+  return {StatusCode::kInvalidArgument, std::move(m)};
+}
+inline Status failed_precondition(std::string m) {
+  return {StatusCode::kFailedPrecondition, std::move(m)};
+}
+inline Status resource_exhausted(std::string m) {
+  return {StatusCode::kResourceExhausted, std::move(m)};
+}
+inline Status unavailable(std::string m) {
+  return {StatusCode::kUnavailable, std::move(m)};
+}
+inline Status deadline_exceeded(std::string m) {
+  return {StatusCode::kDeadlineExceeded, std::move(m)};
+}
+inline Status not_found(std::string m) {
+  return {StatusCode::kNotFound, std::move(m)};
+}
+inline Status internal_error(std::string m) {
+  return {StatusCode::kInternal, std::move(m)};
+}
+
+/// Result<T>: either a value or a Status. `value()` throws on error — use it
+/// only after checking, or in contexts (tests, examples) where failure is a
+/// programming error.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = internal_error("Result constructed from OK status");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] T& value() & {
+    require_ok();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void require_ok() const {
+    if (!value_.has_value()) {
+      throw std::logic_error("Result::value() on error: " + status_.to_string());
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_ = Status::ok();
+};
+
+/// Fatal invariant check for programming errors (not recoverable failures).
+inline void check(bool condition, const char* what) {
+  if (!condition) throw std::logic_error(std::string("invariant violated: ") + what);
+}
+
+}  // namespace petastat

@@ -1,0 +1,121 @@
+#include "common/strings.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace petastat {
+
+namespace {
+
+void append_range(std::string& out, std::uint32_t lo, std::uint32_t hi) {
+  out += std::to_string(lo);
+  if (hi > lo) {
+    out += '-';
+    out += std::to_string(hi);
+  }
+}
+
+}  // namespace
+
+std::string format_ranges(std::span<const std::uint32_t> sorted,
+                          std::size_t max_items) {
+  std::string out;
+  if (sorted.empty()) return out;
+  std::size_t items = 0;
+  std::uint32_t lo = sorted[0];
+  std::uint32_t hi = sorted[0];
+  for (std::size_t i = 1; i <= sorted.size(); ++i) {
+    if (i < sorted.size() && sorted[i] == hi + 1) {
+      hi = sorted[i];
+      continue;
+    }
+    if (items > 0) out += ',';
+    if (items >= max_items) {
+      out += "...";
+      return out;
+    }
+    append_range(out, lo, hi);
+    ++items;
+    if (i < sorted.size()) {
+      lo = sorted[i];
+      hi = sorted[i];
+    }
+  }
+  return out;
+}
+
+std::string format_edge_label(std::span<const std::uint32_t> sorted_tasks,
+                              std::size_t max_items) {
+  std::string out = std::to_string(sorted_tasks.size());
+  out += ":[";
+  out += format_ranges(sorted_tasks, max_items);
+  out += ']';
+  return out;
+}
+
+std::vector<std::uint32_t> parse_ranges(const std::string& text) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string piece = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (piece.empty() || piece == "...") continue;
+    const std::size_t dash = piece.find('-');
+    std::uint32_t lo = 0, hi = 0;
+    if (dash == std::string::npos) {
+      auto [p, ec] = std::from_chars(piece.data(), piece.data() + piece.size(), lo);
+      if (ec != std::errc{}) continue;
+      hi = lo;
+    } else {
+      auto [p1, ec1] = std::from_chars(piece.data(), piece.data() + dash, lo);
+      auto [p2, ec2] =
+          std::from_chars(piece.data() + dash + 1, piece.data() + piece.size(), hi);
+      if (ec1 != std::errc{} || ec2 != std::errc{} || hi < lo) continue;
+    }
+    for (std::uint32_t v = lo;; ++v) {
+      out.push_back(v);
+      if (v == hi) break;
+    }
+  }
+  return out;
+}
+
+std::string format_duration(SimTime t) {
+  char buf[64];
+  if (t >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", to_seconds(t));
+  } else if (t >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", static_cast<double>(t) / 1e6);
+  } else if (t >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", static_cast<double>(t) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns", static_cast<unsigned long long>(t));
+  }
+  return buf;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  constexpr double kKb = 1024.0;
+  const auto b = static_cast<double>(bytes);
+  if (b >= kKb * kKb * kKb) {
+    std::snprintf(buf, sizeof buf, "%.2f GB", b / (kKb * kKb * kKb));
+  } else if (b >= kKb * kKb) {
+    std::snprintf(buf, sizeof buf, "%.2f MB", b / (kKb * kKb));
+  } else if (b >= kKb) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", b / kKb);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_seconds_fixed(SimTime t, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, to_seconds(t));
+  return buf;
+}
+
+}  // namespace petastat

@@ -1,0 +1,38 @@
+// String formatting helpers used for rendering prefix-tree edge labels
+// ("1022:[0,3-1023]"), durations, and byte counts in reports.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace petastat {
+
+/// Renders a sorted list of integers as comma-separated ranges:
+/// {0,3,4,5,...,1023} -> "0,3-1023". Input must be sorted ascending and
+/// duplicate-free. `max_items` bounds output length; a trailing ",..." marks
+/// truncation (matches STAT's shortened labels in Figure 1).
+std::string format_ranges(std::span<const std::uint32_t> sorted,
+                          std::size_t max_items = 8);
+
+/// Renders a task-count-plus-range edge label: "1022:[0,3-1023]".
+std::string format_edge_label(std::span<const std::uint32_t> sorted_tasks,
+                              std::size_t max_items = 8);
+
+/// Parses "0,3-1023" back into a sorted vector. Returns empty on malformed
+/// input pieces (best-effort; for tests and tooling).
+std::vector<std::uint32_t> parse_ranges(const std::string& text);
+
+/// "1.234 s", "56.7 ms", "890 us", "12 ns" — human duration for reports.
+std::string format_duration(SimTime t);
+
+/// "4.00 MB", "10.0 KB", "17 B".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-width number formatting for report tables.
+std::string format_seconds_fixed(SimTime t, int precision = 3);
+
+}  // namespace petastat

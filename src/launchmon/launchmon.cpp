@@ -1,0 +1,126 @@
+#include "launchmon/launchmon.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace petastat::launchmon {
+
+BackEndFabric::BackEndFabric(sim::Simulator& simulator,
+                             const machine::MachineConfig& machine,
+                             net::Network& network,
+                             machine::DaemonLayout layout)
+    : sim_(simulator), machine_(machine), net_(network), layout_(layout) {}
+
+NodeId BackEndFabric::master_host() const {
+  return machine::daemon_host(machine_, DaemonId(0));
+}
+
+struct BackEndFabric::BcastState {
+  std::uint64_t bytes = 0;
+  std::uint32_t remaining = 0;
+  std::function<void()> done;
+
+  void delivered() {
+    if (--remaining == 0 && done) done();
+  }
+};
+
+void BackEndFabric::bcast_send_from(const std::shared_ptr<BcastState>& state,
+                                    std::uint32_t daemon,
+                                    std::uint64_t first_step) {
+  // Binomial tree: in round k, every daemon with id < 2^k sends to id + 2^k.
+  // A daemon that joined in round k participates from round k+1 onward.
+  for (std::uint64_t step = first_step; daemon + step < layout_.num_daemons;
+       step *= 2) {
+    const auto child = static_cast<std::uint32_t>(daemon + step);
+    const NodeId src = machine::daemon_host(machine_, DaemonId(daemon));
+    const NodeId dst = machine::daemon_host(machine_, DaemonId(child));
+    const std::uint64_t next_step = step * 2;
+    net_.transfer_async(src, dst, state->bytes,
+                        [this, state, child, next_step]() {
+                          state->delivered();
+                          bcast_send_from(state, child, next_step);
+                        });
+  }
+}
+
+void BackEndFabric::broadcast_from_master(std::uint64_t bytes,
+                                          std::function<void()> done) {
+  if (layout_.num_daemons <= 1) {
+    sim_.schedule_in(0, std::move(done));
+    return;
+  }
+  auto state = std::make_shared<BcastState>();
+  state->bytes = bytes;
+  state->remaining = layout_.num_daemons - 1;
+  state->done = std::move(done);
+  bcast_send_from(state, 0, 1);
+}
+
+namespace {
+
+/// Round-sequenced binomial reduction: all transfers of a round complete
+/// before the next round begins (receivers must combine before forwarding).
+struct ReduceState : std::enable_shared_from_this<ReduceState> {
+  sim::Simulator* sim = nullptr;
+  net::Network* network = nullptr;
+  machine::MachineConfig machine;
+  std::uint32_t n = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t stride = 1;
+  std::uint32_t round_pending = 0;
+  std::function<void()> done;
+
+  void run_round() {
+    if (stride >= n) {
+      if (done) done();
+      return;
+    }
+    round_pending = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::uint64_t recv = 0; recv < n; recv += 2 * stride) {
+      const std::uint64_t sender = recv + stride;
+      if (sender < n) {
+        pairs.emplace_back(static_cast<std::uint32_t>(sender),
+                           static_cast<std::uint32_t>(recv));
+      }
+    }
+    if (pairs.empty()) {
+      stride *= 2;
+      run_round();
+      return;
+    }
+    round_pending = static_cast<std::uint32_t>(pairs.size());
+    auto self = shared_from_this();
+    for (const auto& [src_d, dst_d] : pairs) {
+      const NodeId src = machine::daemon_host(machine, DaemonId(src_d));
+      const NodeId dst = machine::daemon_host(machine, DaemonId(dst_d));
+      network->transfer_async(src, dst, bytes, [self]() {
+        if (--self->round_pending == 0) {
+          self->stride *= 2;
+          self->run_round();
+        }
+      });
+    }
+  }
+};
+
+}  // namespace
+
+void BackEndFabric::reduce_to_master(std::uint64_t bytes_per_daemon,
+                                     std::function<void()> done) {
+  if (layout_.num_daemons <= 1) {
+    sim_.schedule_in(0, std::move(done));
+    return;
+  }
+  auto state = std::make_shared<ReduceState>();
+  state->sim = &sim_;
+  state->network = &net_;
+  state->machine = machine_;
+  state->n = layout_.num_daemons;
+  state->bytes = bytes_per_daemon;
+  state->done = std::move(done);
+  state->run_round();
+}
+
+}  // namespace petastat::launchmon

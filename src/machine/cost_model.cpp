@@ -1,0 +1,25 @@
+#include "machine/cost_model.hpp"
+
+namespace petastat::machine {
+
+CostModel default_cost_model(const MachineConfig& m) {
+  CostModel c;
+  if (m.name == "bgl") {
+    // 700 MHz PPC440 I/O-node cores walk stacks ~3x slower than the 2.4 GHz
+    // Opterons on Atlas, and the debug interface crosses the collective
+    // network to the compute node.
+    c.sampling.walk_per_frame = seconds(0.0011);
+    c.sampling.walk_per_process = seconds(0.0042);
+    c.sampling.symtab_parse_per_mb = seconds(0.24);
+    // Comm processes run on 1.6 GHz Power5 login nodes.
+    c.merge.merge_per_tree_node = seconds(0.0000026);
+    c.merge.per_packet_cpu = seconds(0.0014);
+  } else if (m.name == "petascale") {
+    // Assume 2x faster cores than Atlas for the forward-looking projection.
+    c.sampling.walk_per_frame = seconds(0.00018);
+    c.sampling.walk_per_process = seconds(0.0006);
+  }
+  return c;
+}
+
+}  // namespace petastat::machine

@@ -1,0 +1,99 @@
+// Calibrated model constants for tool-side CPU work and launch services.
+//
+// Every constant traces to an anchor in the paper (see DESIGN.md Sec. 6) or
+// to a conservative order-of-magnitude estimate for 2008-era hardware. The
+// *shapes* of all figures emerge from the structure of the models; these
+// constants only pin the axes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "machine/machine.hpp"
+
+namespace petastat::machine {
+
+/// Launch-path constants (Sec. IV).
+struct LaunchCosts {
+  /// Serial per-daemon cost of an rsh/ssh spawn from the front end: process
+  /// fork + remote shell handshake + daemon exec. Fig. 2's MRNet line is
+  /// ~0.25 s/daemon (128 daemons ~ 32 s).
+  SimTime remote_shell_per_daemon = seconds(0.247);
+  /// Log-space sigma of spawn-time noise.
+  double remote_shell_sigma = 0.08;
+  /// rsh connection table exhaustion: MRNet "consistently fails" to launch
+  /// 512 daemons with rsh on Atlas.
+  std::uint32_t rsh_failure_threshold = 512;
+
+  /// LaunchMON: one RM request, then a tree broadcast inside the RM.
+  SimTime rm_request_overhead = seconds(4.0);     // job-step setup
+  SimTime rm_broadcast_per_level = seconds(0.32); // per fanout-32 tree level
+  std::uint32_t rm_broadcast_fanout = 32;
+  /// Local daemon initialization once the binary reaches the node.
+  SimTime daemon_init = seconds(0.18);
+
+  /// BG/L CIOD/system-software launch (Fig. 3). The unpatched code packs the
+  /// process table with strcat, which rescans the buffer each append —
+  /// quadratic in the process count — and hangs outright at 208K.
+  SimTime ciod_base = seconds(70.0);
+  SimTime ciod_per_proc = seconds(0.00115);           // patched, linear
+  double ciod_strcat_ns_per_proc_sq = 30.0;           // unpatched extra, ~P^2
+  std::uint32_t ciod_unpatched_hang_threshold = 208 * 1024;
+  /// App launch under tool control (BG/L prototype requirement).
+  SimTime app_launch_base = seconds(25.0);
+  SimTime app_launch_per_proc = seconds(0.00021);
+
+  /// MRNet network instantiation: each parent accepts and handshakes its
+  /// children serially; children connect in parallel across parents.
+  SimTime mrnet_connect_per_child = seconds(0.0015);
+  SimTime mrnet_connect_base = seconds(0.35);
+};
+
+/// Stack-sampling constants (Sec. VI).
+struct SamplingCosts {
+  /// Third-party stack walk of one frame via ptrace-equivalent reads.
+  SimTime walk_per_frame = seconds(0.00035);
+  /// Per-process attach/refresh overhead per sample.
+  SimTime walk_per_process = seconds(0.0011);
+  /// Daemon-local merge cost per call-path node inserted.
+  SimTime local_merge_per_node = seconds(0.0000012);
+  /// Multiplier when the daemon contends with spin-waiting MPI ranks on a
+  /// fully packed node (Atlas). Expected value of the slowdown.
+  double cpu_contention_mean = 1.7;
+  double cpu_contention_sigma = 0.10;  // log-space, per daemon
+  /// Symbol-table parse CPU per MB of binary image (I/O modelled separately).
+  SimTime symtab_parse_per_mb = seconds(0.085);
+};
+
+/// Merge/communication constants (Sec. V).
+struct MergeCosts {
+  /// Filter CPU per prefix-tree node visited during a merge.
+  SimTime merge_per_tree_node = seconds(0.0000018);
+  /// Filter CPU per byte of edge-label payload processed (bit-vector OR or
+  /// list concatenation are both byte-proportional in their own format).
+  SimTime merge_per_label_byte = seconds(0.0000000009);
+  /// Serialization (pack/unpack) per payload byte.
+  SimTime pack_per_byte = seconds(0.0000000022);
+  /// Fixed CPU per packet handled by a filter process (MRNet dispatch,
+  /// allocation, syscalls). Dominates flat-tree merges at the front end.
+  SimTime per_packet_cpu = seconds(0.0007);
+  /// Front-end remap of daemon-order lists to MPI rank order: 0.66 s at
+  /// 208K tasks => ~3.17 us per task.
+  SimTime remap_per_task = seconds(0.0000031);
+  /// Hard per-connection receive-buffer limit at the front end: the 1-deep
+  /// topology "fails to merge" at 256 daemons x full-job bit vectors.
+  std::uint64_t frontend_rx_buffer_bytes = 64ull << 20;
+  std::uint32_t frontend_max_connections = 512;
+};
+
+/// All cost constants for one platform.
+struct CostModel {
+  LaunchCosts launch;
+  SamplingCosts sampling;
+  MergeCosts merge;
+};
+
+/// Default cost model for a machine preset.
+[[nodiscard]] CostModel default_cost_model(const MachineConfig& machine);
+
+}  // namespace petastat::machine

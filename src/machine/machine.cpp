@@ -1,0 +1,109 @@
+#include "machine/machine.hpp"
+
+namespace petastat::machine {
+
+std::uint32_t tasks_per_compute_node(const MachineConfig& machine, BglMode mode) {
+  if (machine.daemon_placement == DaemonPlacement::kPerIoNode) {
+    // BG/L-style: CO mode = 1 task/node, VN mode = 1 task/core.
+    return mode == BglMode::kCoprocessor ? 1 : machine.cores_per_compute_node;
+  }
+  // Cluster-style: fully packed nodes, 1 task per core.
+  return machine.cores_per_compute_node;
+}
+
+Result<DaemonLayout> layout_daemons(const MachineConfig& machine,
+                                    const JobConfig& job) {
+  if (job.num_tasks == 0) return invalid_argument("job has zero tasks");
+  const std::uint32_t per_node = tasks_per_compute_node(machine, job.mode);
+
+  const std::uint64_t needed_nodes =
+      (static_cast<std::uint64_t>(job.num_tasks) + per_node - 1) / per_node;
+  if (needed_nodes > machine.compute_nodes) {
+    return resource_exhausted(
+        "job needs " + std::to_string(needed_nodes) + " compute nodes, " +
+        machine.name + " has " + std::to_string(machine.compute_nodes));
+  }
+
+  DaemonLayout layout;
+  layout.num_tasks = job.num_tasks;
+  if (machine.daemon_placement == DaemonPlacement::kPerComputeNode) {
+    layout.tasks_per_daemon = per_node;
+    layout.num_daemons = static_cast<std::uint32_t>(needed_nodes);
+  } else {
+    // One daemon per I/O node; each I/O node serves a fixed block of compute
+    // nodes (64 on LLNL's BG/L).
+    const std::uint32_t block = machine.compute_nodes_per_io_node;
+    check(block > 0, "per-I/O-node placement requires compute_nodes_per_io_node");
+    layout.tasks_per_daemon = block * per_node;
+    layout.num_daemons = static_cast<std::uint32_t>(
+        (needed_nodes + block - 1) / block);
+    if (layout.num_daemons > machine.io_nodes) {
+      return resource_exhausted("job needs more I/O nodes than available");
+    }
+  }
+  return layout;
+}
+
+NodeId daemon_host(const MachineConfig& machine, DaemonId d) {
+  if (machine.daemon_placement == DaemonPlacement::kPerComputeNode) {
+    return machine.compute_node(d.value());
+  }
+  return machine.io_node(d.value());
+}
+
+MachineConfig atlas() {
+  MachineConfig m;
+  m.name = "atlas";
+  m.compute_nodes = 1152;
+  m.cores_per_compute_node = 8;  // 4-way dual-core Opteron
+  m.daemon_placement = DaemonPlacement::kPerComputeNode;
+  m.login_nodes = 2;
+  m.cores_per_login_node = 8;
+  m.comm_procs_on_compute_allocation = true;  // separate compute allocation
+  m.max_comm_procs_per_login = 0;             // not placed on login nodes
+  m.static_binary = false;                    // dynamic exe + shared libs
+  m.daemon_shares_cpu = true;                 // spin-waiting MPI ranks
+  m.supports_rsh = true;
+  m.supports_ssh = false;  // Sec. IV-A: Atlas compute nodes have no sshd
+  return m;
+}
+
+MachineConfig bgl() {
+  MachineConfig m;
+  m.name = "bgl";
+  m.compute_nodes = 106'496;  // 104 racks
+  m.cores_per_compute_node = 2;  // dual PPC440
+  m.daemon_placement = DaemonPlacement::kPerIoNode;
+  m.compute_nodes_per_io_node = 64;
+  m.io_nodes = 1664;
+  m.login_nodes = 14;  // comm processes restricted to these
+  m.cores_per_login_node = 2;  // dual Power5
+  m.max_comm_procs_per_login = 24;
+  m.comm_procs_on_compute_allocation = false;
+  m.static_binary = true;
+  m.daemon_shares_cpu = false;  // daemons own the I/O node
+  m.supports_rsh = false;       // must use the system launcher (CIOD)
+  m.supports_ssh = false;
+  m.max_tool_connections = 256;  // observed 1-deep failure point (Sec. V-A)
+  return m;
+}
+
+MachineConfig petascale() {
+  MachineConfig m;
+  m.name = "petascale";
+  m.compute_nodes = 131'072;
+  m.cores_per_compute_node = 8;  // 1,048,576 cores total
+  m.daemon_placement = DaemonPlacement::kPerIoNode;
+  m.compute_nodes_per_io_node = 64;
+  m.io_nodes = 2048;
+  m.login_nodes = 32;
+  m.cores_per_login_node = 8;
+  m.max_comm_procs_per_login = 32;
+  m.static_binary = true;
+  m.daemon_shares_cpu = false;
+  m.supports_rsh = false;
+  m.supports_ssh = false;
+  return m;
+}
+
+}  // namespace petastat::machine

@@ -1,0 +1,124 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+namespace petastat::net {
+
+using machine::NodeRole;
+using machine::node_role;
+
+NetworkParams default_network_params(const machine::MachineConfig& machine) {
+  NetworkParams p;
+  if (machine.name == "bgl") {
+    // Functional 1 GbE tree between I/O nodes and the login/service tier;
+    // collective network to compute nodes; login nodes on shared GigE.
+    p.login_to_io = {120 * kMicrosecond, 95.0e6};
+    p.io_to_compute = {12 * kMicrosecond, 340.0e6};
+    p.fe_to_login = {60 * kMicrosecond, 110.0e6};
+    p.login_to_login = {55 * kMicrosecond, 110.0e6};
+    p.frontend_nic_bytes_per_sec = 110.0e6;
+    p.login_nic_bytes_per_sec = 110.0e6;
+    p.io_nic_bytes_per_sec = 95.0e6;
+    p.compute_nic_bytes_per_sec = 340.0e6;
+    p.per_message_overhead = 60 * kMicrosecond;
+  } else if (machine.name == "petascale") {
+    p.login_to_io = {40 * kMicrosecond, 1.2e9};
+    p.io_to_compute = {8 * kMicrosecond, 2.0e9};
+    p.fe_to_login = {20 * kMicrosecond, 1.2e9};
+    p.login_to_login = {20 * kMicrosecond, 1.2e9};
+    p.frontend_nic_bytes_per_sec = 1.2e9;
+    p.login_nic_bytes_per_sec = 1.2e9;
+    p.io_nic_bytes_per_sec = 1.2e9;
+    p.compute_nic_bytes_per_sec = 2.0e9;
+    p.per_message_overhead = 20 * kMicrosecond;
+  } else {
+    // Atlas: DDR Infiniband everywhere; front end is a login node of the
+    // cluster and reaches compute nodes over IB.
+    p.compute_fabric = {5 * kMicrosecond, 1.4e9};
+    p.fe_to_compute = {8 * kMicrosecond, 1.1e9};
+    p.fe_to_login = {8 * kMicrosecond, 1.1e9};
+    p.login_to_login = {8 * kMicrosecond, 1.1e9};
+    p.frontend_nic_bytes_per_sec = 1.1e9;
+    p.login_nic_bytes_per_sec = 1.1e9;
+    p.compute_nic_bytes_per_sec = 1.4e9;
+    p.per_message_overhead = 30 * kMicrosecond;
+  }
+  return p;
+}
+
+Network::Network(sim::Simulator& simulator, const machine::MachineConfig& machine,
+                 NetworkParams params)
+    : sim_(simulator), machine_(machine), params_(params) {}
+
+const LinkParams& Network::link_between(NodeId a, NodeId b) const {
+  const NodeRole ra = node_role(a);
+  const NodeRole rb = node_role(b);
+  const auto pair_has = [&](NodeRole x, NodeRole y) {
+    return (ra == x && rb == y) || (ra == y && rb == x);
+  };
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kLogin)) return params_.fe_to_login;
+  if (pair_has(NodeRole::kLogin, NodeRole::kLogin)) return params_.login_to_login;
+  if (pair_has(NodeRole::kLogin, NodeRole::kIo)) return params_.login_to_io;
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kIo)) return params_.login_to_io;
+  if (pair_has(NodeRole::kIo, NodeRole::kCompute)) return params_.io_to_compute;
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kCompute)) return params_.fe_to_compute;
+  if (pair_has(NodeRole::kLogin, NodeRole::kCompute)) return params_.fe_to_compute;
+  return params_.compute_fabric;
+}
+
+double Network::nic_rate(NodeId n) const {
+  switch (node_role(n)) {
+    case NodeRole::kFrontEnd: return params_.frontend_nic_bytes_per_sec;
+    case NodeRole::kLogin: return params_.login_nic_bytes_per_sec;
+    case NodeRole::kIo: return params_.io_nic_bytes_per_sec;
+    case NodeRole::kCompute: return params_.compute_nic_bytes_per_sec;
+  }
+  return params_.compute_nic_bytes_per_sec;
+}
+
+sim::SerialDevice& Network::nic(NodeId n) {
+  auto it = nics_.find(n);
+  if (it == nics_.end()) {
+    it = nics_.emplace(n, sim::SerialDevice(sim_)).first;
+  }
+  return it->second;
+}
+
+SimTime Network::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
+  const LinkParams& link = link_between(src, dst);
+  const double rate =
+      std::min({nic_rate(src), nic_rate(dst), link.bytes_per_sec});
+  const auto ser = static_cast<SimTime>(static_cast<double>(bytes) / rate * 1e9);
+
+  // Transmit occupies the source NIC; cut-through reception occupies the
+  // destination NIC starting when the first byte lands.
+  const SimTime tx_end = nic(src).reserve(sim_.now(), ser);
+  const SimTime first_byte_arrives =
+      tx_end - ser + link.latency + params_.per_message_overhead;
+  const SimTime rx_end = nic(dst).reserve(first_byte_arrives, ser);
+  const SimTime done = std::max(tx_end + link.latency, rx_end);
+
+  bytes_moved_ += bytes;
+  ++messages_;
+  return done;
+}
+
+SimTime Network::transfer_async(NodeId src, NodeId dst, std::uint64_t bytes,
+                                sim::EventCallback on_delivered) {
+  const SimTime done = transfer(src, dst, bytes);
+  sim_.schedule_at(done, std::move(on_delivered));
+  return done;
+}
+
+SimTime Network::nic_free_at(NodeId node) const {
+  auto it = nics_.find(node);
+  return it == nics_.end() ? SimTime{0} : it->second.free_at();
+}
+
+void Network::reset() {
+  nics_.clear();
+  bytes_moved_ = 0;
+  messages_ = 0;
+}
+
+}  // namespace petastat::net

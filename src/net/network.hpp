@@ -1,0 +1,84 @@
+// Point-to-point transfer model with per-node NIC serialization.
+//
+// A transfer of B bytes from src to dst costs:
+//   tx  = B / min(nic_rate, link_rate)   occupying src's NIC
+//   rx  = same serialization occupying dst's NIC (cut-through overlapped)
+//   latency = link latency + per-message overhead
+// Contention arises naturally: many children sending to one TBON parent
+// queue on the parent's NIC, which is exactly the congestion mechanism the
+// paper blames for linear merge scaling with full-job bit vectors (Sec. V).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "machine/machine.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::net {
+
+struct LinkParams {
+  SimTime latency = 10 * kMicrosecond;
+  double bytes_per_sec = 1.0e9;
+};
+
+/// Link parameters per tier pair plus NIC rates per role.
+struct NetworkParams {
+  LinkParams fe_to_login;
+  LinkParams login_to_login;
+  LinkParams login_to_io;      // BG/L functional 1GbE
+  LinkParams io_to_compute;    // BG/L collective network
+  LinkParams compute_fabric;   // cluster interconnect (IB on Atlas)
+  LinkParams fe_to_compute;
+
+  double frontend_nic_bytes_per_sec = 1.0e9;
+  double login_nic_bytes_per_sec = 1.0e9;
+  double io_nic_bytes_per_sec = 1.0e9;
+  double compute_nic_bytes_per_sec = 1.0e9;
+
+  /// Fixed software overhead per message (syscalls, MRNet framing).
+  SimTime per_message_overhead = 25 * kMicrosecond;
+};
+
+/// Default parameters for a machine preset.
+[[nodiscard]] NetworkParams default_network_params(
+    const machine::MachineConfig& machine);
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const machine::MachineConfig& machine,
+          NetworkParams params);
+
+  /// Reserves NIC time on both endpoints and returns the delivery time.
+  SimTime transfer(NodeId src, NodeId dst, std::uint64_t bytes);
+
+  /// As transfer(), and runs `on_delivered` at the delivery time.
+  SimTime transfer_async(NodeId src, NodeId dst, std::uint64_t bytes,
+                         sim::EventCallback on_delivered);
+
+  /// Earliest time the node's NIC frees up (diagnostics).
+  [[nodiscard]] SimTime nic_free_at(NodeId node) const;
+
+  [[nodiscard]] std::uint64_t total_bytes_moved() const { return bytes_moved_; }
+  [[nodiscard]] std::uint64_t total_messages() const { return messages_; }
+
+  void reset();
+
+  [[nodiscard]] const NetworkParams& params() const { return params_; }
+
+ private:
+  [[nodiscard]] const LinkParams& link_between(NodeId a, NodeId b) const;
+  [[nodiscard]] double nic_rate(NodeId n) const;
+  sim::SerialDevice& nic(NodeId n);
+
+  sim::Simulator& sim_;
+  machine::MachineConfig machine_;
+  NetworkParams params_;
+  std::unordered_map<NodeId, sim::SerialDevice> nics_;
+  std::uint64_t bytes_moved_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace petastat::net

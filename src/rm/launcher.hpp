@@ -1,0 +1,120 @@
+// Daemon-launching services (Sec. IV).
+//
+// Three launchers model the paper's spectrum:
+//  * RemoteShellLauncher — MRNet's ad hoc rsh/ssh spawner: one serial remote
+//    shell per daemon from the front end. Linear by construction, and rsh
+//    "consistently fails" at 512 daemons (connection/port exhaustion).
+//  * BulkTreeLauncher — the LaunchMON path: one resource-manager request,
+//    then the RM's internal fan-out tree starts all daemons in O(log n).
+//  * CiodLauncher — BG/L system software: daemons are started on I/O nodes
+//    by CIOD, the application is launched under tool control, and the RM
+//    builds the process table. The unpatched table packer used strcat —
+//    which rescans the destination buffer on every append, making packing
+//    quadratic — and hung outright at 208K processes. The IBM patches
+//    (bigger buffers, no strcat) make it linear; Fig. 3 shows >2x at 104K.
+#pragma once
+
+#include <functional>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::rm {
+
+struct LaunchRequest {
+  std::uint32_t num_daemons = 0;
+  /// Application processes the system software must table (BG/L); 0 when the
+  /// app is already running (Atlas attach model).
+  std::uint32_t num_app_procs = 0;
+};
+
+/// Phase breakdown of a completed (or failed) launch.
+struct LaunchReport {
+  Status status = Status::ok();
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  /// Time inside the system software / process-table generation. Fig. 3:
+  /// "the system software accounts for over 86% of the startup time".
+  SimTime system_software_time = 0;
+  SimTime daemon_spawn_time = 0;
+  SimTime app_launch_time = 0;
+
+  [[nodiscard]] SimTime total() const { return finished_at - started_at; }
+};
+
+using LaunchCallback = std::function<void(const LaunchReport&)>;
+
+class DaemonLauncher {
+ public:
+  virtual ~DaemonLauncher() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Starts the launch now; `done` fires at the modelled completion time
+  /// (or at failure detection time with a non-OK status).
+  virtual void launch(const LaunchRequest& request, LaunchCallback done) = 0;
+};
+
+enum class ShellProtocol { kRsh, kSsh };
+
+class RemoteShellLauncher final : public DaemonLauncher {
+ public:
+  RemoteShellLauncher(sim::Simulator& simulator,
+                      const machine::MachineConfig& machine,
+                      const machine::LaunchCosts& costs, ShellProtocol protocol,
+                      std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override {
+    return protocol_ == ShellProtocol::kRsh ? "mrnet-rsh" : "mrnet-ssh";
+  }
+  void launch(const LaunchRequest& request, LaunchCallback done) override;
+
+ private:
+  sim::Simulator& sim_;
+  machine::MachineConfig machine_;
+  machine::LaunchCosts costs_;
+  ShellProtocol protocol_;
+  Rng rng_;
+};
+
+class BulkTreeLauncher final : public DaemonLauncher {
+ public:
+  BulkTreeLauncher(sim::Simulator& simulator, const machine::LaunchCosts& costs,
+                   std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override { return "launchmon-rm"; }
+  void launch(const LaunchRequest& request, LaunchCallback done) override;
+
+ private:
+  sim::Simulator& sim_;
+  machine::LaunchCosts costs_;
+  Rng rng_;
+};
+
+class CiodLauncher final : public DaemonLauncher {
+ public:
+  CiodLauncher(sim::Simulator& simulator, const machine::LaunchCosts& costs,
+               bool patched, std::uint64_t seed);
+
+  [[nodiscard]] std::string_view name() const override {
+    return patched_ ? "ciod-patched" : "ciod-unpatched";
+  }
+  void launch(const LaunchRequest& request, LaunchCallback done) override;
+
+  /// Modelled process-table generation time for `procs` processes.
+  [[nodiscard]] SimTime process_table_time(std::uint32_t procs) const;
+
+ private:
+  sim::Simulator& sim_;
+  machine::LaunchCosts costs_;
+  bool patched_;
+  Rng rng_;
+};
+
+/// Number of fan-out tree levels needed to reach n leaves.
+[[nodiscard]] std::uint32_t tree_levels(std::uint32_t n, std::uint32_t fanout);
+
+}  // namespace petastat::rm

@@ -1,0 +1,91 @@
+#include "sbrs/sbrs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+namespace petastat::sbrs {
+
+void Sbrs::relocate(const app::AppBinarySpec& spec,
+                    std::function<void(const SbrsReport&)> done) {
+  auto report = std::make_shared<SbrsReport>();
+  report->grace_time = params_.sigstop_grace;
+
+  // mtab check: only shared-FS binaries move.
+  std::vector<app::BinaryImage> to_move;
+  for (const auto& image : spec.images) {
+    if (files_.mounts().on_shared_filesystem(image.path)) {
+      to_move.push_back(image);
+    } else {
+      ++report->skipped_local_files;
+    }
+  }
+
+  auto finish = [this, report, done = std::move(done)](SimTime reloc_start) {
+    report->relocation_time = sim_.now() - reloc_start;
+    done(*report);
+  };
+
+  if (to_move.empty()) {
+    sim_.schedule_in(params_.sigstop_grace,
+                     [this, finish]() { finish(sim_.now()); });
+    return;
+  }
+
+  // SIGSTOP + grace, then fetch-and-broadcast. Cutting the grace short
+  // leaves spin-waiting ranks competing with the relocation traffic.
+  const double contention =
+      params_.sigstop_grace < params_.settle_threshold
+          ? params_.unsettled_contention_factor
+          : 1.0;
+
+  sim_.schedule_in(params_.sigstop_grace, [this, report, to_move, contention,
+                                           finish = std::move(finish)]() {
+    const SimTime reloc_start = sim_.now();
+    const NodeId master = fabric_.master_host();
+
+    // Master fetches every shared image from the file server once.
+    SimTime fetch_done = sim_.now();
+    std::uint64_t total_bytes = 0;
+    for (const auto& image : to_move) {
+      fetch_done = std::max(
+          fetch_done, files_.open_and_read(master, image.path, image.bytes));
+      total_bytes += image.bytes;
+      ++report->relocated_files;
+    }
+    report->relocated_bytes = total_bytes;
+    // Contention stretches both the master's fetch and the broadcast: NICs
+    // and cores time-share with ranks still polling for messages.
+    if (contention > 1.0 && fetch_done > sim_.now()) {
+      fetch_done = sim_.now() + static_cast<SimTime>(
+          static_cast<double>(fetch_done - sim_.now()) * contention);
+    }
+    total_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(total_bytes) * contention);
+
+    sim_.schedule_at(fetch_done, [this, report, to_move, total_bytes,
+                                  reloc_start, finish = std::move(finish)]() {
+      // One broadcast moves the packed images to every daemon.
+      fabric_.broadcast_from_master(total_bytes, [this, report, to_move,
+                                                  reloc_start,
+                                                  finish = std::move(finish)]() {
+        // Interpose open() everywhere and mark RAM-disk copies resident.
+        for (std::uint32_t d = 0; d < layout_.num_daemons; ++d) {
+          const NodeId host = machine::daemon_host(machine_, DaemonId(d));
+          for (const auto& image : to_move) {
+            const std::string relocated = params_.ramdisk_prefix + image.path;
+            files_.install_redirect(host, image.path, relocated);
+            files_.populate_local(host, relocated);
+          }
+        }
+        const SimTime install =
+            layout_.num_daemons * params_.redirect_install_per_daemon;
+        sim_.schedule_in(install, [reloc_start, finish = std::move(finish)]() {
+          finish(reloc_start);
+        });
+      });
+    });
+  });
+}
+
+}  // namespace petastat::sbrs

@@ -1,0 +1,51 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+
+namespace petastat::sim {
+
+FifoServer::FifoServer(Simulator& simulator, unsigned num_servers)
+    : sim_(simulator), free_at_(std::max(1u, num_servers), SimTime{0}) {}
+
+std::size_t FifoServer::earliest() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < free_at_.size(); ++i) {
+    if (free_at_[i] < free_at_[best]) best = i;
+  }
+  return best;
+}
+
+SimTime FifoServer::probe(SimTime service) const {
+  const SimTime free = free_at_[earliest()];
+  const SimTime start = std::max(free, sim_.now());
+  return start + service;
+}
+
+SimTime FifoServer::submit(SimTime service, EventCallback done) {
+  const std::size_t idx = earliest();
+  const SimTime start = std::max(free_at_[idx], sim_.now());
+  const SimTime wait = start - sim_.now();
+  const SimTime completion = start + service;
+  free_at_[idx] = completion;
+
+  ++stats_.requests;
+  stats_.busy_time += service;
+  stats_.total_wait += wait;
+  stats_.max_wait = std::max(stats_.max_wait, wait);
+  ++outstanding_;
+  stats_.peak_backlog = std::max(stats_.peak_backlog, outstanding_);
+
+  sim_.schedule_at(completion, [this, done = std::move(done)]() {
+    --outstanding_;
+    if (done) done();
+  });
+  return completion;
+}
+
+void FifoServer::reset() {
+  std::fill(free_at_.begin(), free_at_.end(), SimTime{0});
+  outstanding_ = 0;
+  stats_ = ServerStats{};
+}
+
+}  // namespace petastat::sim

@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+namespace petastat::sim {
+
+EventId Simulator::schedule_at(SimTime t, EventCallback cb) {
+  check(t >= now_, "Simulator::schedule_at in the past");
+  check(static_cast<bool>(cb), "Simulator::schedule_at with empty callback");
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(cb)});
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: mark and skip when popped. The set stays small since
+  // entries are erased when their event surfaces.
+  return cancelled_.insert(id).second;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Entry top = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = top.time;
+    ++executed_;
+    top.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without executing.
+    const Entry& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.time > deadline) break;
+    step();
+    ++n;
+  }
+  // If the queue drained before the deadline, the clock stays at the last
+  // executed event (never advanced past what actually happened).
+  return n;
+}
+
+void Simulator::reset() {
+  now_ = 0;
+  executed_ = 0;
+  next_id_ = 1;
+  cancelled_.clear();
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace petastat::sim

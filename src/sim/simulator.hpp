@@ -1,0 +1,89 @@
+// Discrete-event simulation core. A single-threaded event queue with a
+// nanosecond clock and stable FIFO ordering among simultaneous events.
+//
+// Every environment interaction the paper measures (daemon launch, TBON
+// message delivery, file-server service) is an event scheduled here; model
+// components compute durations and the simulator advances virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+
+namespace petastat::sim {
+
+using EventCallback = std::function<void()>;
+using EventId = std::uint64_t;
+
+/// Single-threaded discrete-event simulator.
+///
+/// Determinism contract: events at equal timestamps run in scheduling order
+/// (stable sequence numbers); callbacks may schedule further events at or
+/// after the current time. Scheduling in the past is a programming error.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (>= now()).
+  EventId schedule_at(SimTime t, EventCallback cb);
+
+  /// Schedules `cb` to run `dt` after the current time.
+  EventId schedule_in(SimTime dt, EventCallback cb) {
+    return schedule_at(now_ + dt, std::move(cb));
+  }
+
+  /// Cancels a pending event. Returns false if it already ran or was
+  /// cancelled (cancellation of completed events is not an error: timeouts
+  /// race with completions by design).
+  bool cancel(EventId id);
+
+  /// Runs the next event if any. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue drains. Returns the number of events executed.
+  std::size_t run();
+
+  /// Runs events with time <= deadline; the clock ends at
+  /// min(deadline, time of last event) and never exceeds the deadline.
+  std::size_t run_until(SimTime deadline);
+
+  [[nodiscard]] std::size_t pending() const {
+    return queue_.size() - cancelled_.size();
+  }
+  [[nodiscard]] bool idle() const { return pending() == 0; }
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Resets clock and queue; useful between benchmark repetitions.
+  void reset();
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventCallback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among equal timestamps
+    }
+  };
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace petastat::sim

@@ -1,0 +1,98 @@
+#include "stackwalker/stackwalker.hpp"
+
+#include <algorithm>
+
+namespace petastat::stackwalker {
+
+StackWalker::StackWalker(sim::Simulator& simulator,
+                         const machine::MachineConfig& machine,
+                         const machine::SamplingCosts& costs,
+                         fs::FileAccess& files, const app::AppModel& app,
+                         machine::DaemonLayout layout, std::uint64_t seed)
+    : sim_(simulator),
+      machine_(machine),
+      costs_(costs),
+      files_(files),
+      app_(app),
+      layout_(layout),
+      rng_(seed, /*stream_id=*/0x5a) {}
+
+SimTime StackWalker::walk_cost(std::size_t frames) const {
+  return costs_.walk_per_process +
+         static_cast<SimTime>(frames) *
+             (costs_.walk_per_frame + costs_.local_merge_per_node);
+}
+
+void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
+                                const TraceSink& sink, SampleCallback done) {
+  check(daemon.value() < layout_.num_daemons, "sample_daemon out of range");
+  const NodeId host = machine::daemon_host(machine_, daemon);
+  const SimTime start = sim_.now();
+
+  SampleReport report;
+  report.daemon = daemon;
+  report.started_at = start;
+
+  // --- Phase 1: symbol acquisition (first sampling pass only) -------------
+  SimTime io_done = start;
+  SimTime parse_cpu = 0;
+  for (const auto& image : app_.binaries().images) {
+    const DaemonKey key{daemon, image.path};
+    if (parsed_.contains(key)) continue;
+    parsed_.insert(key);
+    // All images are opened as the loader would; reads race with every other
+    // daemon's reads on the shared server.
+    io_done = std::max(io_done, files_.open_and_read(host, image.path, image.bytes));
+    parse_cpu += static_cast<SimTime>(
+        static_cast<double>(costs_.symtab_parse_per_mb) *
+        (static_cast<double>(image.bytes) / (1024.0 * 1024.0)));
+  }
+  report.symbol_io_time = io_done - start;
+
+  // --- Phase 2: walks ------------------------------------------------------
+  // Contention: on fully packed Atlas nodes the daemon time-slices against
+  // spin-waiting MPI ranks; the factor is long-tailed (a rank holding a
+  // kernel lock or refusing to yield stretches the walk).
+  double contention = 1.0;
+  if (machine_.daemon_shares_cpu) {
+    contention = costs_.cpu_contention_mean *
+                 rng_.lognormal_factor(costs_.cpu_contention_sigma);
+  } else {
+    // Dedicated I/O node: milder variation from the collective-network path
+    // into the compute nodes and from file-server load.
+    contention = rng_.lognormal_factor(costs_.cpu_contention_sigma * 0.6);
+  }
+
+  const std::uint32_t first = layout_.first_task_of(daemon);
+  const std::uint32_t count = layout_.tasks_of(daemon);
+  const std::uint32_t threads = app_.threads_per_task();
+
+  double walk_s = 0.0;
+  std::uint32_t traces = 0;
+  for (std::uint32_t s = 0; s < num_samples; ++s) {
+    for (std::uint32_t t = 0; t < count; ++t) {
+      const TaskId task =
+          resolver_ ? resolver_(daemon, t) : TaskId(first + t);
+      for (std::uint32_t th = 0; th < threads; ++th) {
+        const app::CallPath path = app_.stack(task, th, s);
+        walk_s += to_seconds(walk_cost(path.size()));
+        ++traces;
+        sink(task, t, th, s, path);
+      }
+    }
+  }
+  const auto walk_time = seconds(walk_s * contention);
+  const auto parse_time = static_cast<SimTime>(
+      static_cast<double>(parse_cpu) * contention);
+
+  report.symbol_parse_time = parse_time;
+  report.walk_time = walk_time;
+  report.traces = traces;
+  report.finished_at = io_done + parse_time + walk_time;
+  sim_.schedule_at(report.finished_at,
+                   [report, done = std::move(done)]() { done(report); });
+}
+
+void StackWalker::reset() { parsed_.clear(); }
+
+}  // namespace petastat::stackwalker

@@ -1,0 +1,111 @@
+// StackWalker-API-equivalent sampling service (Sec. VI).
+//
+// A tool daemon gathers third-party stack traces from its co-located (Atlas)
+// or associated (BG/L) processes. The walk itself is lightweight, but the
+// first walk must parse symbol tables from the binary images — file I/O on a
+// *shared* file system, which is where "ostensibly-independent" sampling
+// stops scaling. On Atlas the daemon additionally contends for CPU with
+// spin-waiting MPI ranks on the fully packed node.
+//
+// Sampling one daemon:
+//   1. Symbol acquisition (once): read every binary image through
+//      fs::FileAccess (honoring SBRS redirects + page cache), then parse
+//      (CPU, proportional to image megabytes).
+//   2. num_samples rounds of walking every local task's threads; each walk
+//      charges per-process attach plus per-frame cost, scaled by the CPU
+//      contention factor where the daemon shares the node.
+//   3. Traces are pushed into a TraceSink as they are collected; the caller
+//      (the STAT daemon) folds them into its local prefix trees and charges
+//      its own merge CPU.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+
+#include "app/appmodel.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "fs/filesystem.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::stackwalker {
+
+/// Receives ground-truth traces as they are gathered. `task` is the global
+/// MPI rank (via the task resolver); `local_index` is the daemon-local slot,
+/// which the hierarchical representation labels with.
+using TraceSink = std::function<void(TaskId task, std::uint32_t local_index,
+                                     std::uint32_t thread, std::uint32_t sample,
+                                     const app::CallPath& path)>;
+
+/// Phase breakdown of one daemon's sampling pass.
+struct SampleReport {
+  DaemonId daemon;
+  SimTime started_at = 0;
+  SimTime finished_at = 0;
+  SimTime symbol_io_time = 0;     // shared-FS reads (the Sec. VI villain)
+  SimTime symbol_parse_time = 0;  // CPU
+  SimTime walk_time = 0;          // CPU (contention-scaled)
+  std::uint32_t traces = 0;
+
+  [[nodiscard]] SimTime total() const { return finished_at - started_at; }
+};
+
+using SampleCallback = std::function<void(const SampleReport&)>;
+
+class StackWalker {
+ public:
+  StackWalker(sim::Simulator& simulator, const machine::MachineConfig& machine,
+              const machine::SamplingCosts& costs, fs::FileAccess& files,
+              const app::AppModel& app, machine::DaemonLayout layout,
+              std::uint64_t seed);
+
+  /// Samples `num_samples` rounds of traces for every task of `daemon`.
+  /// `sink` runs synchronously for each trace; `done` fires at the modelled
+  /// completion time with the phase breakdown.
+  void sample_daemon(DaemonId daemon, std::uint32_t num_samples,
+                     const TraceSink& sink, SampleCallback done);
+
+  /// Modelled CPU time to walk one path of `frames` frames (before
+  /// contention scaling). Includes the daemon's local per-node merge cost.
+  /// Exposed for tests and calibration.
+  [[nodiscard]] SimTime walk_cost(std::size_t frames) const;
+
+  /// Overrides the daemon-local-index -> global-rank mapping (the process
+  /// table). Defaults to the layout's rank-ordered mapping; STAT installs
+  /// the (possibly shuffled) TaskMap-backed resolver here so ground truth
+  /// and remap agree.
+  using TaskResolver = std::function<TaskId(DaemonId, std::uint32_t local)>;
+  void set_task_resolver(TaskResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Drops per-daemon symbol caches (between scenario repetitions).
+  void reset();
+
+ private:
+  struct DaemonKey {
+    DaemonId daemon;
+    std::string path;
+    bool operator==(const DaemonKey&) const = default;
+  };
+  struct DaemonKeyHash {
+    std::size_t operator()(const DaemonKey& k) const {
+      return std::hash<DaemonId>{}(k.daemon) ^
+             (std::hash<std::string>{}(k.path) * 131);
+    }
+  };
+
+  sim::Simulator& sim_;
+  machine::MachineConfig machine_;
+  machine::SamplingCosts costs_;
+  fs::FileAccess& files_;
+  const app::AppModel& app_;
+  machine::DaemonLayout layout_;
+  Rng rng_;
+  TaskResolver resolver_;
+  std::unordered_set<DaemonKey, DaemonKeyHash> parsed_;
+};
+
+}  // namespace petastat::stackwalker

@@ -1,0 +1,237 @@
+#include "stat/cli_config.hpp"
+
+#include <charconv>
+
+namespace petastat::stat {
+
+namespace {
+
+Status bad(std::string message) { return invalid_argument(std::move(message)); }
+
+Result<std::uint64_t> parse_number(std::string_view flag, std::string_view text) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    return bad(std::string(flag) + " expects a number, got '" +
+               std::string(text) + "'");
+  }
+  return value;
+}
+
+Result<double> parse_fraction(std::string_view flag, std::string_view text) {
+  // from_chars(double) is not universally available; parse by hand.
+  try {
+    const double v = std::stod(std::string(text));
+    if (v < 0.0 || v > 1.0) return bad(std::string(flag) + " must be in [0,1]");
+    return v;
+  } catch (const std::exception&) {
+    return bad(std::string(flag) + " expects a fraction, got '" +
+               std::string(text) + "'");
+  }
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return
+      "petastat — run the simulated Stack Trace Analysis Tool\n"
+      "\n"
+      "usage: petastat [flags]\n"
+      "  --machine atlas|bgl|petascale   target platform (default atlas)\n"
+      "  --tasks N                       MPI tasks (default 1024)\n"
+      "  --mode co|vn                    BG/L execution mode (default co)\n"
+      "  --threads N                     threads per task (default 1)\n"
+      "  --topology flat|2deep|3deep|bgl2deep|bgl3deep\n"
+      "  --repr dense|hier               edge-label representation\n"
+      "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
+      "  --samples N                     traces per task (default 10)\n"
+      "  --fs nfs|lustre                 shared file system\n"
+      "  --sbrs                          relocate binaries to RAM disks\n"
+      "  --slim-binaries                 post-OS-update library layout\n"
+      "  --app ring|threaded|statbench   target application model\n"
+      "  --fail-fraction F               daemon failure probability\n"
+      "  --seed N                        run seed (default 2008)\n"
+      "  --format text|csv|json          report format (default text)\n"
+      "  --print-tree                    include the 3D tree in the report\n"
+      "  --dot PATH                      write the 3D tree as Graphviz DOT\n";
+}
+
+Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
+  CliConfig config;
+  bool launcher_explicit = false;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view flag = args[i];
+    const auto next = [&]() -> Result<std::string_view> {
+      if (i + 1 >= args.size()) {
+        return bad(std::string(flag) + " requires a value");
+      }
+      return args[++i];
+    };
+
+    if (flag == "--machine") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "atlas") {
+        config.machine = machine::atlas();
+      } else if (value.value() == "bgl") {
+        config.machine = machine::bgl();
+      } else if (value.value() == "petascale") {
+        config.machine = machine::petascale();
+      } else {
+        return bad("unknown machine '" + std::string(value.value()) + "'");
+      }
+    } else if (flag == "--tasks") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto n = parse_number(flag, value.value());
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > (1ull << 31)) {
+        return bad("--tasks out of range");
+      }
+      config.job.num_tasks = static_cast<std::uint32_t>(n.value());
+    } else if (flag == "--mode") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "co") {
+        config.job.mode = machine::BglMode::kCoprocessor;
+      } else if (value.value() == "vn") {
+        config.job.mode = machine::BglMode::kVirtualNode;
+      } else {
+        return bad("--mode expects co|vn");
+      }
+    } else if (flag == "--threads") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto n = parse_number(flag, value.value());
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > 256) return bad("--threads out of range");
+      config.job.threads_per_task = static_cast<std::uint32_t>(n.value());
+      if (n.value() > 1) config.options.app = AppKind::kThreadedRing;
+    } else if (flag == "--topology") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "flat") {
+        config.options.topology = tbon::TopologySpec::flat();
+      } else if (value.value() == "2deep") {
+        config.options.topology = tbon::TopologySpec::balanced(2);
+      } else if (value.value() == "3deep") {
+        config.options.topology = tbon::TopologySpec::balanced(3);
+      } else if (value.value() == "bgl2deep") {
+        config.options.topology = tbon::TopologySpec::bgl(2);
+      } else if (value.value() == "bgl3deep") {
+        config.options.topology = tbon::TopologySpec::bgl(3);
+      } else {
+        return bad("unknown topology '" + std::string(value.value()) + "'");
+      }
+    } else if (flag == "--repr") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "dense") {
+        config.options.repr = TaskSetRepr::kDenseGlobal;
+      } else if (value.value() == "hier") {
+        config.options.repr = TaskSetRepr::kHierarchical;
+      } else {
+        return bad("--repr expects dense|hier");
+      }
+    } else if (flag == "--launcher") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      launcher_explicit = true;
+      if (value.value() == "rsh") {
+        config.options.launcher = LauncherKind::kMrnetRsh;
+      } else if (value.value() == "ssh") {
+        config.options.launcher = LauncherKind::kMrnetSsh;
+      } else if (value.value() == "launchmon") {
+        config.options.launcher = LauncherKind::kLaunchMon;
+      } else if (value.value() == "ciod") {
+        config.options.launcher = LauncherKind::kCiodPatched;
+      } else if (value.value() == "ciod-unpatched") {
+        config.options.launcher = LauncherKind::kCiodUnpatched;
+      } else {
+        return bad("unknown launcher '" + std::string(value.value()) + "'");
+      }
+    } else if (flag == "--samples") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto n = parse_number(flag, value.value());
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > 1000) return bad("--samples out of range");
+      config.options.num_samples = static_cast<std::uint32_t>(n.value());
+    } else if (flag == "--fs") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "nfs") {
+        config.options.shared_fs = SharedFsKind::kNfs;
+      } else if (value.value() == "lustre") {
+        config.options.shared_fs = SharedFsKind::kLustre;
+      } else {
+        return bad("--fs expects nfs|lustre");
+      }
+    } else if (flag == "--sbrs") {
+      config.options.use_sbrs = true;
+    } else if (flag == "--slim-binaries") {
+      config.options.slim_binaries = true;
+    } else if (flag == "--app") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "ring") {
+        config.options.app = AppKind::kRingHang;
+      } else if (value.value() == "threaded") {
+        config.options.app = AppKind::kThreadedRing;
+      } else if (value.value() == "statbench") {
+        config.options.app = AppKind::kStatBench;
+      } else {
+        return bad("unknown app '" + std::string(value.value()) + "'");
+      }
+    } else if (flag == "--fail-fraction") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto f = parse_fraction(flag, value.value());
+      if (!f.is_ok()) return f.status();
+      config.options.daemon_failure_probability = f.value();
+    } else if (flag == "--seed") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto n = parse_number(flag, value.value());
+      if (!n.is_ok()) return n.status();
+      config.options.seed = n.value();
+    } else if (flag == "--format") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "text") {
+        config.format = OutputFormat::kText;
+      } else if (value.value() == "csv") {
+        config.format = OutputFormat::kCsv;
+      } else if (value.value() == "json") {
+        config.format = OutputFormat::kJson;
+      } else {
+        return bad("--format expects text|csv|json");
+      }
+    } else if (flag == "--print-tree") {
+      config.print_tree = true;
+    } else if (flag == "--dot") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      config.dot_path = std::string(value.value());
+    } else {
+      return bad("unknown flag '" + std::string(flag) + "'");
+    }
+  }
+
+  // Machine-appropriate launcher default: BG/L-style machines must use the
+  // system launcher.
+  if (!launcher_explicit &&
+      config.machine.daemon_placement == machine::DaemonPlacement::kPerIoNode) {
+    config.options.launcher = LauncherKind::kCiodPatched;
+  }
+  // Validate the job fits before the caller builds a scenario.
+  if (auto layout = machine::layout_daemons(config.machine, config.job);
+      !layout.is_ok()) {
+    return layout.status();
+  }
+  return config;
+}
+
+}  // namespace petastat::stat

@@ -1,0 +1,44 @@
+// Command-line configuration for the `petastat` driver tool. Parsing is a
+// library function so it can be unit-tested without spawning the binary.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "machine/machine.hpp"
+#include "stat/scenario.hpp"
+
+namespace petastat::stat {
+
+enum class OutputFormat { kText, kCsv, kJson };
+
+struct CliConfig {
+  machine::MachineConfig machine = machine::atlas();
+  machine::JobConfig job{.num_tasks = 1024};
+  StatOptions options;
+  OutputFormat format = OutputFormat::kText;
+  bool print_tree = false;
+  std::string dot_path;  // write the 3D tree as DOT when non-empty
+};
+
+/// Usage text for --help.
+[[nodiscard]] std::string cli_usage();
+
+/// Parses `args` (excluding argv[0]). Unknown flags, malformed values, and
+/// invalid combinations come back as INVALID_ARGUMENT.
+///
+/// Flags:
+///   --machine atlas|bgl|petascale     --tasks N
+///   --mode co|vn                      --threads N
+///   --topology flat|2deep|3deep|bgl2deep|bgl3deep
+///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
+///   --samples N                       --fs nfs|lustre
+///   --sbrs                            --slim-binaries
+///   --seed N                          --app ring|threaded|statbench
+///   --fail-fraction F                 --format text|csv|json
+///   --print-tree                      --dot PATH
+[[nodiscard]] Result<CliConfig> parse_cli(std::span<const std::string_view> args);
+
+}  // namespace petastat::stat

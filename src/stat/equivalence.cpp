@@ -1,0 +1,67 @@
+#include "stat/equivalence.hpp"
+
+#include <algorithm>
+
+namespace petastat::stat {
+
+namespace {
+
+void collect(const GlobalTree::Node& node, app::CallPath& path,
+             std::vector<EquivalenceClass>& out) {
+  for (const auto& child : node.children) {
+    path.push_back(child.frame);
+    // Tasks that stop at `child`: members of the incoming edge that do not
+    // continue down any outgoing edge.
+    TaskSet continuing;
+    for (const auto& grandchild : child.children) {
+      continuing.union_with(grandchild.label.tasks);
+    }
+    TaskSet stopping = child.label.tasks.difference(continuing);
+    if (!stopping.empty()) {
+      out.push_back(EquivalenceClass{path, std::move(stopping)});
+    }
+    collect(child, path, out);
+    path.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<EquivalenceClass> equivalence_classes(const GlobalTree& tree) {
+  std::vector<EquivalenceClass> classes;
+  app::CallPath path;
+  collect(tree.root(), path, classes);
+  std::sort(classes.begin(), classes.end(),
+            [](const EquivalenceClass& a, const EquivalenceClass& b) {
+              const auto ca = a.tasks.count(), cb = b.tasks.count();
+              if (ca != cb) return ca > cb;
+              return a.path.size() < b.path.size();
+            });
+  return classes;
+}
+
+std::vector<std::uint32_t> representatives(
+    const std::vector<EquivalenceClass>& classes, std::uint32_t per_class) {
+  std::vector<std::uint32_t> reps;
+  for (const auto& cls : classes) {
+    std::uint32_t taken = 0;
+    for (const auto& iv : cls.tasks.intervals()) {
+      for (std::uint32_t v = iv.lo; v <= iv.hi && taken < per_class; ++v) {
+        reps.push_back(v);
+        ++taken;
+      }
+      if (taken >= per_class) break;
+    }
+  }
+  return reps;
+}
+
+std::string describe(const EquivalenceClass& cls,
+                     const app::FrameTable& frames) {
+  std::string out = std::to_string(cls.tasks.count()) + " task(s) " +
+                    cls.tasks.edge_label() + ": ";
+  out += frames.render(cls.path);
+  return out;
+}
+
+}  // namespace petastat::stat

@@ -1,0 +1,39 @@
+// Process equivalence classes (Sec. II): groups of tasks whose stack traces
+// end at the same node of the prefix tree. These classes are STAT's product:
+// they tell the user which few representative tasks to hand to a
+// heavyweight debugger.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/callpath.hpp"
+#include "stat/prefix_tree.hpp"
+#include "stat/taskset.hpp"
+
+namespace petastat::stat {
+
+struct EquivalenceClass {
+  app::CallPath path;  // root-to-stop frames
+  TaskSet tasks;       // tasks whose traces end exactly here
+
+  [[nodiscard]] std::uint64_t size() const { return tasks.count(); }
+};
+
+/// Extracts equivalence classes from a merged tree: for every node, the
+/// tasks present on the incoming edge but absent from every child edge are a
+/// class ending at that node. Classes are returned largest-first (ties by
+/// shallower path), which is the order a user triages them in.
+[[nodiscard]] std::vector<EquivalenceClass> equivalence_classes(
+    const GlobalTree& tree);
+
+/// Picks `per_class` representative task ranks per class (lowest ranks),
+/// the set a heavyweight debugger would attach to.
+[[nodiscard]] std::vector<std::uint32_t> representatives(
+    const std::vector<EquivalenceClass>& classes, std::uint32_t per_class = 1);
+
+/// Human-readable class summary ("1022 tasks [0,3-1023]: _start>main>...").
+[[nodiscard]] std::string describe(const EquivalenceClass& cls,
+                                   const app::FrameTable& frames);
+
+}  // namespace petastat::stat

@@ -1,0 +1,65 @@
+// The STAT filter: the payload type and reduction operations plugged into
+// the TBON (Sec. II: "a custom STAT filter efficiently merges the stack
+// traces as they propagate up the communication tree").
+//
+// A payload carries both prefix trees a daemon contributes: the 2D
+// trace/space tree (one sample) and the 3D trace/space/time tree (all
+// samples). The filter's merge is the *real* structural merge; the CPU cost
+// charged to the hosting comm process is proportional to the incoming
+// tree's node count and label bytes — which is exactly why full-job bit
+// vectors hurt: their bytes scale with the whole job.
+#pragma once
+
+#include "app/callpath.hpp"
+#include "machine/cost_model.hpp"
+#include "stat/prefix_tree.hpp"
+#include "tbon/reduction.hpp"
+
+namespace petastat::stat {
+
+template <typename Label>
+struct StatPayload {
+  PrefixTree<Label> tree_2d;
+  PrefixTree<Label> tree_3d;
+};
+
+template <typename Label>
+[[nodiscard]] std::uint64_t payload_wire_bytes(const StatPayload<Label>& payload,
+                                               const app::FrameTable& frames,
+                                               const LabelContext& ctx) {
+  // Two trees plus a small packet header.
+  return payload.tree_2d.wire_bytes(frames, ctx) +
+         payload.tree_3d.wire_bytes(frames, ctx) + 16;
+}
+
+/// Builds the ReduceOps the TBON runs at every analysis node. `frames` and
+/// `ctx` must outlive the reduction.
+template <typename Label>
+[[nodiscard]] tbon::ReduceOps<StatPayload<Label>> make_stat_reduce_ops(
+    const machine::MergeCosts& costs, const app::FrameTable& frames,
+    const LabelContext& ctx) {
+  tbon::ReduceOps<StatPayload<Label>> ops;
+  ops.wire_bytes = [&frames, ctx](const StatPayload<Label>& payload) {
+    return payload_wire_bytes(payload, frames, ctx);
+  };
+  ops.codec_cost = [costs](std::uint64_t bytes) {
+    return costs.per_packet_cpu +
+           static_cast<SimTime>(static_cast<double>(costs.pack_per_byte) *
+                                static_cast<double>(bytes));
+  };
+  ops.merge_into = [costs, &frames, ctx](StatPayload<Label>& acc,
+                                         StatPayload<Label>&& child,
+                                         SimTime& cpu) {
+    const std::uint64_t nodes =
+        child.tree_2d.node_count() + child.tree_3d.node_count();
+    const std::uint64_t label_bytes = payload_wire_bytes(child, frames, ctx);
+    cpu += nodes * costs.merge_per_tree_node +
+           static_cast<SimTime>(static_cast<double>(costs.merge_per_label_byte) *
+                                static_cast<double>(label_bytes));
+    acc.tree_2d.merge(child.tree_2d);
+    acc.tree_3d.merge(child.tree_3d);
+  };
+  return ops;
+}
+
+}  // namespace petastat::stat

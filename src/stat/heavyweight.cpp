@@ -1,0 +1,62 @@
+#include "stat/heavyweight.hpp"
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::stat {
+
+HeavyweightReport run_heavyweight_debugger(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const HeavyweightCosts& costs) {
+  HeavyweightReport report;
+  report.connections = job.num_tasks;
+
+  auto layout = machine::layout_daemons(machine, job);
+  if (!layout.is_ok()) {
+    report.status = layout.status();
+    return report;
+  }
+
+  // One socket per task at the front end: the OS restriction bites long
+  // before STAT's per-daemon connections would.
+  if (job.num_tasks >= machine.max_tool_connections) {
+    report.status = resource_exhausted(
+        "front end cannot hold " + std::to_string(job.num_tasks) +
+        " per-task debugger connections (limit " +
+        std::to_string(machine.max_tool_connections) + ")");
+    return report;
+  }
+
+  sim::Simulator sim;
+  net::Network network(sim, machine,
+                       net::default_network_params(machine));
+  const machine::DaemonLayout& l = layout.value();
+  const std::uint32_t per_node = machine::tasks_per_compute_node(machine, job.mode);
+
+  // Attach: serialized at the front end, one handshake per task.
+  report.attach_time =
+      static_cast<SimTime>(job.num_tasks) * costs.attach_per_task;
+  sim.schedule_in(report.attach_time, []() {});
+  sim.run();
+
+  // Snapshot: request to every task, reply from every task, all through the
+  // front-end NIC, plus per-reply front-end CPU (strictly serial).
+  const SimTime snapshot_start = sim.now();
+  const NodeId fe = machine.front_end();
+  SimTime last_reply = snapshot_start;
+  for (std::uint32_t t = 0; t < job.num_tasks; ++t) {
+    const NodeId host = machine.compute_node(t / per_node);
+    network.transfer(fe, host, costs.request_bytes);
+    last_reply = std::max(last_reply,
+                          network.transfer(host, fe, costs.reply_bytes));
+  }
+  const SimTime cpu_done =
+      last_reply + static_cast<SimTime>(job.num_tasks) * costs.reply_processing;
+  sim.schedule_at(cpu_done, []() {});
+  sim.run();
+  report.snapshot_time = sim.now() - snapshot_start;
+  (void)l;
+  return report;
+}
+
+}  // namespace petastat::stat

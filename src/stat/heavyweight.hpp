@@ -1,0 +1,50 @@
+// Heavyweight-debugger baseline (Sec. II / VIII).
+//
+// The paper positions STAT against full-featured debuggers (TotalView, DDT):
+// "such tools have been run on thousands of processes, but typically suffer
+// high latencies for even simple operations at these scales", and "some fail
+// due to internal or OS restrictions, and for others the execution time of
+// even simple, individual operations grows linearly with the scale of the
+// target application".
+//
+// This model captures that architecture: the front end keeps one control
+// connection per task and every operation — attach, and a whole-job stack
+// snapshot — is a per-task request/reply funneled through the front end,
+// which also centralizes all processing (no in-network aggregation). The
+// baseline bench compares it against STAT's tree pipeline.
+#pragma once
+
+#include "common/status.hpp"
+#include "machine/machine.hpp"
+
+namespace petastat::stat {
+
+struct HeavyweightCosts {
+  /// Front-end CPU to attach/handshake one task (ptrace setup, symbol
+  /// bookkeeping); attaches are serialized at the front end.
+  SimTime attach_per_task = 2500 * kMicrosecond;
+  /// Front-end CPU per stack reply (parse, store, update UI model).
+  SimTime reply_processing = 180 * kMicrosecond;
+  /// Wire size of one task's stack reply.
+  std::uint64_t reply_bytes = 1500;
+  /// Request fan-out message size.
+  std::uint64_t request_bytes = 64;
+};
+
+struct HeavyweightReport {
+  Status status = Status::ok();
+  SimTime attach_time = 0;
+  /// One whole-job stack snapshot (the operation STAT's merge phase does
+  /// through the tree).
+  SimTime snapshot_time = 0;
+  std::uint32_t connections = 0;
+};
+
+/// Models attaching a heavyweight debugger to the whole job and taking one
+/// stack snapshot. Fails when the front end cannot hold one connection per
+/// task (the "internal or OS restrictions" failure mode).
+[[nodiscard]] HeavyweightReport run_heavyweight_debugger(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const HeavyweightCosts& costs = {});
+
+}  // namespace petastat::stat

@@ -1,0 +1,150 @@
+#include "stat/hier_taskset.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace petastat::stat {
+
+HierTaskSet HierTaskSet::single(std::uint32_t daemon,
+                                std::uint32_t local_index) {
+  HierTaskSet s;
+  s.blocks_.push_back({daemon, TaskSet::single(local_index)});
+  return s;
+}
+
+void HierTaskSet::insert(std::uint32_t daemon, std::uint32_t local_index) {
+  auto it = std::lower_bound(blocks_.begin(), blocks_.end(), daemon,
+                             [](const Block& b, std::uint32_t d) {
+                               return b.daemon < d;
+                             });
+  if (it != blocks_.end() && it->daemon == daemon) {
+    it->local.insert(local_index);
+  } else {
+    blocks_.insert(it, {daemon, TaskSet::single(local_index)});
+  }
+}
+
+void HierTaskSet::merge(const HierTaskSet& other) {
+  if (other.blocks_.empty()) return;
+  if (blocks_.empty()) {
+    blocks_ = other.blocks_;
+    return;
+  }
+  std::vector<Block> result;
+  result.reserve(blocks_.size() + other.blocks_.size());
+  std::size_t i = 0, j = 0;
+  while (i < blocks_.size() || j < other.blocks_.size()) {
+    if (j >= other.blocks_.size()) {
+      result.push_back(std::move(blocks_[i++]));
+    } else if (i >= blocks_.size()) {
+      result.push_back(other.blocks_[j++]);
+    } else if (blocks_[i].daemon < other.blocks_[j].daemon) {
+      result.push_back(std::move(blocks_[i++]));
+    } else if (other.blocks_[j].daemon < blocks_[i].daemon) {
+      result.push_back(other.blocks_[j++]);
+    } else {
+      Block merged = std::move(blocks_[i++]);
+      merged.local.union_with(other.blocks_[j++].local);
+      result.push_back(std::move(merged));
+    }
+  }
+  blocks_ = std::move(result);
+}
+
+std::uint64_t HierTaskSet::count() const {
+  return std::accumulate(blocks_.begin(), blocks_.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const Block& b) {
+                           return acc + b.local.count();
+                         });
+}
+
+std::uint64_t HierTaskSet::wire_bytes() const {
+  ByteSink sink;
+  encode(sink);
+  return sink.size();
+}
+
+void HierTaskSet::encode(ByteSink& sink) const {
+  sink.put_varint(blocks_.size());
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (const auto& block : blocks_) {
+    sink.put_varint(first ? block.daemon : block.daemon - prev - 1);
+    block.local.encode_ranged(sink);
+    prev = block.daemon;
+    first = false;
+  }
+}
+
+Result<HierTaskSet> HierTaskSet::decode(ByteSource& source) {
+  std::uint64_t n = 0;
+  if (auto s = source.get_varint(n); !s.is_ok()) return s;
+  HierTaskSet set;
+  set.blocks_.reserve(n);
+  std::uint64_t cursor = 0;
+  bool first = true;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t delta = 0;
+    if (auto s = source.get_varint(delta); !s.is_ok()) return s;
+    const std::uint64_t daemon = first ? delta : cursor + 1 + delta;
+    if (daemon > UINT32_MAX) return invalid_argument("daemon id overflow");
+    auto local = TaskSet::decode_ranged(source);
+    if (!local.is_ok()) return local.status();
+    set.blocks_.push_back(
+        {static_cast<std::uint32_t>(daemon), std::move(local).value()});
+    cursor = daemon;
+    first = false;
+  }
+  return set;
+}
+
+// ---------------------------------------------------------------------------
+// TaskMap
+
+TaskMap TaskMap::identity(const machine::DaemonLayout& layout) {
+  TaskMap map;
+  map.base_rank_.resize(layout.num_daemons);
+  for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+    map.base_rank_[d] = layout.first_task_of(DaemonId(d));
+  }
+  return map;
+}
+
+TaskMap TaskMap::shuffled(const machine::DaemonLayout& layout,
+                          std::uint64_t seed) {
+  // Permute which rank block each daemon owns. All daemons except possibly
+  // the last serve exactly tasks_per_daemon ranks; to keep block sizes
+  // aligned under permutation, the (short) last daemon keeps its block.
+  TaskMap map = identity(layout);
+  Rng rng(seed, /*stream_id=*/0x3a9);
+  const std::uint32_t n = layout.num_daemons;
+  const std::uint32_t full =
+      (layout.num_tasks % layout.tasks_per_daemon == 0) ? n : n - 1;
+  for (std::uint32_t i = full; i > 1; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.next_below(i));
+    std::swap(map.base_rank_[i - 1], map.base_rank_[j]);
+  }
+  return map;
+}
+
+std::uint32_t TaskMap::global_rank(std::uint32_t daemon,
+                                   std::uint32_t local_index) const {
+  check(daemon < base_rank_.size(), "TaskMap::global_rank unknown daemon");
+  return base_rank_[daemon] + local_index;
+}
+
+TaskSet TaskMap::remap(const HierTaskSet& hier) const {
+  TaskSet out;
+  for (const auto& block : hier.blocks()) {
+    check(block.daemon < base_rank_.size(), "TaskMap::remap unknown daemon");
+    const std::uint32_t base = base_rank_[block.daemon];
+    // Each local interval maps to one global interval shifted by the block
+    // base; daemons own contiguous rank blocks.
+    for (const auto& iv : block.local.intervals()) {
+      out.insert_range(base + iv.lo, base + iv.hi);
+    }
+  }
+  return out;
+}
+
+}  // namespace petastat::stat

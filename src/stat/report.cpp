@@ -1,0 +1,148 @@
+#include "stat/report.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace petastat::stat {
+
+namespace {
+
+std::string seconds_field(SimTime t) { return format_seconds_fixed(t, 6); }
+
+}  // namespace
+
+std::string render_text_report(const StatRunResult& result,
+                               const app::FrameTable& frames,
+                               bool include_tree) {
+  std::string out;
+  out += "status: " + result.status.to_string() + "\n";
+  out += "job: " + std::to_string(result.layout.num_tasks) + " tasks, " +
+         std::to_string(result.layout.num_daemons) + " daemons (" +
+         std::to_string(result.layout.tasks_per_daemon) + " tasks/daemon), " +
+         std::to_string(result.num_comm_procs) + " comm procs\n";
+
+  const PhaseBreakdown& p = result.phases;
+  out += "phases:\n";
+  out += "  launch:    " + format_duration(p.launch.total()) + " (" +
+         std::string(p.launch.status.is_ok() ? "ok" : p.launch.status.to_string()) +
+         ")\n";
+  if (p.launch.system_software_time > 0) {
+    out += "    system software: " + format_duration(p.launch.system_software_time) +
+           "\n";
+  }
+  out += "  connect:   " + format_duration(p.connect_time) + "\n";
+  out += "  startup:   " + format_duration(p.startup_total) + " total\n";
+  if (p.sbrs_relocation > 0 || p.sbrs_grace > 0) {
+    out += "  sbrs:      " + format_duration(p.sbrs_relocation) + " relocation (+" +
+           format_duration(p.sbrs_grace) + " grace)\n";
+  }
+  out += "  sampling:  " + format_duration(p.sample_time);
+  if (p.failed_daemons > 0) {
+    out += " (" + std::to_string(p.failed_daemons) + " daemons failed)";
+  }
+  out += "\n";
+  out += "  merge:     " + format_duration(p.merge_time) + " (+" +
+         format_duration(p.remap_time) + " remap), " +
+         format_bytes(p.merge_bytes) + " over " +
+         std::to_string(p.merge_messages) + " messages\n";
+  out += "  leaf payload: " + format_bytes(p.leaf_payload_bytes) + "\n";
+
+  out += "equivalence classes (" + std::to_string(result.classes.size()) + "):\n";
+  for (const auto& cls : result.classes) {
+    out += "  " + describe(cls, frames) + "\n";
+  }
+  if (include_tree) {
+    out += "3D prefix tree:\n";
+    result.tree_3d.visit([&](std::span<const FrameId> path,
+                             const GlobalTree::Node& node) {
+      out += std::string(2 * path.size(), ' ');
+      out += frames.name(node.frame);
+      out += "  " + node.label.tasks.edge_label() + "\n";
+    });
+  }
+  return out;
+}
+
+std::string csv_header() {
+  return "label,tasks,daemons,comm_procs,status,startup_s,sample_s,merge_s,"
+         "remap_s,sbrs_reloc_s,merge_bytes,leaf_payload_bytes,classes,"
+         "failed_daemons";
+}
+
+std::string render_csv_row(const std::string& label,
+                           const StatRunResult& result) {
+  const PhaseBreakdown& p = result.phases;
+  std::string out = label;
+  out += ',' + std::to_string(result.layout.num_tasks);
+  out += ',' + std::to_string(result.layout.num_daemons);
+  out += ',' + std::to_string(result.num_comm_procs);
+  out += ',';
+  out += status_code_name(result.status.code());
+  out += ',' + seconds_field(p.startup_total);
+  out += ',' + seconds_field(p.sample_time);
+  out += ',' + seconds_field(p.merge_time);
+  out += ',' + seconds_field(p.remap_time);
+  out += ',' + seconds_field(p.sbrs_relocation);
+  out += ',' + std::to_string(p.merge_bytes);
+  out += ',' + std::to_string(p.leaf_payload_bytes);
+  out += ',' + std::to_string(result.classes.size());
+  out += ',' + std::to_string(p.failed_daemons);
+  return out;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json_report(const StatRunResult& result,
+                               const app::FrameTable& frames) {
+  const PhaseBreakdown& p = result.phases;
+  std::string out = "{\n";
+  out += "  \"status\": \"" + json_escape(result.status.to_string()) + "\",\n";
+  out += "  \"tasks\": " + std::to_string(result.layout.num_tasks) + ",\n";
+  out += "  \"daemons\": " + std::to_string(result.layout.num_daemons) + ",\n";
+  out += "  \"comm_procs\": " + std::to_string(result.num_comm_procs) + ",\n";
+  out += "  \"phases\": {\n";
+  out += "    \"startup_s\": " + seconds_field(p.startup_total) + ",\n";
+  out += "    \"system_software_s\": " +
+         seconds_field(p.launch.system_software_time) + ",\n";
+  out += "    \"sample_s\": " + seconds_field(p.sample_time) + ",\n";
+  out += "    \"merge_s\": " + seconds_field(p.merge_time) + ",\n";
+  out += "    \"remap_s\": " + seconds_field(p.remap_time) + ",\n";
+  out += "    \"sbrs_relocation_s\": " + seconds_field(p.sbrs_relocation) + ",\n";
+  out += "    \"merge_bytes\": " + std::to_string(p.merge_bytes) + ",\n";
+  out += "    \"failed_daemons\": " + std::to_string(p.failed_daemons) + "\n";
+  out += "  },\n";
+  out += "  \"classes\": [\n";
+  for (std::size_t i = 0; i < result.classes.size(); ++i) {
+    const auto& cls = result.classes[i];
+    out += "    {\"size\": " + std::to_string(cls.size()) + ", \"tasks\": \"" +
+           json_escape(cls.tasks.edge_label()) + "\", \"path\": \"" +
+           json_escape(frames.render(cls.path)) + "\"}";
+    out += (i + 1 < result.classes.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+}  // namespace petastat::stat

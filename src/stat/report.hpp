@@ -1,0 +1,34 @@
+// Structured reporting of STAT runs: human-readable text, CSV rows for
+// sweep harnesses, and JSON for downstream tooling. The CLI and benches use
+// these so results are consumable outside the terminal.
+#pragma once
+
+#include <string>
+
+#include "app/callpath.hpp"
+#include "stat/scenario.hpp"
+
+namespace petastat::stat {
+
+/// Multi-line human-readable run summary (phases, classes, reduction stats).
+[[nodiscard]] std::string render_text_report(const StatRunResult& result,
+                                             const app::FrameTable& frames,
+                                             bool include_tree = false);
+
+/// Header line for CSV output (matches render_csv_row's columns).
+[[nodiscard]] std::string csv_header();
+
+/// One CSV row: configuration plus phase timings in seconds.
+[[nodiscard]] std::string render_csv_row(const std::string& label,
+                                         const StatRunResult& result);
+
+/// JSON object with phases, class summaries, and status. Hand-rolled writer
+/// (no external deps); strings are escaped.
+[[nodiscard]] std::string render_json_report(const StatRunResult& result,
+                                             const app::FrameTable& frames);
+
+/// Escapes a string for embedding in JSON (quotes, backslashes, control
+/// characters).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace petastat::stat

@@ -1,0 +1,376 @@
+#include "stat/scenario.hpp"
+
+#include <algorithm>
+
+#include "stat/filter.hpp"
+#include "tbon/reduction.hpp"
+
+namespace petastat::stat {
+
+const char* launcher_kind_name(LauncherKind kind) {
+  switch (kind) {
+    case LauncherKind::kMrnetRsh: return "mrnet-rsh";
+    case LauncherKind::kMrnetSsh: return "mrnet-ssh";
+    case LauncherKind::kLaunchMon: return "launchmon";
+    case LauncherKind::kCiodPatched: return "ciod-patched";
+    case LauncherKind::kCiodUnpatched: return "ciod-unpatched";
+  }
+  return "?";
+}
+
+const char* task_set_repr_name(TaskSetRepr repr) {
+  return repr == TaskSetRepr::kDenseGlobal ? "dense-bitvector"
+                                           : "hierarchical-list";
+}
+
+namespace {
+
+constexpr const char* kSharedBase = "/nfs/home/user";
+
+std::unique_ptr<app::AppModel> make_app(const machine::MachineConfig& machine,
+                                        const machine::JobConfig& job,
+                                        const StatOptions& options) {
+  const bool bgl_style =
+      machine.daemon_placement == machine::DaemonPlacement::kPerIoNode;
+  app::AppBinarySpec binaries =
+      machine.static_binary
+          ? app::ring_binaries_static(kSharedBase)
+          : app::ring_binaries_dynamic(kSharedBase, options.slim_binaries);
+
+  switch (options.app) {
+    case AppKind::kRingHang: {
+      app::RingHangOptions ring;
+      ring.num_tasks = job.num_tasks;
+      ring.bgl_frames = bgl_style;
+      ring.seed = options.seed;
+      ring.binaries = std::move(binaries);
+      return std::make_unique<app::RingHangApp>(std::move(ring));
+    }
+    case AppKind::kThreadedRing: {
+      app::ThreadedRingOptions threaded;
+      threaded.ring.num_tasks = job.num_tasks;
+      threaded.ring.bgl_frames = bgl_style;
+      threaded.ring.seed = options.seed;
+      threaded.ring.binaries = std::move(binaries);
+      threaded.threads_per_task = std::max(1u, job.threads_per_task);
+      return std::make_unique<app::ThreadedRingApp>(std::move(threaded));
+    }
+    case AppKind::kStatBench: {
+      app::StatBenchOptions bench;
+      bench.num_tasks = job.num_tasks;
+      bench.num_classes = options.statbench_classes;
+      bench.seed = options.seed;
+      bench.binaries = std::move(binaries);
+      return std::make_unique<app::StatBenchApp>(std::move(bench));
+    }
+  }
+  check(false, "unknown AppKind");
+  return nullptr;
+}
+
+}  // namespace
+
+StatScenario::StatScenario(machine::MachineConfig machine,
+                           machine::JobConfig job, StatOptions options)
+    : machine_(std::move(machine)),
+      job_(job),
+      options_(std::move(options)),
+      costs_(machine::default_cost_model(machine_)) {
+  auto layout = machine::layout_daemons(machine_, job_);
+  check(layout.is_ok(), "StatScenario: job does not fit the machine");
+  layout_ = layout.value();
+
+  net_ = std::make_unique<net::Network>(sim_, machine_,
+                                        net::default_network_params(machine_));
+
+  // Per-run noise streams are salted with the configuration so that
+  // "essentially identical" runs under different topologies draw different
+  // server moods — the paper's Fig. 9 variation.
+  const std::uint64_t run_seed =
+      options_.seed ^
+      std::hash<std::string>{}(options_.topology.name() +
+                               task_set_repr_name(options_.repr));
+
+  // File systems: the shared FS under /nfs, node-local /usr/lib, and the
+  // per-node RAM disk SBRS relocates into.
+  if (options_.shared_fs == SharedFsKind::kLustre) {
+    shared_fs_ = std::make_unique<fs::LustreFileSystem>(sim_, fs::LustreParams{},
+                                                        run_seed);
+  } else {
+    fs::NfsParams nfs;
+    if (machine_.daemon_placement == machine::DaemonPlacement::kPerIoNode) {
+      // Lab-grade NFS farm behind the I/O nodes: faster cached reads (every
+      // daemon reads the same static binary), more lanes, but a moodier
+      // shared server.
+      nfs.server_threads = 8;
+      nfs.cached_bytes_per_sec = 150.0e6;  // aggregate 1.2 GB/s
+      nfs.run_load_sigma = 0.58;
+    }
+    shared_fs_ = std::make_unique<fs::NfsFileSystem>(sim_, nfs, run_seed);
+  }
+  local_fs_ = std::make_unique<fs::RamDiskFileSystem>(
+      sim_, fs::RamDiskParams{.bytes_per_sec = 150.0e6,
+                              .per_open = 300 * kMicrosecond});
+  ramdisk_ = std::make_unique<fs::RamDiskFileSystem>(sim_, fs::RamDiskParams{});
+  mounts_.mount("/nfs", shared_fs_.get());
+  mounts_.mount("/usr/lib", local_fs_.get());
+  mounts_.mount("/ramdisk", ramdisk_.get());
+  files_ = std::make_unique<fs::FileAccess>(sim_, mounts_);
+
+  app_ = make_app(machine_, job_, options_);
+  walker_ = std::make_unique<stackwalker::StackWalker>(
+      sim_, machine_, costs_.sampling, *files_, *app_, layout_, run_seed);
+  lmon_ = std::make_unique<launchmon::LaunchMonSession>(sim_, machine_, *net_,
+                                                        layout_);
+}
+
+StatScenario::~StatScenario() = default;
+
+StatRunResult StatScenario::run() {
+  StatRunResult result;
+  result.layout = layout_;
+  PhaseBreakdown& phases = result.phases;
+
+  // Walkers see the (possibly shuffled) process-table mapping.
+  const TaskMap task_map = options_.shuffle_task_map
+                               ? TaskMap::shuffled(layout_, options_.seed)
+                               : TaskMap::identity(layout_);
+  walker_->set_task_resolver([task_map](DaemonId d, std::uint32_t local) {
+    return TaskId(task_map.global_rank(d.value(), local));
+  });
+
+  // --- Topology --------------------------------------------------------------
+  auto topo_result = tbon::build_topology(machine_, layout_, options_.topology);
+  if (!topo_result.is_ok()) {
+    result.status = topo_result.status();
+    return result;
+  }
+  const tbon::TbonTopology topology = std::move(topo_result).value();
+  result.num_comm_procs = topology.num_comm_procs();
+
+  // --- Phase 1: startup --------------------------------------------------------
+  std::unique_ptr<rm::DaemonLauncher> launcher;
+  switch (options_.launcher) {
+    case LauncherKind::kMrnetRsh:
+      launcher = std::make_unique<rm::RemoteShellLauncher>(
+          sim_, machine_, costs_.launch, rm::ShellProtocol::kRsh, options_.seed);
+      break;
+    case LauncherKind::kMrnetSsh:
+      launcher = std::make_unique<rm::RemoteShellLauncher>(
+          sim_, machine_, costs_.launch, rm::ShellProtocol::kSsh, options_.seed);
+      break;
+    case LauncherKind::kLaunchMon:
+      launcher =
+          std::make_unique<rm::BulkTreeLauncher>(sim_, costs_.launch, options_.seed);
+      break;
+    case LauncherKind::kCiodPatched:
+      launcher = std::make_unique<rm::CiodLauncher>(sim_, costs_.launch,
+                                                    /*patched=*/true, options_.seed);
+      break;
+    case LauncherKind::kCiodUnpatched:
+      launcher = std::make_unique<rm::CiodLauncher>(
+          sim_, costs_.launch, /*patched=*/false, options_.seed);
+      break;
+  }
+
+  rm::LaunchRequest request;
+  request.num_daemons = layout_.num_daemons;
+  // BG/L-style machines launch the application under tool control; on the
+  // cluster STAT attaches to a running job.
+  const bool tool_launches_app =
+      machine_.daemon_placement == machine::DaemonPlacement::kPerIoNode;
+  request.num_app_procs = tool_launches_app ? layout_.num_tasks : 0;
+
+  lmon_->launch(*launcher, request,
+                [&phases](const rm::LaunchReport& report) {
+                  phases.launch = report;
+                });
+  sim_.run();
+  if (!phases.launch.status.is_ok()) {
+    result.status = phases.launch.status;
+    phases.startup_total = sim_.now();
+    return result;
+  }
+
+  // MRNet comm processes are spawned serially from the front end, then the
+  // whole network instantiates level by level.
+  const SimTime comm_spawn =
+      result.num_comm_procs * costs_.launch.remote_shell_per_daemon;
+  phases.connect_time = comm_spawn + tbon::connect_time(topology, costs_.launch);
+  sim_.schedule_in(phases.connect_time, []() {});
+  sim_.run();
+  phases.startup_total = sim_.now();
+  if (options_.run_through == RunThrough::kStartup) return result;
+
+  // --- Phase 2a: SBRS (optional) ----------------------------------------------
+  if (options_.use_sbrs) {
+    sbrs::Sbrs service(sim_, machine_, layout_, *files_, lmon_->fabric(),
+                       sbrs::SbrsParams{});
+    service.relocate(app_->binaries(), [&phases](const sbrs::SbrsReport& report) {
+      phases.sbrs_grace = report.grace_time;
+      phases.sbrs_relocation = report.relocation_time;
+    });
+    sim_.run();
+  }
+
+  // --- Phase 2b: sampling --------------------------------------------------------
+  // Sample request multicast down the tree (small control message).
+  tbon::multicast(sim_, *net_, topology, /*bytes=*/96, [](SimTime) {});
+  sim_.run();
+
+  const SimTime sample_start = sim_.now();
+  const std::uint32_t num_daemons = layout_.num_daemons;
+
+  const bool dense = options_.repr == TaskSetRepr::kDenseGlobal;
+  std::vector<StatPayload<GlobalLabel>> dense_payloads;
+  std::vector<StatPayload<HierLabel>> hier_payloads;
+  if (dense) {
+    dense_payloads.resize(num_daemons);
+  } else {
+    hier_payloads.resize(num_daemons);
+  }
+
+  // Failure injection: decide casualties up front (dead before sampling).
+  std::vector<bool> daemon_dead(num_daemons, false);
+  if (options_.daemon_failure_probability > 0.0) {
+    Rng failure_rng(options_.seed, /*stream_id=*/0xdead);
+    for (std::uint32_t d = 0; d < num_daemons; ++d) {
+      if (failure_rng.bernoulli(options_.daemon_failure_probability)) {
+        daemon_dead[d] = true;
+        ++phases.failed_daemons;
+      }
+    }
+    // A tool with zero surviving daemons has nothing to merge.
+    if (phases.failed_daemons == num_daemons) {
+      phases.sample_status = unavailable("all daemons failed");
+      result.status = phases.sample_status;
+      return result;
+    }
+  }
+
+  SimTime sample_end = sample_start;
+  for (std::uint32_t d = 0; d < num_daemons; ++d) {
+    if (daemon_dead[d]) continue;
+    stackwalker::TraceSink sink;
+    if (dense) {
+      auto* payload = &dense_payloads[d];
+      sink = [payload](TaskId task, std::uint32_t, std::uint32_t,
+                       std::uint32_t sample, const app::CallPath& path) {
+        const GlobalLabel seed = GlobalLabel::for_task(task.value());
+        if (sample == 0) payload->tree_2d.insert(path, seed);
+        payload->tree_3d.insert(path, seed);
+      };
+    } else {
+      auto* payload = &hier_payloads[d];
+      const std::uint32_t daemon_id = d;
+      sink = [payload, daemon_id](TaskId, std::uint32_t local, std::uint32_t,
+                                  std::uint32_t sample,
+                                  const app::CallPath& path) {
+        const HierLabel seed = HierLabel::for_local(daemon_id, local);
+        if (sample == 0) payload->tree_2d.insert(path, seed);
+        payload->tree_3d.insert(path, seed);
+      };
+    }
+    walker_->sample_daemon(
+        DaemonId(d), options_.num_samples, sink,
+        [&phases, &sample_end](const stackwalker::SampleReport& report) {
+          phases.daemon_sample_seconds.add(to_seconds(report.total()));
+          phases.sample_symbol_io_max =
+              std::max(phases.sample_symbol_io_max, report.symbol_io_time);
+          sample_end = std::max(sample_end, report.finished_at);
+        });
+  }
+  sim_.run();
+  phases.sample_time = sample_end - sample_start;
+  if (options_.run_through == RunThrough::kSampling) return result;
+
+  // --- Phase 3: merge ------------------------------------------------------------
+  // Front-end viability checks (Sec. V-A failures).
+  const std::uint32_t fe_children =
+      static_cast<std::uint32_t>(topology.front_end().children.size());
+  const std::uint32_t conn_limit = max_frontend_connections != 0
+                                       ? max_frontend_connections
+                                       : machine_.max_tool_connections;
+  if (fe_children >= conn_limit) {
+    phases.merge_status = resource_exhausted(
+        "front end cannot sustain " + std::to_string(fe_children) +
+        " tool connections (limit " + std::to_string(conn_limit) + ")");
+    result.status = phases.merge_status;
+    return result;
+  }
+
+  if (dense) {
+    run_merge_phase<GlobalLabel>(topology, result, std::move(dense_payloads),
+                                 task_map);
+  } else {
+    run_merge_phase<HierLabel>(topology, result, std::move(hier_payloads),
+                               task_map);
+  }
+  if (!phases.merge_status.is_ok()) {
+    result.status = phases.merge_status;
+    return result;
+  }
+
+  result.classes = equivalence_classes(result.tree_3d);
+  return result;
+}
+
+template <typename Label>
+void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
+                                   StatRunResult& result,
+                                   std::vector<StatPayload<Label>> payloads,
+                                   const TaskMap& task_map) {
+  PhaseBreakdown& phases = result.phases;
+  const LabelContext ctx{layout_.num_tasks};
+  const app::FrameTable& frames = app_->frames();
+
+  phases.leaf_payload_bytes = payload_wire_bytes(payloads.front(), frames, ctx);
+
+  // Receive-buffer viability at the front end: the sum of its children's
+  // payloads must fit (streaming helps internal procs, but the front end of
+  // a flat tree holds every daemon's full-job bit vectors at once).
+  std::uint64_t fe_incoming = 0;
+  for (const std::uint32_t child : topology.front_end().children) {
+    const auto& proc = topology.procs[child];
+    if (proc.is_leaf()) {
+      fe_incoming += payload_wire_bytes(payloads[proc.daemon.value()], frames, ctx);
+    }
+  }
+  if (fe_incoming > costs_.merge.frontend_rx_buffer_bytes) {
+    phases.merge_status = resource_exhausted(
+        "front-end receive buffers overflow: " + std::to_string(fe_incoming) +
+        " bytes inbound");
+    return;
+  }
+
+  const SimTime merge_start = sim_.now();
+  tbon::Reduction<StatPayload<Label>> reduction(
+      sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx));
+
+  std::optional<StatPayload<Label>> merged;
+  reduction.start(std::move(payloads),
+                  [&](tbon::ReduceResult<StatPayload<Label>> reduce_result) {
+                    merged = std::move(reduce_result.payload);
+                    phases.merge_bytes = reduce_result.bytes_moved;
+                    phases.merge_messages = reduce_result.messages;
+                  });
+  sim_.run();
+  check(merged.has_value(), "reduction did not complete");
+  phases.merge_time = sim_.now() - merge_start;
+
+  // Front-end finalization: the optimized representation pays the remap from
+  // daemon order to MPI rank order (0.66 s at 208K tasks).
+  if constexpr (std::is_same_v<Label, HierLabel>) {
+    phases.remap_time = static_cast<SimTime>(
+        static_cast<double>(costs_.merge.remap_per_task) * layout_.num_tasks);
+    sim_.schedule_in(phases.remap_time, []() {});
+    sim_.run();
+    result.tree_2d = remap_tree(merged->tree_2d, task_map);
+    result.tree_3d = remap_tree(merged->tree_3d, task_map);
+  } else {
+    result.tree_2d = std::move(merged->tree_2d);
+    result.tree_3d = std::move(merged->tree_3d);
+  }
+}
+
+}  // namespace petastat::stat

@@ -1,0 +1,168 @@
+// End-to-end STAT scenario: the one-stop API that examples and benches use.
+//
+// A scenario assembles a simulated platform (machine + network + file
+// systems), a target application model, and a STAT configuration (topology,
+// task-set representation, launcher, SBRS), then runs the tool's three
+// measured phases (Sec. III):
+//   1. startup  — daemon/app launch + MRNet instantiation (Figs. 2, 3)
+//   2. sampling — per-daemon trace gathering and local aggregation
+//                 (Figs. 8, 9, 10)
+//   3. merge    — TBON reduction of the 2D and 3D prefix trees to the front
+//                 end, plus the remap step for the optimized representation
+//                 (Figs. 4, 5, 7)
+// and returns per-phase timings plus the real merged trees and equivalence
+// classes.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "app/appmodel.hpp"
+#include "common/stats.hpp"
+#include "common/status.hpp"
+#include "fs/filesystem.hpp"
+#include "launchmon/launchmon.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "net/network.hpp"
+#include "rm/launcher.hpp"
+#include "sbrs/sbrs.hpp"
+#include "sim/simulator.hpp"
+#include "stackwalker/stackwalker.hpp"
+#include "stat/equivalence.hpp"
+#include "stat/filter.hpp"
+#include "stat/prefix_tree.hpp"
+#include "tbon/topology.hpp"
+
+namespace petastat::stat {
+
+enum class LauncherKind {
+  kMrnetRsh,       // MRNet's ad hoc serial rsh spawner
+  kMrnetSsh,       // same, over ssh
+  kLaunchMon,      // bulk launch through the resource manager
+  kCiodPatched,    // BG/L system software, after the IBM patches
+  kCiodUnpatched,  // BG/L system software, original (quadratic, hangs at 208K)
+};
+
+[[nodiscard]] const char* launcher_kind_name(LauncherKind kind);
+
+enum class TaskSetRepr {
+  kDenseGlobal,    // original: full-job bit vectors on every edge
+  kHierarchical,   // optimized: subtree-local task lists + front-end remap
+};
+
+[[nodiscard]] const char* task_set_repr_name(TaskSetRepr repr);
+
+enum class SharedFsKind { kNfs, kLustre };
+enum class AppKind { kRingHang, kThreadedRing, kStatBench };
+
+/// How far the pipeline runs (startup benches skip sampling/merge).
+enum class RunThrough { kStartup, kSampling, kFull };
+
+struct StatOptions {
+  tbon::TopologySpec topology = tbon::TopologySpec::flat();
+  TaskSetRepr repr = TaskSetRepr::kHierarchical;
+  LauncherKind launcher = LauncherKind::kLaunchMon;
+  std::uint32_t num_samples = 10;
+  bool use_sbrs = false;
+  SharedFsKind shared_fs = SharedFsKind::kNfs;
+  /// Post-OS-update binary layout (Fig. 10): only the executable and the MPI
+  /// library remain on the shared FS.
+  bool slim_binaries = false;
+  /// Daemon-to-rank-block assignment is out of order (forces a real remap).
+  bool shuffle_task_map = true;
+  AppKind app = AppKind::kRingHang;
+  std::uint32_t statbench_classes = 32;
+  RunThrough run_through = RunThrough::kFull;
+  /// Failure injection: each daemon independently dies before sampling with
+  /// this probability (node failures are routine at 1,664 daemons). Dead
+  /// daemons contribute nothing; STAT proceeds and reports coverage, the
+  /// operational behaviour the LLNL deployment needed.
+  double daemon_failure_probability = 0.0;
+  std::uint64_t seed = 2008;
+};
+
+struct PhaseBreakdown {
+  rm::LaunchReport launch;
+  SimTime connect_time = 0;
+  SimTime startup_total = 0;
+
+  SimTime sbrs_grace = 0;
+  SimTime sbrs_relocation = 0;
+
+  Status sample_status = Status::ok();
+  SimTime sample_time = 0;
+  RunningStats daemon_sample_seconds;  // across daemons
+  SimTime sample_symbol_io_max = 0;
+
+  std::uint32_t failed_daemons = 0;  // failure injection casualties
+
+  Status merge_status = Status::ok();
+  SimTime merge_time = 0;   // reduction through the TBON (2D + 3D trees)
+  SimTime remap_time = 0;   // front-end remap (optimized repr only)
+  std::uint64_t merge_bytes = 0;
+  std::uint64_t merge_messages = 0;
+  std::uint64_t leaf_payload_bytes = 0;  // one daemon's serialized trees
+};
+
+struct StatRunResult {
+  Status status = Status::ok();  // first failing phase's status
+  PhaseBreakdown phases;
+  GlobalTree tree_2d;
+  GlobalTree tree_3d;
+  std::vector<EquivalenceClass> classes;  // from the 3D tree
+  machine::DaemonLayout layout;
+  std::uint32_t num_comm_procs = 0;
+};
+
+class StatScenario {
+ public:
+  StatScenario(machine::MachineConfig machine, machine::JobConfig job,
+               StatOptions options);
+  ~StatScenario();
+
+  StatScenario(const StatScenario&) = delete;
+  StatScenario& operator=(const StatScenario&) = delete;
+
+  /// Runs all phases to completion inside the simulator. A failed phase
+  /// stops the pipeline; the result carries the failure and the timings of
+  /// the phases that did run.
+  [[nodiscard]] StatRunResult run();
+
+  /// Tuning knobs, to be adjusted before run().
+  [[nodiscard]] machine::CostModel& costs() { return costs_; }
+  [[nodiscard]] const machine::MachineConfig& machine() const { return machine_; }
+  [[nodiscard]] const app::AppModel& app() const { return *app_; }
+  [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
+
+  /// Maximum simultaneous tool connections the front end survives (the
+  /// 1-deep BG/L merge failure at 256 daemons, Sec. V-A).
+  std::uint32_t max_frontend_connections = 0;  // 0 = machine default
+
+ private:
+  template <typename Label>
+  void run_merge_phase(const tbon::TbonTopology& topology, StatRunResult& result,
+                       std::vector<StatPayload<Label>> payloads,
+                       const TaskMap& task_map);
+
+  machine::MachineConfig machine_;
+  machine::JobConfig job_;
+  StatOptions options_;
+  machine::CostModel costs_;
+  machine::DaemonLayout layout_;
+
+  sim::Simulator sim_;
+  std::unique_ptr<net::Network> net_;
+  std::unique_ptr<fs::FileSystem> shared_fs_;
+  std::unique_ptr<fs::FileSystem> local_fs_;
+  std::unique_ptr<fs::FileSystem> ramdisk_;
+  fs::MountTable mounts_;
+  std::unique_ptr<fs::FileAccess> files_;
+  std::unique_ptr<app::AppModel> app_;
+  std::unique_ptr<stackwalker::StackWalker> walker_;
+  std::unique_ptr<launchmon::LaunchMonSession> lmon_;
+};
+
+}  // namespace petastat::stat

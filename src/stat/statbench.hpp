@@ -1,0 +1,62 @@
+// STATBench-style emulation (after Lee et al., "Benchmarking the Stack Trace
+// Analysis Tool for BlueGene/L", ParCo 2007 — reference [9] of the paper).
+//
+// STATBench lets each physical daemon *emulate* many virtual daemons'
+// worth of trace data so the tool's merge pipeline can be benchmarked at
+// scales beyond the installed machine — the authors used it to project
+// 128K-task behaviour before the full-system slots were available. This
+// driver skips launch and sampling: it synthesizes daemon-local prefix
+// trees directly from a generative app model (scaled by an emulation
+// factor) and runs the real TBON reduction, yielding merge-phase timings
+// and data volumes for virtual jobs up to millions of tasks.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "stat/equivalence.hpp"
+#include "stat/prefix_tree.hpp"
+#include "stat/scenario.hpp"
+#include "tbon/topology.hpp"
+
+namespace petastat::stat {
+
+struct StatBenchConfig {
+  machine::MachineConfig machine = machine::bgl();
+  machine::BglMode mode = machine::BglMode::kVirtualNode;
+  /// Virtual job size. Each physical daemon emulates
+  /// ceil(virtual_tasks / physical_daemons) tasks.
+  std::uint64_t virtual_tasks = 1u << 20;
+  /// Physical daemons doing the emulation (defaults to the machine's full
+  /// daemon population when 0).
+  std::uint32_t physical_daemons = 0;
+  tbon::TopologySpec topology = tbon::TopologySpec::bgl(2);
+  TaskSetRepr repr = TaskSetRepr::kHierarchical;
+  std::uint32_t num_samples = 10;
+  std::uint32_t app_classes = 32;
+  std::uint64_t seed = 2008;
+};
+
+struct StatBenchResult {
+  Status status = Status::ok();
+  std::uint64_t virtual_tasks = 0;
+  std::uint32_t physical_daemons = 0;
+  std::uint32_t virtual_tasks_per_daemon = 0;
+  /// Emulated trace-generation time on the slowest daemon (CPU only; there
+  /// is no target app to walk).
+  SimTime generate_time = 0;
+  SimTime merge_time = 0;
+  SimTime remap_time = 0;
+  std::uint64_t merge_bytes = 0;
+  std::uint64_t leaf_payload_bytes = 0;
+  GlobalTree tree_3d;
+  std::vector<EquivalenceClass> classes;
+};
+
+/// Runs one emulated merge. Fails (as data) when the virtual job cannot be
+/// laid out or the topology cannot be built.
+[[nodiscard]] StatBenchResult run_statbench(const StatBenchConfig& config);
+
+}  // namespace petastat::stat

@@ -1,0 +1,50 @@
+#include "tbon/reduction.hpp"
+
+#include <memory>
+
+namespace petastat::tbon {
+
+namespace {
+
+struct McastState {
+  std::uint32_t remaining_leaves = 0;
+  std::function<void(SimTime)> done;
+};
+
+void fan_out(sim::Simulator& simulator, net::Network& network,
+             const TbonTopology& topology, std::uint64_t bytes,
+             std::uint32_t proc_index, const std::shared_ptr<McastState>& state) {
+  const auto& proc = topology.procs[proc_index];
+  if (proc.is_leaf()) {
+    if (--state->remaining_leaves == 0 && state->done) {
+      state->done(simulator.now());
+    }
+    return;
+  }
+  for (const std::uint32_t child : proc.children) {
+    network.transfer_async(proc.host, topology.procs[child].host, bytes,
+                           [&simulator, &network, &topology, bytes, child,
+                            state]() {
+                             fan_out(simulator, network, topology, bytes, child,
+                                     state);
+                           });
+  }
+}
+
+}  // namespace
+
+void multicast(sim::Simulator& simulator, net::Network& network,
+               const TbonTopology& topology, std::uint64_t bytes,
+               std::function<void(SimTime)> done) {
+  auto state = std::make_shared<McastState>();
+  state->remaining_leaves =
+      static_cast<std::uint32_t>(topology.leaf_of_daemon.size());
+  state->done = std::move(done);
+  if (state->remaining_leaves == 0) {
+    simulator.schedule_in(0, [state]() { state->done(0); });
+    return;
+  }
+  fan_out(simulator, network, topology, bytes, 0, state);
+}
+
+}  // namespace petastat::tbon

@@ -1,0 +1,159 @@
+// Upstream reduction and downstream multicast over a TbonTopology.
+//
+// The reduction is the heart of STAT's merge phase: every leaf (daemon)
+// packs its payload and sends it to its parent; each comm process merges
+// child payloads *as they arrive* (MRNet filters are streaming) and forwards
+// one merged payload upward; the front end's merged payload completes the
+// operation.
+//
+// Payload is a template parameter; ReduceOps supplies the real merge (the
+// STAT filter runs actual prefix-tree merges here) plus wire-size and CPU
+// accounting. Network transfers and per-proc CPU serialization are modelled
+// with real contention: a comm process with 28 children unpacks/merges them
+// one after another on its core, and its NIC drains them one after another.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "tbon/topology.hpp"
+
+namespace petastat::tbon {
+
+template <typename Payload>
+struct ReduceOps {
+  /// Merges `child` into `acc` (acc starts default-constructed at every
+  /// internal proc) and adds the modelled CPU cost to `cpu`.
+  std::function<void(Payload& acc, Payload&& child, SimTime& cpu)> merge_into;
+  /// Real serialized size of a payload.
+  std::function<std::uint64_t(const Payload&)> wire_bytes;
+  /// CPU to pack or unpack `bytes` of payload.
+  std::function<SimTime(std::uint64_t bytes)> codec_cost;
+};
+
+/// Result of a completed reduction.
+template <typename Payload>
+struct ReduceResult {
+  Payload payload{};
+  SimTime finished_at = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Runs one upstream reduction. Leaf payloads must be indexed by daemon id.
+/// `done` fires at the front end's completion time.
+template <typename Payload>
+class Reduction {
+ public:
+  Reduction(sim::Simulator& simulator, net::Network& network,
+            const TbonTopology& topology, ReduceOps<Payload> ops)
+      : sim_(simulator), net_(network), topo_(topology), ops_(std::move(ops)) {}
+
+  void start(std::vector<Payload> leaf_payloads,
+             std::function<void(ReduceResult<Payload>)> done) {
+    check(leaf_payloads.size() == topo_.leaf_of_daemon.size(),
+          "Reduction::start payload count != daemon count");
+    auto state = std::make_shared<State>();
+    state->done = std::move(done);
+    state->bytes_at_start = net_.total_bytes_moved();
+    state->messages_at_start = net_.total_messages();
+    state->procs.resize(topo_.procs.size());
+    for (std::size_t i = 0; i < topo_.procs.size(); ++i) {
+      state->procs[i].pending = topo_.procs[i].children.size();
+      state->procs[i].cpu_free_at = sim_.now();
+    }
+
+    // Leaves pack and send. Leaf packing happens on the daemon's core in
+    // parallel across daemons.
+    for (std::uint32_t d = 0; d < topo_.leaf_of_daemon.size(); ++d) {
+      const std::uint32_t leaf = topo_.leaf_of_daemon[d];
+      Payload payload = std::move(leaf_payloads[d]);
+      const std::uint64_t bytes = ops_.wire_bytes(payload);
+      const SimTime packed_at = sim_.now() + ops_.codec_cost(bytes);
+      sim_.schedule_at(packed_at,
+                       [this, state, leaf, bytes,
+                        payload = std::make_shared<Payload>(std::move(payload))]() mutable {
+                         send_up(state, leaf, std::move(*payload), bytes);
+                       });
+    }
+  }
+
+ private:
+  struct ProcState {
+    Payload acc{};
+    std::size_t pending = 0;
+    SimTime cpu_free_at = 0;
+  };
+  struct State {
+    std::vector<ProcState> procs;
+    std::function<void(ReduceResult<Payload>)> done;
+    std::uint64_t bytes_at_start = 0;
+    std::uint64_t messages_at_start = 0;
+  };
+
+  void send_up(const std::shared_ptr<State>& state, std::uint32_t proc_index,
+               Payload&& payload, std::uint64_t bytes) {
+    const auto& proc = topo_.procs[proc_index];
+    if (proc.parent < 0) {
+      // Front end complete.
+      ReduceResult<Payload> result;
+      result.payload = std::move(payload);
+      result.finished_at = sim_.now();
+      result.bytes_moved = net_.total_bytes_moved() - state->bytes_at_start;
+      result.messages = net_.total_messages() - state->messages_at_start;
+      if (state->done) state->done(std::move(result));
+      return;
+    }
+    const auto parent = static_cast<std::uint32_t>(proc.parent);
+    const NodeId src = proc.host;
+    const NodeId dst = topo_.procs[parent].host;
+    auto shared_payload = std::make_shared<Payload>(std::move(payload));
+    net_.transfer_async(src, dst, bytes,
+                        [this, state, parent, bytes, shared_payload]() {
+                          receive(state, parent, std::move(*shared_payload), bytes);
+                        });
+  }
+
+  void receive(const std::shared_ptr<State>& state, std::uint32_t proc_index,
+               Payload&& payload, std::uint64_t bytes) {
+    ProcState& ps = state->procs[proc_index];
+    check(ps.pending > 0, "Reduction::receive with no pending children");
+
+    // The proc's single core unpacks and merges arrivals serially.
+    SimTime cpu = ops_.codec_cost(bytes);  // unpack
+    ops_.merge_into(ps.acc, std::move(payload), cpu);
+    const SimTime start = std::max(sim_.now(), ps.cpu_free_at);
+    ps.cpu_free_at = start + cpu;
+    --ps.pending;
+
+    if (ps.pending == 0) {
+      // All children merged: pack and forward at CPU availability.
+      const std::uint64_t out_bytes = ops_.wire_bytes(ps.acc);
+      const SimTime packed_at = ps.cpu_free_at + ops_.codec_cost(out_bytes);
+      sim_.schedule_at(packed_at, [this, state, proc_index, out_bytes]() {
+        ProcState& finished = state->procs[proc_index];
+        send_up(state, proc_index, std::move(finished.acc), out_bytes);
+      });
+    }
+  }
+
+  sim::Simulator& sim_;
+  net::Network& net_;
+  const TbonTopology& topo_;
+  ReduceOps<Payload> ops_;
+};
+
+/// Downstream control multicast (e.g. "take 10 samples now"): small fixed
+/// message fanned out level by level. Returns via callback when the last
+/// leaf has it.
+void multicast(sim::Simulator& simulator, net::Network& network,
+               const TbonTopology& topology, std::uint64_t bytes,
+               std::function<void(SimTime finished_at)> done);
+
+}  // namespace petastat::tbon

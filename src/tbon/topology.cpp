@@ -1,0 +1,184 @@
+#include "tbon/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace petastat::tbon {
+
+std::string TopologySpec::name() const {
+  std::string n = std::to_string(depth) + "-deep";
+  if (bgl_rules && depth >= 3) {
+    n += "(" + std::to_string(bgl_second_level) + ")";
+  }
+  return n;
+}
+
+namespace {
+
+/// Comm-process counts per internal level (front end's children first).
+Result<std::vector<std::uint32_t>> derive_level_widths(
+    const machine::MachineConfig&, const TopologySpec& spec,
+    std::uint32_t num_daemons) {
+  if (!spec.level_widths.empty()) {
+    if (spec.level_widths.size() != spec.depth - 1) {
+      return invalid_argument("level_widths must have depth-1 entries");
+    }
+    return spec.level_widths;
+  }
+  std::vector<std::uint32_t> widths;
+  if (spec.depth == 1) return widths;
+
+  const auto nd = static_cast<double>(num_daemons);
+  if (spec.bgl_rules) {
+    if (spec.depth == 2) {
+      // "fanout from the front end equal to the square root of the number of
+      // daemons or 28, whichever is less"
+      const auto w = static_cast<std::uint32_t>(
+          std::min(std::ceil(std::sqrt(nd)), 28.0));
+      widths.push_back(std::max(1u, w));
+    } else if (spec.depth == 3) {
+      widths.push_back(4);  // "fanout from the front end equal to 4"
+      widths.push_back(spec.bgl_second_level);
+    } else {
+      return invalid_argument("BG/L rules defined for depth 2 or 3 only");
+    }
+  } else {
+    // Balanced: fanout = depth-th root of the daemon count at every level.
+    const double f =
+        std::max(2.0, std::ceil(std::pow(nd, 1.0 / spec.depth)));
+    double width = 1;
+    for (std::uint32_t level = 1; level < spec.depth; ++level) {
+      width = std::min(width * f, nd);
+      widths.push_back(static_cast<std::uint32_t>(width));
+    }
+  }
+  // Never more procs at a level than daemons below them.
+  for (auto& w : widths) w = std::min(w, num_daemons);
+  return widths;
+}
+
+}  // namespace
+
+Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
+                                    const machine::DaemonLayout& layout,
+                                    const TopologySpec& spec) {
+  if (spec.depth < 1 || spec.depth > 4) {
+    return invalid_argument("topology depth must be in [1,4]");
+  }
+  if (layout.num_daemons == 0) return invalid_argument("no daemons");
+
+  auto widths_result = derive_level_widths(machine, spec, layout.num_daemons);
+  if (!widths_result.is_ok()) return widths_result.status();
+  const std::vector<std::uint32_t>& widths = widths_result.value();
+
+  // Monotone widths: each level must be at least as wide as its parent level
+  // (a narrower child level would orphan parents).
+  std::uint32_t prev = 1;
+  for (const auto w : widths) {
+    if (w < prev) {
+      return invalid_argument("comm-process level narrower than its parent");
+    }
+    prev = w;
+  }
+
+  // Capacity checks for comm-process hosts.
+  std::uint32_t total_comm = 0;
+  for (const auto w : widths) total_comm += w;
+  if (!machine.comm_procs_on_compute_allocation) {
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(machine.login_nodes) *
+        machine.max_comm_procs_per_login;
+    if (total_comm > capacity) {
+      return resource_exhausted(
+          "comm processes (" + std::to_string(total_comm) +
+          ") exceed login-node capacity (" + std::to_string(capacity) + ")");
+    }
+  }
+
+  TbonTopology topo;
+  topo.depth = spec.depth;
+
+  // Front end.
+  TbonTopology::Proc fe;
+  fe.host = machine.front_end();
+  fe.parent = -1;
+  fe.level = 0;
+  topo.procs.push_back(fe);
+
+  // Comm-process levels.
+  std::vector<std::uint32_t> prev_level_indices{0};
+  std::uint32_t comm_seq = 0;
+  std::uint32_t level_no = 1;
+  for (const auto width : widths) {
+    std::vector<std::uint32_t> this_level;
+    this_level.reserve(width);
+    for (std::uint32_t i = 0; i < width; ++i) {
+      TbonTopology::Proc proc;
+      if (machine.comm_procs_on_compute_allocation) {
+        // Atlas: separate compute allocation, one comm process per core.
+        const std::uint32_t node_index =
+            layout.num_daemons + comm_seq / machine.cores_per_compute_node;
+        if (node_index >= machine.compute_nodes) {
+          return resource_exhausted("comm-process allocation exceeds cluster");
+        }
+        proc.host = machine.compute_node(node_index);
+      } else {
+        proc.host = machine.login_node(comm_seq % machine.login_nodes);
+      }
+      ++comm_seq;
+      // Parent: spread evenly over the previous level.
+      const auto parent_slot = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(i) * prev_level_indices.size() / width);
+      proc.parent = static_cast<std::int32_t>(prev_level_indices[parent_slot]);
+      proc.level = level_no;
+      const auto index = static_cast<std::uint32_t>(topo.procs.size());
+      topo.procs.push_back(proc);
+      topo.procs[static_cast<std::size_t>(proc.parent)].children.push_back(index);
+      this_level.push_back(index);
+    }
+    prev_level_indices = std::move(this_level);
+    ++level_no;
+  }
+
+  // Leaves: the daemons, spread evenly over the last internal level.
+  topo.leaf_of_daemon.resize(layout.num_daemons);
+  for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+    TbonTopology::Proc leaf;
+    leaf.host = machine::daemon_host(machine, DaemonId(d));
+    leaf.daemon = DaemonId(d);
+    leaf.level = level_no;
+    const auto parent_slot = static_cast<std::uint32_t>(
+        static_cast<std::uint64_t>(d) * prev_level_indices.size() /
+        layout.num_daemons);
+    leaf.parent = static_cast<std::int32_t>(prev_level_indices[parent_slot]);
+    const auto index = static_cast<std::uint32_t>(topo.procs.size());
+    topo.procs.push_back(leaf);
+    topo.procs[static_cast<std::size_t>(leaf.parent)].children.push_back(index);
+    topo.leaf_of_daemon[d] = index;
+  }
+  return topo;
+}
+
+SimTime connect_time(const TbonTopology& topology,
+                     const machine::LaunchCosts& costs) {
+  // Parents accept children serially; parents within one level overlap, and
+  // levels connect sequentially (a comm process must be up before its
+  // children dial in). The per-level cost is the busiest parent's fanout.
+  std::vector<std::uint32_t> worst_fanout_at_level;
+  for (const auto& proc : topology.procs) {
+    if (proc.children.empty()) continue;
+    if (worst_fanout_at_level.size() <= proc.level) {
+      worst_fanout_at_level.resize(proc.level + 1, 0);
+    }
+    worst_fanout_at_level[proc.level] =
+        std::max(worst_fanout_at_level[proc.level],
+                 static_cast<std::uint32_t>(proc.children.size()));
+  }
+  SimTime total = costs.mrnet_connect_base;
+  for (const auto fanout : worst_fanout_at_level) {
+    total += fanout * costs.mrnet_connect_per_child;
+  }
+  return total;
+}
+
+}  // namespace petastat::tbon

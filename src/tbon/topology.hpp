@@ -1,0 +1,102 @@
+// Tree-based overlay network topologies (MRNet-style TBON, Sec. III).
+//
+// The paper tests three shapes:
+//  * 1-deep: a flat 1-to-N fan-out from the front end to all daemons.
+//  * 2-deep: one layer of comm processes. Balanced rule: fanout = sqrt(n).
+//    BG/L rule: fanout from the front end = min(sqrt(#daemons), 28).
+//  * 3-deep: two layers. Balanced rule: fanout = cbrt(n). BG/L rule: front
+//    end fanout 4, second level 16 or 24 comm processes total.
+//
+// Comm-process placement is machine-constrained: on BG/L they may only run
+// on the 14 login nodes (which is why fully balanced trees were impossible,
+// Sec. V-C); on Atlas they run on a separate compute-node allocation, one
+// process per core.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+
+namespace petastat::tbon {
+
+struct TopologySpec {
+  std::uint32_t depth = 1;  // 1 = flat, 2/3 = comm-process layers
+  /// Total comm processes per internal level, front end's children first.
+  /// Empty = derive from the balanced/BG/L rule.
+  std::vector<std::uint32_t> level_widths;
+  /// Use the paper's BG/L fanout rules instead of the balanced n-th-root.
+  bool bgl_rules = false;
+  /// BG/L 3-deep second-level size: "either 16 or 24 communication
+  /// processes, depending on the job scale".
+  std::uint32_t bgl_second_level = 16;
+
+  [[nodiscard]] static TopologySpec flat() { return balanced(1); }
+  [[nodiscard]] static TopologySpec balanced(std::uint32_t depth) {
+    TopologySpec spec;
+    spec.depth = depth;
+    return spec;
+  }
+  [[nodiscard]] static TopologySpec bgl(std::uint32_t depth,
+                                        std::uint32_t second_level = 16) {
+    TopologySpec spec;
+    spec.depth = depth;
+    spec.bgl_rules = true;
+    spec.bgl_second_level = second_level;
+    return spec;
+  }
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Concrete process tree. procs[0] is the front end; leaves are the daemons
+/// in daemon order; internal procs are MRNet communication processes.
+struct TbonTopology {
+  struct Proc {
+    NodeId host;
+    std::int32_t parent = -1;           // index into procs, -1 for the FE
+    std::vector<std::uint32_t> children;  // indices into procs
+    std::uint32_t level = 0;              // 0 = FE
+    DaemonId daemon = DaemonId::invalid();  // valid for leaves only
+
+    [[nodiscard]] bool is_leaf() const { return daemon.valid(); }
+  };
+
+  std::vector<Proc> procs;
+  std::uint32_t depth = 1;
+  std::vector<std::uint32_t> leaf_of_daemon;  // daemon id -> proc index
+
+  [[nodiscard]] const Proc& front_end() const { return procs.front(); }
+  [[nodiscard]] std::uint32_t num_comm_procs() const {
+    std::uint32_t n = 0;
+    for (const auto& p : procs) {
+      if (!p.is_leaf() && p.parent >= 0) ++n;
+    }
+    return n;
+  }
+  [[nodiscard]] std::uint32_t max_fanout() const {
+    std::uint32_t m = 0;
+    for (const auto& p : procs) {
+      m = std::max(m, static_cast<std::uint32_t>(p.children.size()));
+    }
+    return m;
+  }
+};
+
+/// Builds the process tree for `spec` on `machine`, placing comm processes
+/// under the machine's constraints. Fails when the machine cannot host the
+/// requested tree (e.g. login-node capacity on BG/L).
+[[nodiscard]] Result<TbonTopology> build_topology(
+    const machine::MachineConfig& machine, const machine::DaemonLayout& layout,
+    const TopologySpec& spec);
+
+/// MRNet instantiation time: parents accept and handshake children serially;
+/// levels connect bottom-up but parents within a level work in parallel.
+[[nodiscard]] SimTime connect_time(const TbonTopology& topology,
+                                   const machine::LaunchCosts& costs);
+
+}  // namespace petastat::tbon

@@ -1,0 +1,211 @@
+// Unit tests for the application models: frame interning, the ring-hang
+// ground truth, the threaded variant, and the STATBench-style generator.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "app/appmodel.hpp"
+
+namespace petastat::app {
+namespace {
+
+TEST(FrameTable, InternIsIdempotent) {
+  FrameTable frames;
+  const FrameId a = frames.intern("main");
+  const FrameId b = frames.intern("main");
+  const FrameId c = frames.intern("PMPI_Barrier");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames.name(a), "main");
+}
+
+TEST(FrameTable, RenderJoinsWithAngleBracket) {
+  FrameTable frames;
+  const CallPath path = frames.make_path({"_start", "main", "foo"});
+  EXPECT_EQ(frames.render(path), "_start<main<foo");
+}
+
+TEST(FrameTable, UnknownIdThrows) {
+  FrameTable frames;
+  EXPECT_THROW(frames.name(FrameId(3)), std::logic_error);
+  EXPECT_THROW(frames.name(FrameId::invalid()), std::logic_error);
+}
+
+struct RingFixture : ::testing::Test {
+  RingHangApp make(std::uint32_t tasks, bool bgl = true,
+                   std::uint64_t seed = 1) {
+    RingHangOptions options;
+    options.num_tasks = tasks;
+    options.bgl_frames = bgl;
+    options.seed = seed;
+    return RingHangApp(options);
+  }
+};
+
+TEST_F(RingFixture, TaskOneHangsBeforeSend) {
+  auto app = make(1024);
+  const auto path = app.stack(TaskId(1), 0, 0);
+  EXPECT_EQ(app.frames().render(path),
+            "_start_blrts<main<do_SendOrStall<__gettimeofday");
+}
+
+TEST_F(RingFixture, TaskTwoBlocksInWaitall) {
+  auto app = make(1024);
+  const auto rendered = app.frames().render(app.stack(TaskId(2), 0, 0));
+  EXPECT_NE(rendered.find("PMPI_Waitall"), std::string::npos);
+  EXPECT_NE(rendered.find("MPID_Progress_wait"), std::string::npos);
+}
+
+TEST_F(RingFixture, OtherTasksReachTheBarrier) {
+  auto app = make(1024);
+  for (const std::uint32_t t : {0u, 3u, 500u, 1023u}) {
+    const auto rendered = app.frames().render(app.stack(TaskId(t), 0, 2));
+    EXPECT_NE(rendered.find("PMPI_Barrier"), std::string::npos) << t;
+    EXPECT_NE(rendered.find("BGLML_pollfcn"), std::string::npos) << t;
+  }
+}
+
+TEST_F(RingFixture, DeterministicInTaskThreadSample) {
+  auto app = make(512);
+  auto app2 = make(512);
+  for (std::uint32_t t = 0; t < 512; t += 37) {
+    for (std::uint32_t s = 0; s < 3; ++s) {
+      EXPECT_EQ(app.stack(TaskId(t), 0, s), app2.stack(TaskId(t), 0, s));
+    }
+  }
+}
+
+TEST_F(RingFixture, SamplesVaryOverTime) {
+  auto app = make(1024);
+  // The progress-engine depth varies across samples for at least some tasks.
+  int varied = 0;
+  for (std::uint32_t t = 3; t < 103; ++t) {
+    if (app.stack(TaskId(t), 0, 0) != app.stack(TaskId(t), 0, 1)) ++varied;
+  }
+  EXPECT_GT(varied, 10);
+}
+
+TEST_F(RingFixture, FrameNamesFollowPlatform) {
+  auto bgl_app = make(16, /*bgl=*/true);
+  auto linux_app = make(16, /*bgl=*/false);
+  EXPECT_EQ(bgl_app.frames().render(bgl_app.stack(TaskId(0), 0, 0)).substr(0, 12),
+            "_start_blrts");
+  EXPECT_EQ(linux_app.frames().render(linux_app.stack(TaskId(0), 0, 0))
+                .substr(0, 7),
+            "_start<");
+}
+
+TEST_F(RingFixture, RejectsTinyJobs) {
+  RingHangOptions options;
+  options.num_tasks = 2;
+  EXPECT_THROW(RingHangApp{options}, std::logic_error);
+}
+
+TEST(ThreadedRing, ThreadZeroIsTheMpiThread) {
+  ThreadedRingOptions options;
+  options.ring.num_tasks = 64;
+  options.threads_per_task = 4;
+  ThreadedRingApp app(options);
+  EXPECT_EQ(app.threads_per_task(), 4u);
+  const auto rendered = app.frames().render(app.stack(TaskId(1), 0, 0));
+  EXPECT_NE(rendered.find("do_SendOrStall"), std::string::npos);
+}
+
+TEST(ThreadedRing, WorkerThreadsRunComputeKernels) {
+  ThreadedRingOptions options;
+  options.ring.num_tasks = 64;
+  options.threads_per_task = 4;
+  ThreadedRingApp app(options);
+  for (std::uint32_t th = 1; th < 4; ++th) {
+    const auto rendered = app.frames().render(app.stack(TaskId(5), th, 0));
+    EXPECT_NE(rendered.find("compute_kernel"), std::string::npos);
+    EXPECT_EQ(rendered.find("PMPI"), std::string::npos);
+  }
+}
+
+TEST(ThreadedRing, SharesOneFrameTable) {
+  ThreadedRingOptions options;
+  options.ring.num_tasks = 64;
+  options.threads_per_task = 2;
+  ThreadedRingApp app(options);
+  const auto mpi = app.stack(TaskId(3), 0, 0);
+  const auto worker = app.stack(TaskId(3), 1, 0);
+  // Both paths must render through the same table without throwing.
+  EXPECT_FALSE(app.frames().render(mpi).empty());
+  EXPECT_FALSE(app.frames().render(worker).empty());
+}
+
+TEST(StatBench, ClassCountRespected) {
+  StatBenchOptions options;
+  options.num_tasks = 2048;
+  options.num_classes = 24;
+  StatBenchApp app(options);
+  std::map<std::uint32_t, std::uint32_t> histogram;
+  for (std::uint32_t t = 0; t < 2048; ++t) ++histogram[app.class_of(TaskId(t))];
+  EXPECT_LE(histogram.size(), 24u);
+  EXPECT_GE(histogram.size(), 20u);  // nearly all classes populated
+  // Skewed: the largest class dominates the smallest.
+  std::uint32_t largest = 0, smallest = UINT32_MAX;
+  for (const auto& [cls, n] : histogram) {
+    largest = std::max(largest, n);
+    smallest = std::min(smallest, n);
+  }
+  EXPECT_GT(largest, smallest * 4);
+}
+
+TEST(StatBench, StacksMostlyFollowTheClassPath) {
+  StatBenchOptions options;
+  options.num_tasks = 256;
+  options.num_classes = 8;
+  StatBenchApp app(options);
+  int wandered = 0;
+  for (std::uint32_t t = 0; t < 256; ++t) {
+    const auto base = app.stack(TaskId(t), 0, 0);
+    const auto later = app.stack(TaskId(t), 0, 5);
+    if (base != later) ++wandered;
+  }
+  // ~5% wander per sample pair (both draws can differ).
+  EXPECT_LT(wandered, 50);
+}
+
+TEST(StatBench, PathsShareRootPrefix) {
+  StatBenchOptions options;
+  options.num_tasks = 128;
+  options.num_classes = 10;
+  StatBenchApp app(options);
+  for (std::uint32_t t = 0; t < 128; t += 11) {
+    const auto path = app.stack(TaskId(t), 0, 0);
+    ASSERT_GE(path.size(), 3u);
+    EXPECT_EQ(app.frames().name(path[0]), "_start");
+    EXPECT_EQ(app.frames().name(path[1]), "main");
+  }
+}
+
+TEST(Binaries, DynamicLayoutMatchesPaper) {
+  const auto full = ring_binaries_dynamic("/nfs/home/user", /*slim=*/false);
+  const auto slim = ring_binaries_dynamic("/nfs/home/user", /*slim=*/true);
+  // The two main binaries of Fig. 10: 10 KB exe + 4 MB MPI lib.
+  EXPECT_EQ(full.images[0].bytes, 10u * 1024);
+  EXPECT_EQ(full.images[1].bytes, 4u * 1024 * 1024);
+  // Slim keeps only those two on the shared FS.
+  std::uint64_t slim_shared = 0, full_shared = 0;
+  for (const auto& image : slim.images) {
+    if (image.path.starts_with("/nfs")) slim_shared += image.bytes;
+  }
+  for (const auto& image : full.images) {
+    if (image.path.starts_with("/nfs")) full_shared += image.bytes;
+  }
+  EXPECT_EQ(slim_shared, 10u * 1024 + 4u * 1024 * 1024);
+  EXPECT_GT(full_shared, slim_shared * 3);  // the ~4x OS-update effect
+}
+
+TEST(Binaries, StaticLayoutIsOneImage) {
+  const auto spec = ring_binaries_static("/nfs/home/user");
+  ASSERT_EQ(spec.images.size(), 1u);
+  EXPECT_EQ(spec.images[0].bytes, 8u * 1024 * 1024);
+  EXPECT_EQ(spec.total_bytes(), 8u * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace petastat::app

@@ -1,0 +1,197 @@
+// Unit tests for the file-system models: NFS queueing and caching, Lustre
+// striping, the mount table, redirects, and the client page cache.
+#include <gtest/gtest.h>
+
+#include "fs/filesystem.hpp"
+#include "machine/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::fs {
+namespace {
+
+const NodeId kClient = machine::make_node(machine::NodeRole::kCompute, 0);
+const NodeId kOther = machine::make_node(machine::NodeRole::kCompute, 1);
+
+NfsParams quiet_nfs() {
+  NfsParams p;
+  p.background_sigma = 0.0;
+  p.run_load_sigma = 0.0;
+  p.degradation_alpha = 0.0;
+  return p;
+}
+
+TEST(Nfs, WarmReadsAreFasterThanCold) {
+  sim::Simulator s;
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  const SimTime cold = nfs.read(kClient, "/nfs/a", 9'000'000);
+  s.run();
+  sim::Simulator s2;
+  NfsFileSystem nfs2(s2, quiet_nfs(), 1);
+  (void)nfs2.read(kClient, "/nfs/a", 9'000'000);
+  const SimTime warm = nfs2.read(kOther, "/nfs/a", 9'000'000) -
+                       nfs2.read(kOther, "/nfs/b", 0);  // rough isolation
+  EXPECT_GT(cold, 0u);
+  // Direct comparison: cold rate 90 MB/s vs warm 100 MB/s per stream.
+  EXPECT_LT(warm, cold * 2);
+}
+
+TEST(Nfs, FanInQueuesOnTheServer) {
+  sim::Simulator s;
+  NfsParams p = quiet_nfs();
+  p.server_threads = 4;
+  NfsFileSystem nfs(s, p, 1);
+  SimTime last = 0;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    last = std::max(last, nfs.read(machine::make_node(machine::NodeRole::kCompute, i),
+                                   "/nfs/libmpi.so", 4'000'000));
+  }
+  s.run();
+  // 64 requests x 4 MB at 100 MB/s warm (after the first) over 4 lanes:
+  // aggregate ~255 MB / 400 MB/s ~ 0.64 s minimum.
+  EXPECT_GT(last, seconds(0.6));
+  EXPECT_EQ(nfs.server_stats().requests, 64u);
+  EXPECT_GT(nfs.server_stats().total_wait, 0u);
+}
+
+TEST(Nfs, DegradationInflatesUnderLoad) {
+  const auto run_with_alpha = [](double alpha) {
+    sim::Simulator s;
+    NfsParams p = quiet_nfs();
+    p.degradation_alpha = alpha;
+    NfsFileSystem nfs(s, p, 1);
+    SimTime last = 0;
+    for (std::uint32_t i = 0; i < 128; ++i) {
+      last = std::max(last, nfs.read(kClient, "/nfs/x", 1'000'000));
+    }
+    s.run();
+    return last;
+  };
+  EXPECT_GT(run_with_alpha(0.01), run_with_alpha(0.0));
+}
+
+TEST(Nfs, RunLoadFactorVariesBySeed) {
+  std::vector<SimTime> times;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    sim::Simulator s;
+    NfsParams p = quiet_nfs();
+    p.run_load_sigma = 0.5;
+    NfsFileSystem nfs(s, p, seed);
+    times.push_back(nfs.read(kClient, "/nfs/x", 8'000'000));
+  }
+  std::sort(times.begin(), times.end());
+  EXPECT_GT(times.back(), times.front());
+}
+
+TEST(Lustre, ChunkedReadsUseTheOssPool) {
+  sim::Simulator s;
+  LustreParams p;
+  p.background_sigma = 0.0;
+  LustreFileSystem lustre(s, p, 1);
+  // 4 MB = 4 chunks over 4 OSS lanes: data transfers overlap.
+  const SimTime four_mb = lustre.read(kClient, "/lustre/a", 4'000'000);
+  sim::Simulator s2;
+  LustreFileSystem lustre2(s2, p, 1);
+  const SimTime sixteen_mb = lustre2.read(kClient, "/lustre/a", 16'000'000);
+  EXPECT_GT(sixteen_mb, four_mb);
+  // 4x the data on the same pool should cost no more than ~4x + overheads.
+  EXPECT_LT(sixteen_mb, four_mb * 5);
+}
+
+TEST(Lustre, MdsWaitDoesNotConsumeOssCapacity) {
+  // Many small reads: completion should be dominated by MDS opens + small
+  // chunk transfers, not inflated by open-latency folded into data lanes.
+  sim::Simulator s;
+  LustreParams p;
+  p.background_sigma = 0.0;
+  LustreFileSystem lustre(s, p, 1);
+  SimTime last = 0;
+  for (int i = 0; i < 64; ++i) {
+    last = std::max(last, lustre.read(kClient, "/lustre/f", 10'000));
+  }
+  // 64 opens / 4 MDS lanes * 2.2 ms = 35 ms; 64 RPCs / 4 OSS * 5.5 ms = 88 ms.
+  EXPECT_LT(last, seconds(0.5));
+}
+
+TEST(RamDisk, ConstantAndLocal) {
+  sim::Simulator s;
+  RamDiskFileSystem ram(s, RamDiskParams{});
+  const SimTime a = ram.read(kClient, "/ramdisk/a", 4'000'000);
+  const SimTime b = ram.read(kOther, "/ramdisk/a", 4'000'000);
+  EXPECT_EQ(a, b);  // no shared queueing whatsoever
+  EXPECT_LT(a, seconds(0.01));
+}
+
+TEST(MountTable, LongestPrefixWins) {
+  sim::Simulator s;
+  RamDiskFileSystem ram(s, RamDiskParams{});
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  MountTable mounts;
+  mounts.mount("/nfs", &nfs);
+  mounts.mount("/nfs/scratch", &ram);
+  EXPECT_EQ(mounts.resolve("/nfs/home/user/a.out"), &nfs);
+  EXPECT_EQ(mounts.resolve("/nfs/scratch/tmp"), &ram);
+  EXPECT_EQ(mounts.resolve("/unknown"), nullptr);
+}
+
+TEST(MountTable, SharedFlagFollowsBackend) {
+  sim::Simulator s;
+  RamDiskFileSystem ram(s, RamDiskParams{});
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  LustreFileSystem lustre(s, LustreParams{}, 1);
+  MountTable mounts;
+  mounts.mount("/nfs", &nfs);
+  mounts.mount("/lustre", &lustre);
+  mounts.mount("/ramdisk", &ram);
+  EXPECT_TRUE(mounts.on_shared_filesystem("/nfs/a"));
+  EXPECT_TRUE(mounts.on_shared_filesystem("/lustre/a"));
+  EXPECT_FALSE(mounts.on_shared_filesystem("/ramdisk/a"));
+  EXPECT_FALSE(mounts.on_shared_filesystem("/nowhere/a"));
+}
+
+TEST(FileAccess, PageCacheMakesRereadsFree) {
+  sim::Simulator s;
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  MountTable mounts;
+  mounts.mount("/nfs", &nfs);
+  FileAccess files(s, mounts);
+  const SimTime first = files.open_and_read(kClient, "/nfs/a", 1'000'000);
+  EXPECT_GT(first, s.now());
+  const SimTime again = files.open_and_read(kClient, "/nfs/a", 1'000'000);
+  EXPECT_EQ(again, s.now());  // warm client cache
+  // A different node still pays.
+  EXPECT_GT(files.open_and_read(kOther, "/nfs/a", 1'000'000), s.now());
+}
+
+TEST(FileAccess, RedirectsInterposeOpens) {
+  sim::Simulator s;
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  RamDiskFileSystem ram(s, RamDiskParams{});
+  MountTable mounts;
+  mounts.mount("/nfs", &nfs);
+  mounts.mount("/ramdisk", &ram);
+  FileAccess files(s, mounts);
+
+  files.install_redirect(kClient, "/nfs/home", "/ramdisk/nfs/home");
+  EXPECT_EQ(files.redirected_path(kClient, "/nfs/home/a.out"),
+            "/ramdisk/nfs/home/a.out");
+  EXPECT_EQ(files.redirected_path(kOther, "/nfs/home/a.out"),
+            "/nfs/home/a.out");  // only the redirected node
+
+  files.populate_local(kClient, "/ramdisk/nfs/home/a.out");
+  EXPECT_EQ(files.open_and_read(kClient, "/nfs/home/a.out", 4'000'000), s.now());
+}
+
+TEST(FileAccess, ResetClearsState) {
+  sim::Simulator s;
+  NfsFileSystem nfs(s, quiet_nfs(), 1);
+  MountTable mounts;
+  mounts.mount("/nfs", &nfs);
+  FileAccess files(s, mounts);
+  files.install_redirect(kClient, "/nfs", "/elsewhere");
+  files.populate_local(kClient, "/nfs/a");
+  files.reset();
+  EXPECT_EQ(files.redirected_path(kClient, "/nfs/a"), "/nfs/a");
+}
+
+}  // namespace
+}  // namespace petastat::fs

@@ -1,0 +1,59 @@
+// Tests for the heavyweight-debugger baseline model.
+#include <gtest/gtest.h>
+
+#include "stat/heavyweight.hpp"
+
+namespace petastat::stat {
+namespace {
+
+TEST(Heavyweight, SnapshotIsLinearInTasks) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  const auto small = run_heavyweight_debugger(machine::atlas(), job);
+  job.num_tasks = 512;
+  const auto big = run_heavyweight_debugger(machine::atlas(), job);
+  ASSERT_TRUE(small.status.is_ok());
+  ASSERT_TRUE(big.status.is_ok());
+  const double ratio =
+      to_seconds(big.snapshot_time) / to_seconds(small.snapshot_time);
+  EXPECT_NEAR(ratio, 2.0, 0.35);
+  EXPECT_EQ(to_seconds(big.attach_time), 2 * to_seconds(small.attach_time));
+}
+
+TEST(Heavyweight, FailsAtTheConnectionLimit) {
+  machine::JobConfig job;
+  job.num_tasks = machine::atlas().max_tool_connections;
+  const auto report = run_heavyweight_debugger(machine::atlas(), job);
+  EXPECT_EQ(report.status.code(), StatusCode::kResourceExhausted);
+  job.num_tasks = machine::atlas().max_tool_connections - 1;
+  EXPECT_TRUE(run_heavyweight_debugger(machine::atlas(), job).status.is_ok());
+}
+
+TEST(Heavyweight, FailsEarlierOnBgl) {
+  // BG/L's front end held only 256 tool connections: a per-task debugger
+  // cannot even cover the smallest interesting partitions.
+  machine::JobConfig job;
+  job.num_tasks = 1024;
+  job.mode = machine::BglMode::kCoprocessor;
+  const auto report = run_heavyweight_debugger(machine::bgl(), job);
+  EXPECT_EQ(report.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Heavyweight, RejectsJobsThatDoNotFitTheMachine) {
+  machine::JobConfig job;
+  job.num_tasks = 100000;
+  const auto report = run_heavyweight_debugger(machine::atlas(), job);
+  EXPECT_FALSE(report.status.is_ok());
+}
+
+TEST(Heavyweight, ReportsConnectionCount) {
+  machine::JobConfig job;
+  job.num_tasks = 128;
+  const auto report = run_heavyweight_debugger(machine::atlas(), job);
+  EXPECT_EQ(report.connections, 128u);
+  EXPECT_GT(report.attach_time, 0u);
+  EXPECT_GT(report.snapshot_time, 0u);
+}
+
+}  // namespace
+}  // namespace petastat::stat

@@ -1,0 +1,195 @@
+// Unit tests for the LaunchMON back-end fabric and SBRS.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "launchmon/launchmon.hpp"
+#include "sbrs/sbrs.hpp"
+
+namespace petastat {
+namespace {
+
+struct FabricFixture {
+  sim::Simulator sim;
+  machine::MachineConfig machine = machine::atlas();
+  net::Network net{sim, machine, net::default_network_params(machine)};
+
+  machine::DaemonLayout layout_of(std::uint32_t daemons) {
+    machine::DaemonLayout l;
+    l.num_daemons = daemons;
+    l.tasks_per_daemon = 8;
+    l.num_tasks = daemons * 8;
+    return l;
+  }
+};
+
+TEST(BackEndFabric, BroadcastCompletesForOneDaemon) {
+  FabricFixture f;
+  launchmon::BackEndFabric fabric(f.sim, f.machine, f.net, f.layout_of(1));
+  bool done = false;
+  fabric.broadcast_from_master(4'000'000, [&]() { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+}
+
+class BroadcastScales : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(BroadcastScales, DeliversToAllAndScalesLogarithmically) {
+  FabricFixture f;
+  const std::uint32_t daemons = GetParam();
+  launchmon::BackEndFabric fabric(f.sim, f.machine, f.net, f.layout_of(daemons));
+  bool done = false;
+  fabric.broadcast_from_master(4'000'000, [&]() { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  // Binomial tree: exactly n-1 point-to-point messages.
+  EXPECT_EQ(f.net.total_messages(), daemons - 1);
+  EXPECT_EQ(f.net.total_bytes_moved(),
+            static_cast<std::uint64_t>(daemons - 1) * 4'000'000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastScales,
+                         ::testing::Values(2u, 3u, 17u, 128u, 500u));
+
+TEST(BackEndFabric, BroadcastTimeGrowsLogNotLinear) {
+  const auto time_for = [](std::uint32_t daemons) {
+    FabricFixture f;
+    launchmon::BackEndFabric fabric(f.sim, f.machine, f.net,
+                                    f.layout_of(daemons));
+    fabric.broadcast_from_master(4'000'000, []() {});
+    f.sim.run();
+    return f.sim.now();
+  };
+  const SimTime t16 = time_for(16);
+  const SimTime t256 = time_for(256);
+  // 16x the daemons costs ~2x (4 extra rounds), far below 16x.
+  EXPECT_LT(to_seconds(t256), 4 * to_seconds(t16));
+}
+
+TEST(BackEndFabric, ReduceCompletesAndCountsMessages) {
+  FabricFixture f;
+  launchmon::BackEndFabric fabric(f.sim, f.machine, f.net, f.layout_of(64));
+  bool done = false;
+  fabric.reduce_to_master(1024, [&]() { done = true; });
+  f.sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.net.total_messages(), 63u);
+}
+
+TEST(BackEndFabric, MasterHostFollowsPlacement) {
+  FabricFixture f;
+  launchmon::BackEndFabric fabric(f.sim, f.machine, f.net, f.layout_of(8));
+  EXPECT_EQ(fabric.master_host(), machine::daemon_host(f.machine, DaemonId(0)));
+}
+
+// --------------------------------------------------------------------------
+// SBRS
+
+struct SbrsFixture {
+  sim::Simulator sim;
+  machine::MachineConfig machine = machine::atlas();
+  net::Network net{sim, machine, net::default_network_params(machine)};
+  fs::NfsFileSystem nfs;
+  fs::RamDiskFileSystem ram;
+  fs::RamDiskFileSystem local;
+  fs::MountTable mounts;
+  fs::FileAccess files{sim, mounts};
+  machine::DaemonLayout layout;
+  launchmon::BackEndFabric fabric;
+
+  static fs::NfsParams quiet() {
+    fs::NfsParams p;
+    p.background_sigma = 0;
+    p.run_load_sigma = 0;
+    return p;
+  }
+
+  explicit SbrsFixture(std::uint32_t daemons = 128)
+      : nfs(sim, quiet(), 1),
+        ram(sim, fs::RamDiskParams{}),
+        local(sim, fs::RamDiskParams{}),
+        layout{daemons, 8, daemons * 8},
+        fabric(sim, machine, net, layout) {
+    mounts.mount("/nfs", &nfs);
+    mounts.mount("/ramdisk", &ram);
+    mounts.mount("/usr/lib", &local);
+  }
+};
+
+TEST(Sbrs, RelocatesOnlySharedBinaries) {
+  SbrsFixture f;
+  sbrs::Sbrs service(f.sim, f.machine, f.layout, f.files, f.fabric,
+                     sbrs::SbrsParams{});
+  const auto spec = app::ring_binaries_dynamic("/nfs/home/user", /*slim=*/true);
+  std::optional<sbrs::SbrsReport> report;
+  service.relocate(spec, [&](const sbrs::SbrsReport& r) { report = r; });
+  f.sim.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->relocated_files, 2u);       // exe + libmpi
+  EXPECT_EQ(report->skipped_local_files, 4u);   // /usr/lib closure stays
+  EXPECT_EQ(report->relocated_bytes, 10u * 1024 + 4u * 1024 * 1024);
+  EXPECT_GT(report->relocation_time, 0u);
+  EXPECT_EQ(report->grace_time, sbrs::SbrsParams{}.sigstop_grace);
+}
+
+TEST(Sbrs, InstallsRedirectsOnEveryDaemonHost) {
+  SbrsFixture f(16);
+  sbrs::Sbrs service(f.sim, f.machine, f.layout, f.files, f.fabric,
+                     sbrs::SbrsParams{});
+  const auto spec = app::ring_binaries_dynamic("/nfs/home/user", /*slim=*/true);
+  service.relocate(spec, [](const sbrs::SbrsReport&) {});
+  f.sim.run();
+  for (std::uint32_t d = 0; d < 16; ++d) {
+    const NodeId host = machine::daemon_host(f.machine, DaemonId(d));
+    EXPECT_EQ(f.files.redirected_path(host, "/nfs/home/user/mpi_ringtopo"),
+              "/ramdisk/nfs/home/user/mpi_ringtopo");
+    // And the relocated copy is resident: reads complete instantly.
+    EXPECT_EQ(f.files.open_and_read(host, "/nfs/home/user/mpi_ringtopo", 10240),
+              f.sim.now());
+  }
+}
+
+TEST(Sbrs, NoSharedFilesMeansNoRelocationCost) {
+  SbrsFixture f;
+  sbrs::Sbrs service(f.sim, f.machine, f.layout, f.files, f.fabric,
+                     sbrs::SbrsParams{});
+  app::AppBinarySpec spec;
+  spec.images.push_back({"/usr/lib/libc.so", 1'000'000});
+  std::optional<sbrs::SbrsReport> report;
+  service.relocate(spec, [&](const sbrs::SbrsReport& r) { report = r; });
+  f.sim.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->relocated_files, 0u);
+  EXPECT_EQ(report->relocation_time, 0u);
+  EXPECT_EQ(report->skipped_local_files, 1u);
+}
+
+TEST(Sbrs, RelocationAnchorOrderOfMagnitude) {
+  // The paper's 0.088 s for 10 KB + 4 MB to 128 nodes.
+  SbrsFixture f(128);
+  sbrs::Sbrs service(f.sim, f.machine, f.layout, f.files, f.fabric,
+                     sbrs::SbrsParams{});
+  const auto spec = app::ring_binaries_dynamic("/nfs/home/user", /*slim=*/true);
+  std::optional<sbrs::SbrsReport> report;
+  service.relocate(spec, [&](const sbrs::SbrsReport& r) { report = r; });
+  f.sim.run();
+  const double reloc = to_seconds(report->relocation_time);
+  EXPECT_GT(reloc, 0.02);
+  EXPECT_LT(reloc, 0.3);
+}
+
+TEST(Sbrs, GracePeriodDelaysRelocationStart) {
+  SbrsFixture f(8);
+  sbrs::SbrsParams params;
+  params.sigstop_grace = 2 * kSecond;
+  sbrs::Sbrs service(f.sim, f.machine, f.layout, f.files, f.fabric, params);
+  const auto spec = app::ring_binaries_dynamic("/nfs/home/user", /*slim=*/true);
+  std::optional<sbrs::SbrsReport> report;
+  service.relocate(spec, [&](const sbrs::SbrsReport& r) { report = r; });
+  f.sim.run();
+  EXPECT_GE(f.sim.now(), 2 * kSecond);
+  EXPECT_LT(report->relocation_time, kSecond);  // grace not billed as reloc
+}
+
+}  // namespace
+}  // namespace petastat

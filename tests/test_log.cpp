@@ -1,0 +1,73 @@
+// Tests for the leveled, simulation-time-stamped logger.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/log.hpp"
+
+namespace petastat {
+namespace {
+
+/// Captures logger output through a tmpfile.
+class LogCapture {
+ public:
+  LogCapture() : file_(std::tmpfile()) {
+    Logger::global().set_sink(file_);
+  }
+  ~LogCapture() {
+    Logger::global().set_sink(stderr);
+    Logger::global().set_level(LogLevel::kWarn);
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  [[nodiscard]] std::string contents() const {
+    std::fflush(file_);
+    std::rewind(file_);
+    std::string out;
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, file_)) > 0) {
+      out.append(buf, n);
+    }
+    return out;
+  }
+
+ private:
+  std::FILE* file_;
+};
+
+TEST(Logger, RespectsLevelThreshold) {
+  LogCapture capture;
+  Logger::global().set_level(LogLevel::kWarn);
+  log_debug(kSecond, "tbon", "should be suppressed");
+  log_info(kSecond, "tbon", "also suppressed");
+  log_warn(kSecond, "tbon", "visible warning");
+  log_error(kSecond, "tbon", "visible error");
+  const std::string out = capture.contents();
+  EXPECT_EQ(out.find("suppressed"), std::string::npos);
+  EXPECT_NE(out.find("visible warning"), std::string::npos);
+  EXPECT_NE(out.find("visible error"), std::string::npos);
+}
+
+TEST(Logger, FormatsSimTimeAndComponent) {
+  LogCapture capture;
+  Logger::global().set_level(LogLevel::kDebug);
+  log_info(1'500'000'000ull, "sbrs", "relocating");
+  const std::string out = capture.contents();
+  EXPECT_NE(out.find("1.500000"), std::string::npos);
+  EXPECT_NE(out.find("sbrs"), std::string::npos);
+  EXPECT_NE(out.find("INFO"), std::string::npos);
+  EXPECT_NE(out.find("relocating"), std::string::npos);
+}
+
+TEST(Logger, OffLevelSilencesEverything) {
+  LogCapture capture;
+  Logger::global().set_level(LogLevel::kOff);
+  log_error(0, "x", "even errors");
+  EXPECT_TRUE(capture.contents().empty());
+}
+
+}  // namespace
+}  // namespace petastat

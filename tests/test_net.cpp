@@ -1,0 +1,125 @@
+// Unit tests for the network model: transfer math, NIC contention, link
+// selection, and async delivery.
+#include <gtest/gtest.h>
+
+#include "machine/machine.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::net {
+namespace {
+
+using machine::NodeRole;
+
+NetworkParams flat_params() {
+  NetworkParams p;
+  const LinkParams link{1000 /*1us*/, 1.0e9};
+  p.fe_to_login = p.login_to_login = p.login_to_io = p.io_to_compute =
+      p.compute_fabric = p.fe_to_compute = link;
+  p.frontend_nic_bytes_per_sec = p.login_nic_bytes_per_sec =
+      p.io_nic_bytes_per_sec = p.compute_nic_bytes_per_sec = 1.0e9;
+  p.per_message_overhead = 0;
+  return p;
+}
+
+TEST(Network, SingleTransferTiming) {
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  // 1 MB at 1 GB/s = 1 ms serialization + 1 us latency.
+  const SimTime done = net.transfer(machine::make_node(NodeRole::kCompute, 0),
+                                    machine::make_node(NodeRole::kCompute, 1),
+                                    1'000'000);
+  EXPECT_EQ(done, 1'000'000ull + 1'000ull);
+  EXPECT_EQ(net.total_bytes_moved(), 1'000'000ull);
+  EXPECT_EQ(net.total_messages(), 1ull);
+}
+
+TEST(Network, SenderNicSerializesOutgoingTransfers) {
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  const NodeId src = machine::make_node(NodeRole::kCompute, 0);
+  const SimTime d1 = net.transfer(src, machine::make_node(NodeRole::kCompute, 1),
+                                  1'000'000);
+  const SimTime d2 = net.transfer(src, machine::make_node(NodeRole::kCompute, 2),
+                                  1'000'000);
+  EXPECT_GE(d2, d1 + 1'000'000ull);  // second waits for the first to drain
+}
+
+TEST(Network, ReceiverNicIsTheFanInBottleneck) {
+  // Many senders, one receiver: completions serialize on the receiver NIC.
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  const NodeId dst = machine::make_node(NodeRole::kFrontEnd, 0);
+  SimTime last = 0;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    last = std::max(last, net.transfer(machine::make_node(NodeRole::kCompute, i),
+                                       dst, 1'000'000));
+  }
+  // 16 MB into a 1 GB/s NIC >= 16 ms regardless of sender parallelism.
+  EXPECT_GE(last, 16'000'000ull);
+}
+
+TEST(Network, AsyncDeliveryFiresAtComputedTime) {
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  SimTime fired_at = 0;
+  const SimTime predicted = net.transfer_async(
+      machine::make_node(NodeRole::kCompute, 0),
+      machine::make_node(NodeRole::kCompute, 1), 500'000,
+      [&]() { fired_at = s.now(); });
+  s.run();
+  EXPECT_EQ(fired_at, predicted);
+}
+
+TEST(Network, SlowerLinkDominatesRate) {
+  sim::Simulator s;
+  NetworkParams p = flat_params();
+  p.login_to_io.bytes_per_sec = 1.0e8;  // 100 MB/s functional network
+  Network net(s, machine::bgl(), p);
+  const SimTime done = net.transfer(machine::make_node(NodeRole::kIo, 0),
+                                    machine::make_node(NodeRole::kLogin, 0),
+                                    1'000'000);
+  // 1 MB at 100 MB/s = 10 ms.
+  EXPECT_GE(done, 10'000'000ull);
+}
+
+TEST(Network, DefaultParamsDifferByMachine) {
+  const NetworkParams a = default_network_params(machine::atlas());
+  const NetworkParams b = default_network_params(machine::bgl());
+  // Atlas IB is much faster than BG/L's functional GigE tree.
+  EXPECT_GT(a.compute_fabric.bytes_per_sec, b.login_to_io.bytes_per_sec);
+  EXPECT_GT(b.login_to_io.latency, a.compute_fabric.latency);
+}
+
+TEST(Network, ResetClearsCountersAndNics) {
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  net.transfer(machine::make_node(NodeRole::kCompute, 0),
+               machine::make_node(NodeRole::kCompute, 1), 1000);
+  net.reset();
+  EXPECT_EQ(net.total_bytes_moved(), 0u);
+  EXPECT_EQ(net.total_messages(), 0u);
+  EXPECT_EQ(net.nic_free_at(machine::make_node(NodeRole::kCompute, 0)), 0u);
+}
+
+class TransferSizes : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TransferSizes, CompletionMonotoneInSize) {
+  sim::Simulator s;
+  Network net(s, machine::atlas(), flat_params());
+  const SimTime small = net.transfer(machine::make_node(NodeRole::kCompute, 0),
+                                     machine::make_node(NodeRole::kCompute, 1),
+                                     GetParam());
+  net.reset();
+  const SimTime big = net.transfer(machine::make_node(NodeRole::kCompute, 0),
+                                   machine::make_node(NodeRole::kCompute, 1),
+                                   GetParam() * 2);
+  EXPECT_GT(big, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TransferSizes,
+                         ::testing::Values(1024ull, 65536ull, 1048576ull,
+                                           16777216ull));
+
+}  // namespace
+}  // namespace petastat::net

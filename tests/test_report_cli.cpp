@@ -1,0 +1,183 @@
+// Tests for the report writers and the CLI configuration parser.
+#include <gtest/gtest.h>
+
+#include "stat/cli_config.hpp"
+#include "stat/report.hpp"
+#include "stat/scenario.hpp"
+
+namespace petastat::stat {
+namespace {
+
+struct ReportFixture : ::testing::Test {
+  machine::JobConfig job{.num_tasks = 128};
+  StatOptions options;
+  ReportFixture() { options.topology = tbon::TopologySpec::balanced(2); }
+};
+
+TEST_F(ReportFixture, TextReportContainsPhasesAndClasses) {
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  const std::string text =
+      render_text_report(result, scenario.app().frames(), /*include_tree=*/true);
+  EXPECT_NE(text.find("status: OK"), std::string::npos);
+  EXPECT_NE(text.find("startup:"), std::string::npos);
+  EXPECT_NE(text.find("sampling:"), std::string::npos);
+  EXPECT_NE(text.find("merge:"), std::string::npos);
+  EXPECT_NE(text.find("equivalence classes"), std::string::npos);
+  EXPECT_NE(text.find("do_SendOrStall"), std::string::npos);
+  EXPECT_NE(text.find("3D prefix tree"), std::string::npos);
+}
+
+TEST_F(ReportFixture, CsvRowMatchesHeaderArity) {
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  const std::string header = csv_header();
+  const std::string row = render_csv_row("atlas", result);
+  const auto count_commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(count_commas(header), count_commas(row));
+  EXPECT_EQ(row.substr(0, 6), "atlas,");
+  EXPECT_NE(row.find(",OK,"), std::string::npos);
+}
+
+TEST_F(ReportFixture, JsonReportIsStructurallySound) {
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  const std::string json = render_json_report(result, scenario.app().frames());
+  // Balanced braces/brackets and the expected keys.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"phases\""), std::string::npos);
+  EXPECT_NE(json.find("\"classes\""), std::string::npos);
+  EXPECT_NE(json.find("\"startup_s\""), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb"), "a\\nb");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+// --------------------------------------------------------------------------
+// CLI parsing
+
+std::vector<std::string_view> args(std::initializer_list<std::string_view> a) {
+  return {a};
+}
+
+TEST(Cli, DefaultsAreSane) {
+  const auto config = parse_cli({});
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value().machine.name, "atlas");
+  EXPECT_EQ(config.value().job.num_tasks, 1024u);
+  EXPECT_EQ(config.value().options.launcher, LauncherKind::kLaunchMon);
+  EXPECT_EQ(config.value().format, OutputFormat::kText);
+}
+
+TEST(Cli, FullConfiguration) {
+  const auto argv = args({"--machine", "bgl", "--tasks", "212992", "--mode",
+                          "vn", "--topology", "bgl2deep", "--repr", "dense",
+                          "--launcher", "ciod-unpatched", "--samples", "5",
+                          "--fs", "lustre", "--sbrs", "--slim-binaries",
+                          "--seed", "7", "--format", "json", "--print-tree",
+                          "--dot", "/tmp/t.dot", "--fail-fraction", "0.01"});
+  const auto config = parse_cli(argv);
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  const CliConfig& c = config.value();
+  EXPECT_EQ(c.machine.name, "bgl");
+  EXPECT_EQ(c.job.num_tasks, 212992u);
+  EXPECT_EQ(c.job.mode, machine::BglMode::kVirtualNode);
+  EXPECT_TRUE(c.options.topology.bgl_rules);
+  EXPECT_EQ(c.options.repr, TaskSetRepr::kDenseGlobal);
+  EXPECT_EQ(c.options.launcher, LauncherKind::kCiodUnpatched);
+  EXPECT_EQ(c.options.num_samples, 5u);
+  EXPECT_EQ(c.options.shared_fs, SharedFsKind::kLustre);
+  EXPECT_TRUE(c.options.use_sbrs);
+  EXPECT_TRUE(c.options.slim_binaries);
+  EXPECT_EQ(c.options.seed, 7u);
+  EXPECT_EQ(c.format, OutputFormat::kJson);
+  EXPECT_TRUE(c.print_tree);
+  EXPECT_EQ(c.dot_path, "/tmp/t.dot");
+  EXPECT_DOUBLE_EQ(c.options.daemon_failure_probability, 0.01);
+}
+
+TEST(Cli, BglDefaultsToCiodLauncher) {
+  const auto config = parse_cli(args({"--machine", "bgl", "--tasks", "8192"}));
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value().options.launcher, LauncherKind::kCiodPatched);
+}
+
+TEST(Cli, ThreadsImplyThreadedApp) {
+  const auto config = parse_cli(args({"--threads", "4"}));
+  ASSERT_TRUE(config.is_ok());
+  EXPECT_EQ(config.value().options.app, AppKind::kThreadedRing);
+  EXPECT_EQ(config.value().job.threads_per_task, 4u);
+}
+
+TEST(Cli, RejectsUnknownFlagsAndValues) {
+  EXPECT_FALSE(parse_cli(args({"--bogus"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--machine", "cray"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--tasks", "abc"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--tasks"})).is_ok());  // missing value
+  EXPECT_FALSE(parse_cli(args({"--tasks", "0"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--mode", "virtual"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--fail-fraction", "1.5"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--format", "xml"})).is_ok());
+}
+
+TEST(Cli, RejectsJobsThatDoNotFit) {
+  const auto config = parse_cli(args({"--machine", "atlas", "--tasks", "50000"}));
+  EXPECT_EQ(config.status().code(), StatusCode::kResourceExhausted);
+}
+
+// --------------------------------------------------------------------------
+// Failure injection (scenario-level)
+
+TEST(FailureInjection, SurvivorsStillProduceClasses) {
+  machine::JobConfig job;
+  job.num_tasks = 1024;
+  StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.daemon_failure_probability = 0.1;
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_GT(result.phases.failed_daemons, 0u);
+  EXPECT_LT(result.phases.failed_daemons, 128u);
+  // Covered tasks = tasks of surviving daemons.
+  std::uint64_t covered = 0;
+  for (const auto& cls : result.classes) covered += cls.size();
+  const std::uint64_t expected =
+      1024u - static_cast<std::uint64_t>(result.phases.failed_daemons) * 8;
+  EXPECT_EQ(covered, expected);
+}
+
+TEST(FailureInjection, TotalLossIsReported) {
+  machine::JobConfig job;
+  job.num_tasks = 64;
+  StatOptions options;
+  options.daemon_failure_probability = 1.0;
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result.phases.failed_daemons, 8u);
+}
+
+TEST(FailureInjection, ZeroProbabilityIsNoop) {
+  machine::JobConfig job;
+  job.num_tasks = 64;
+  StatOptions options;
+  options.daemon_failure_probability = 0.0;
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.phases.failed_daemons, 0u);
+}
+
+}  // namespace
+}  // namespace petastat::stat

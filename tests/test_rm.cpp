@@ -1,0 +1,169 @@
+// Unit tests for the resource-manager launchers (Sec. IV).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "machine/cost_model.hpp"
+#include "rm/launcher.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::rm {
+namespace {
+
+struct LaunchFixture {
+  sim::Simulator sim;
+  machine::LaunchCosts costs;
+
+  LaunchReport launch(DaemonLauncher& launcher, std::uint32_t daemons,
+                      std::uint32_t procs = 0) {
+    std::optional<LaunchReport> out;
+    launcher.launch({daemons, procs},
+                    [&out](const LaunchReport& r) { out = r; });
+    sim.run();
+    return out.value();
+  }
+};
+
+TEST(TreeLevels, MatchesLogarithm) {
+  EXPECT_EQ(tree_levels(0, 32), 0u);
+  EXPECT_EQ(tree_levels(1, 32), 1u);
+  EXPECT_EQ(tree_levels(2, 32), 1u);
+  EXPECT_EQ(tree_levels(32, 32), 1u);
+  EXPECT_EQ(tree_levels(33, 32), 2u);
+  EXPECT_EQ(tree_levels(1024, 32), 2u);
+  EXPECT_EQ(tree_levels(1025, 32), 3u);
+}
+
+class TreeLevelsProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(TreeLevelsProperty, FanoutPowerCoversN) {
+  const std::uint32_t n = GetParam();
+  for (const std::uint32_t fanout : {2u, 8u, 32u}) {
+    const std::uint32_t levels = tree_levels(n, fanout);
+    if (n <= 1) continue;
+    std::uint64_t reach = 1;
+    for (std::uint32_t l = 0; l < levels; ++l) reach *= fanout;
+    EXPECT_GE(reach, n);
+    EXPECT_LT(reach / fanout, n);  // levels is minimal
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, TreeLevelsProperty,
+                         ::testing::Values(2u, 3u, 16u, 100u, 512u, 1664u,
+                                           65536u));
+
+TEST(RemoteShell, SerialSpawnIsLinear) {
+  LaunchFixture f;
+  RemoteShellLauncher launcher(f.sim, machine::atlas(), f.costs,
+                               ShellProtocol::kRsh, 1);
+  const auto r64 = f.launch(launcher, 64);
+  ASSERT_TRUE(r64.status.is_ok());
+
+  LaunchFixture f2;
+  RemoteShellLauncher launcher2(f2.sim, machine::atlas(), f2.costs,
+                                ShellProtocol::kRsh, 1);
+  const auto r128 = f2.launch(launcher2, 128);
+  ASSERT_TRUE(r128.status.is_ok());
+  // Doubling daemons roughly doubles spawn time (same seed, fresh stream).
+  const double ratio = to_seconds(r128.daemon_spawn_time) /
+                       to_seconds(r64.daemon_spawn_time);
+  EXPECT_NEAR(ratio, 2.0, 0.3);
+}
+
+TEST(RemoteShell, RshFailsAtThreshold) {
+  LaunchFixture f;
+  RemoteShellLauncher launcher(f.sim, machine::atlas(), f.costs,
+                               ShellProtocol::kRsh, 1);
+  const auto report = f.launch(launcher, f.costs.rsh_failure_threshold);
+  EXPECT_EQ(report.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(report.total(), 0u);  // failure is detected after burning time
+}
+
+TEST(RemoteShell, JustBelowThresholdSucceeds) {
+  LaunchFixture f;
+  RemoteShellLauncher launcher(f.sim, machine::atlas(), f.costs,
+                               ShellProtocol::kRsh, 1);
+  EXPECT_TRUE(f.launch(launcher, f.costs.rsh_failure_threshold - 1).status.is_ok());
+}
+
+TEST(RemoteShell, SshUnsupportedOnAtlasComputeNodes) {
+  LaunchFixture f;
+  RemoteShellLauncher launcher(f.sim, machine::atlas(), f.costs,
+                               ShellProtocol::kSsh, 1);
+  EXPECT_EQ(f.launch(launcher, 8).status.code(), StatusCode::kUnavailable);
+}
+
+TEST(RemoteShell, RshUnsupportedOnBgl) {
+  LaunchFixture f;
+  RemoteShellLauncher launcher(f.sim, machine::bgl(), f.costs,
+                               ShellProtocol::kRsh, 1);
+  EXPECT_EQ(f.launch(launcher, 8).status.code(), StatusCode::kUnavailable);
+}
+
+TEST(BulkTree, ScalesLogarithmically) {
+  LaunchFixture f;
+  BulkTreeLauncher launcher(f.sim, f.costs, 1);
+  const auto r16 = f.launch(launcher, 16);
+  LaunchFixture f2;
+  BulkTreeLauncher launcher2(f2.sim, f2.costs, 1);
+  const auto r1024 = f2.launch(launcher2, 1024);
+  // 64x the daemons costs only one extra tree level.
+  EXPECT_LT(to_seconds(r1024.total()),
+            to_seconds(r16.total()) + 2 * to_seconds(f.costs.rm_broadcast_per_level));
+}
+
+TEST(BulkTree, Beats512SerialSpawns) {
+  LaunchFixture f;
+  BulkTreeLauncher launcher(f.sim, f.costs, 1);
+  const auto report = f.launch(launcher, 512);
+  ASSERT_TRUE(report.status.is_ok());
+  EXPECT_LT(to_seconds(report.total()), 10.0);  // vs >120 s serial trend
+}
+
+TEST(Ciod, PatchedIsLinearInProcs) {
+  LaunchFixture f;
+  CiodLauncher launcher(f.sim, f.costs, /*patched=*/true, 1);
+  const SimTime t1 = launcher.process_table_time(10'000);
+  const SimTime t2 = launcher.process_table_time(20'000);
+  const double marginal = to_seconds(t2 - t1);
+  EXPECT_NEAR(marginal, to_seconds(f.costs.ciod_per_proc) * 10'000, 1e-6);
+}
+
+TEST(Ciod, UnpatchedIsQuadraticInProcs) {
+  LaunchFixture f;
+  CiodLauncher launcher(f.sim, f.costs, /*patched=*/false, 1);
+  const double extra_64k =
+      to_seconds(launcher.process_table_time(65'536)) -
+      to_seconds(CiodLauncher(f.sim, f.costs, true, 1).process_table_time(65'536));
+  const double extra_128k =
+      to_seconds(launcher.process_table_time(131'072)) -
+      to_seconds(CiodLauncher(f.sim, f.costs, true, 1).process_table_time(131'072));
+  EXPECT_NEAR(extra_128k / extra_64k, 4.0, 0.01);  // 2x procs -> 4x strcat
+}
+
+TEST(Ciod, UnpatchedHangsAt208K) {
+  LaunchFixture f;
+  CiodLauncher launcher(f.sim, f.costs, /*patched=*/false, 1);
+  const auto report = f.launch(launcher, 1664, 212'992);
+  EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Ciod, PatchedSucceedsAt208K) {
+  LaunchFixture f;
+  CiodLauncher launcher(f.sim, f.costs, /*patched=*/true, 1);
+  const auto report = f.launch(launcher, 1664, 212'992);
+  EXPECT_TRUE(report.status.is_ok());
+  EXPECT_GT(report.system_software_time, 0u);
+  EXPECT_GT(report.app_launch_time, 0u);
+}
+
+TEST(Ciod, ReportPhasesSumToTotal) {
+  LaunchFixture f;
+  CiodLauncher launcher(f.sim, f.costs, /*patched=*/true, 1);
+  const auto report = f.launch(launcher, 16, 1024);
+  EXPECT_EQ(report.total(), report.daemon_spawn_time + report.app_launch_time +
+                                report.system_software_time);
+}
+
+}  // namespace
+}  // namespace petastat::rm

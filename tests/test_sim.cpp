@@ -1,0 +1,209 @@
+// Unit tests for the discrete-event simulator and queueing resources.
+#include <gtest/gtest.h>
+
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace petastat::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(30, [&]() { order.push_back(3); });
+  s.schedule_at(10, [&]() { order.push_back(1); });
+  s.schedule_at(20, [&]() { order.push_back(2); });
+  EXPECT_EQ(s.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30u);
+}
+
+TEST(Simulator, FifoAmongSimultaneousEvents) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(5, [&order, i]() { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, CallbacksCanScheduleMore) {
+  Simulator s;
+  int fired = 0;
+  s.schedule_at(1, [&]() {
+    ++fired;
+    s.schedule_in(5, [&]() { ++fired; });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), 6u);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+  Simulator s;
+  s.schedule_at(10, []() {});
+  s.step();
+  EXPECT_THROW(s.schedule_at(5, []() {}), std::logic_error);
+}
+
+TEST(Simulator, EmptyCallbackThrows) {
+  Simulator s;
+  EXPECT_THROW(s.schedule_at(1, EventCallback{}), std::logic_error);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.schedule_at(10, [&]() { ++fired; });
+  s.schedule_at(20, [&]() { ++fired; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // double cancel is reported
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
+TEST(Simulator, CancelUnknownIdIsFalse) {
+  Simulator s;
+  EXPECT_FALSE(s.cancel(0));
+  EXPECT_FALSE(s.cancel(999));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator s;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    s.schedule_at(t, [&fired, t]() { fired.push_back(t); });
+  }
+  EXPECT_EQ(s.run_until(50), 5u);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_EQ(s.pending(), 5u);
+  s.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Simulator, ResetClearsEverything) {
+  Simulator s;
+  s.schedule_at(10, []() {});
+  s.schedule_at(20, []() {});
+  s.step();
+  s.reset();
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.executed(), 0u);
+}
+
+TEST(Simulator, PendingExcludesCancelled) {
+  Simulator s;
+  const EventId id = s.schedule_at(10, []() {});
+  s.schedule_at(20, []() {});
+  EXPECT_EQ(s.pending(), 2u);
+  s.cancel(id);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// FifoServer
+
+TEST(FifoServer, SingleServerSerializesRequests) {
+  Simulator s;
+  FifoServer server(s, 1);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 4; ++i) {
+    server.submit(100, [&s, &completions]() { completions.push_back(s.now()); });
+  }
+  s.run();
+  EXPECT_EQ(completions, (std::vector<SimTime>{100, 200, 300, 400}));
+}
+
+TEST(FifoServer, KServersRunKAtOnce) {
+  Simulator s;
+  FifoServer server(s, 4);
+  std::vector<SimTime> completions;
+  for (int i = 0; i < 8; ++i) {
+    server.submit(100, [&s, &completions]() { completions.push_back(s.now()); });
+  }
+  s.run();
+  // 4 at t=100, 4 at t=200.
+  EXPECT_EQ(std::count(completions.begin(), completions.end(), 100u), 4);
+  EXPECT_EQ(std::count(completions.begin(), completions.end(), 200u), 4);
+}
+
+class FifoServerThroughput
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(FifoServerThroughput, NRequestsOnKServers) {
+  const auto [servers, requests] = GetParam();
+  Simulator s;
+  FifoServer server(s, servers);
+  SimTime last = 0;
+  for (unsigned i = 0; i < requests; ++i) {
+    last = std::max(last, server.submit(50, EventCallback{}));
+  }
+  s.run();
+  const SimTime expected = 50ull * ((requests + servers - 1) / servers);
+  EXPECT_EQ(last, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, FifoServerThroughput,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1u, 7u, 64u, 513u)));
+
+TEST(FifoServer, StatsTrackWaitAndBacklog) {
+  Simulator s;
+  FifoServer server(s, 1);
+  server.submit(100, EventCallback{});
+  server.submit(100, EventCallback{});
+  server.submit(100, EventCallback{});
+  s.run();
+  EXPECT_EQ(server.stats().requests, 3u);
+  EXPECT_EQ(server.stats().busy_time, 300u);
+  EXPECT_EQ(server.stats().total_wait, 0u + 100u + 200u);
+  EXPECT_EQ(server.stats().max_wait, 200u);
+  EXPECT_EQ(server.stats().peak_backlog, 3u);
+  EXPECT_EQ(server.outstanding(), 0u);
+}
+
+TEST(FifoServer, ProbeHasNoSideEffects) {
+  Simulator s;
+  FifoServer server(s, 1);
+  EXPECT_EQ(server.probe(100), 100u);
+  EXPECT_EQ(server.probe(100), 100u);  // unchanged
+  server.submit(100, EventCallback{});
+  EXPECT_EQ(server.probe(100), 200u);
+}
+
+TEST(FifoServer, ResetRestoresIdle) {
+  Simulator s;
+  FifoServer server(s, 2);
+  server.submit(100, EventCallback{});
+  s.run();
+  server.reset();
+  EXPECT_EQ(server.stats().requests, 0u);
+  EXPECT_EQ(server.probe(10), s.now() + 10);
+}
+
+// --------------------------------------------------------------------------
+// SerialDevice
+
+TEST(SerialDevice, ReservationsChain) {
+  Simulator s;
+  SerialDevice device(s);
+  EXPECT_EQ(device.reserve(0, 10), 10u);
+  EXPECT_EQ(device.reserve(0, 10), 20u);   // queued behind the first
+  EXPECT_EQ(device.reserve(50, 10), 60u);  // idle gap honored
+  EXPECT_EQ(device.busy_time(), 30u);
+}
+
+TEST(SerialDevice, ReserveNeverStartsBeforeNow) {
+  Simulator s;
+  s.schedule_at(100, []() {});
+  s.run();
+  SerialDevice device(s);
+  EXPECT_EQ(device.reserve(0, 10), 110u);
+}
+
+}  // namespace
+}  // namespace petastat::sim

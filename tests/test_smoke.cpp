@@ -1,0 +1,43 @@
+// End-to-end smoke test: STAT on a 1024-task ring hang on simulated Atlas.
+#include <gtest/gtest.h>
+
+#include "stat/scenario.hpp"
+
+namespace petastat::stat {
+namespace {
+
+TEST(Smoke, AtlasRingHangEndToEnd) {
+  machine::JobConfig job;
+  job.num_tasks = 1024;
+
+  StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = TaskSetRepr::kHierarchical;
+  options.launcher = LauncherKind::kLaunchMon;
+
+  StatScenario scenario(machine::atlas(), job, options);
+  const StatRunResult result = scenario.run();
+
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.layout.num_daemons, 128u);  // 8 tasks per node
+  EXPECT_GT(result.phases.startup_total, 0u);
+  EXPECT_GT(result.phases.sample_time, 0u);
+  EXPECT_GT(result.phases.merge_time, 0u);
+
+  // The hang produces at least three behaviour classes: the hung task 1,
+  // the blocked task 2, and the barrier crowd.
+  ASSERT_GE(result.classes.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& cls : result.classes) total += cls.size();
+  EXPECT_EQ(total, 1024u);
+
+  // Task 1 must be alone in some class (the bug).
+  bool task1_isolated = false;
+  for (const auto& cls : result.classes) {
+    if (cls.size() == 1 && cls.tasks.contains(1)) task1_isolated = true;
+  }
+  EXPECT_TRUE(task1_isolated);
+}
+
+}  // namespace
+}  // namespace petastat::stat

@@ -1,0 +1,109 @@
+// Tests for the STATBench-style emulation driver.
+#include <gtest/gtest.h>
+
+#include "stat/statbench.hpp"
+
+namespace petastat::stat {
+namespace {
+
+TEST(StatBenchEmulation, RunsAtVirtualScaleBeyondTheMachine) {
+  StatBenchConfig config;
+  config.machine = machine::bgl();
+  config.virtual_tasks = 1u << 20;  // 1M virtual tasks on 1,664 daemons
+  config.repr = TaskSetRepr::kHierarchical;
+  config.num_samples = 2;
+  const auto result = run_statbench(config);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.virtual_tasks, 1u << 20);
+  // ceil(2^20 / 1664) = 631 tasks/daemon; trailing daemons with no tasks are
+  // trimmed, leaving ceil(2^20 / 631) = 1662 of the 1664 physical daemons.
+  EXPECT_EQ(result.virtual_tasks_per_daemon, 631u);
+  EXPECT_EQ(result.physical_daemons, 1662u);
+  EXPECT_GT(result.merge_time, 0u);
+  EXPECT_GT(result.remap_time, 0u);
+  EXPECT_FALSE(result.classes.empty());
+}
+
+TEST(StatBenchEmulation, ClassesPartitionVirtualTasks) {
+  StatBenchConfig config;
+  config.virtual_tasks = 65536;
+  config.app_classes = 16;
+  config.num_samples = 1;
+  const auto result = run_statbench(config);
+  ASSERT_TRUE(result.status.is_ok());
+  std::uint64_t total = 0;
+  for (const auto& cls : result.classes) total += cls.size();
+  EXPECT_EQ(total, 65536u);
+}
+
+TEST(StatBenchEmulation, DenseAndHierAgreeOnTheTree) {
+  StatBenchConfig config;
+  config.virtual_tasks = 8192;
+  config.num_samples = 2;
+  config.repr = TaskSetRepr::kDenseGlobal;
+  const auto dense = run_statbench(config);
+  config.repr = TaskSetRepr::kHierarchical;
+  const auto hier = run_statbench(config);
+  ASSERT_TRUE(dense.status.is_ok());
+  ASSERT_TRUE(hier.status.is_ok());
+  EXPECT_EQ(dense.tree_3d, hier.tree_3d);
+  EXPECT_EQ(dense.classes.size(), hier.classes.size());
+  EXPECT_EQ(hier.remap_time > 0u, true);
+  EXPECT_EQ(dense.remap_time, 0u);
+}
+
+TEST(StatBenchEmulation, DenseVolumeExplodesWithVirtualScale) {
+  StatBenchConfig small;
+  small.virtual_tasks = 65536;
+  small.num_samples = 1;
+  small.repr = TaskSetRepr::kDenseGlobal;
+  StatBenchConfig big = small;
+  big.virtual_tasks = 1u << 20;
+  const auto small_result = run_statbench(small);
+  const auto big_result = run_statbench(big);
+  ASSERT_TRUE(small_result.status.is_ok());
+  ASSERT_TRUE(big_result.status.is_ok());
+  // 16x virtual tasks -> at least 16x dense bytes per leaf payload (more in
+  // practice: bigger per-daemon blocks also reach more of the app's class
+  // paths, growing the local tree).
+  const double ratio =
+      static_cast<double>(big_result.leaf_payload_bytes) /
+      static_cast<double>(small_result.leaf_payload_bytes);
+  EXPECT_GT(ratio, 10.0);
+}
+
+TEST(StatBenchEmulation, ExplicitDaemonCountHonored) {
+  StatBenchConfig config;
+  config.machine = machine::atlas();
+  config.topology = tbon::TopologySpec::balanced(2);
+  config.physical_daemons = 100;
+  config.virtual_tasks = 10000;
+  config.num_samples = 1;
+  const auto result = run_statbench(config);
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.physical_daemons, 100u);
+  EXPECT_EQ(result.virtual_tasks_per_daemon, 100u);
+}
+
+TEST(StatBenchEmulation, RejectsDegenerateConfigs) {
+  StatBenchConfig config;
+  config.virtual_tasks = 0;
+  EXPECT_FALSE(run_statbench(config).status.is_ok());
+  config.virtual_tasks = 1ull << 40;
+  EXPECT_FALSE(run_statbench(config).status.is_ok());
+}
+
+TEST(StatBenchEmulation, DeterministicPerSeed) {
+  StatBenchConfig config;
+  config.virtual_tasks = 16384;
+  config.num_samples = 2;
+  const auto a = run_statbench(config);
+  const auto b = run_statbench(config);
+  ASSERT_TRUE(a.status.is_ok());
+  EXPECT_EQ(a.merge_time, b.merge_time);
+  EXPECT_EQ(a.merge_bytes, b.merge_bytes);
+  EXPECT_EQ(a.tree_3d, b.tree_3d);
+}
+
+}  // namespace
+}  // namespace petastat::stat

@@ -1,0 +1,251 @@
+// Unit and property tests for TaskSet, DenseBitVector, and their wire
+// formats — the Fig. 6 data structures.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "stat/taskset.hpp"
+
+namespace petastat::stat {
+namespace {
+
+TEST(TaskSet, InsertAndContains) {
+  TaskSet s;
+  s.insert(5);
+  s.insert(7);
+  s.insert(6);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_TRUE(s.contains(6));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(8));
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_EQ(s.interval_count(), 1u);  // coalesced into [5,7]
+}
+
+TEST(TaskSet, InsertRangeMergesOverlaps) {
+  TaskSet s;
+  s.insert_range(10, 20);
+  s.insert_range(30, 40);
+  s.insert_range(15, 35);  // bridges both
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_EQ(s.count(), 31u);
+  EXPECT_EQ(s.intervals().front().lo, 10u);
+  EXPECT_EQ(s.intervals().front().hi, 40u);
+}
+
+TEST(TaskSet, AdjacentIntervalsCoalesce) {
+  TaskSet s;
+  s.insert_range(0, 4);
+  s.insert_range(5, 9);
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+TEST(TaskSet, UnionWith) {
+  TaskSet a = TaskSet::range(0, 9);
+  TaskSet b = TaskSet::range(20, 29);
+  a.union_with(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.interval_count(), 2u);
+  a.union_with(TaskSet::range(10, 19));
+  EXPECT_EQ(a.interval_count(), 1u);
+}
+
+TEST(TaskSet, DifferenceAndIntersects) {
+  TaskSet a = TaskSet::range(0, 99);
+  TaskSet b = TaskSet::range(40, 59);
+  EXPECT_TRUE(a.intersects(b));
+  const TaskSet d = a.difference(b);
+  EXPECT_EQ(d.count(), 80u);
+  EXPECT_FALSE(d.contains(50));
+  EXPECT_TRUE(d.contains(39));
+  EXPECT_TRUE(d.contains(60));
+  EXPECT_FALSE(d.intersects(b));
+}
+
+TEST(TaskSet, EdgeLabelMatchesFigureOne) {
+  TaskSet s = TaskSet::single(0);
+  s.insert_range(3, 1023);
+  EXPECT_EQ(s.edge_label(), "1022:[0,3-1023]");
+  EXPECT_EQ(TaskSet::single(1).edge_label(), "1:[1]");
+}
+
+TEST(TaskSet, MaxTaskAndEmpty) {
+  TaskSet s;
+  EXPECT_TRUE(s.empty());
+  s.insert(3);
+  s.insert(100);
+  EXPECT_EQ(s.max_task(), 100u);
+}
+
+// Property: TaskSet behaves exactly like std::set under random ops.
+class TaskSetVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TaskSetVsReference, RandomOperationsMatch) {
+  Rng rng(GetParam());
+  TaskSet set;
+  std::set<std::uint32_t> reference;
+  for (int op = 0; op < 500; ++op) {
+    if (rng.bernoulli(0.7)) {
+      const auto v = static_cast<std::uint32_t>(rng.next_below(300));
+      set.insert(v);
+      reference.insert(v);
+    } else {
+      const auto lo = static_cast<std::uint32_t>(rng.next_below(280));
+      const auto len = static_cast<std::uint32_t>(rng.next_below(20));
+      set.insert_range(lo, lo + len);
+      for (std::uint32_t v = lo; v <= lo + len; ++v) reference.insert(v);
+    }
+  }
+  EXPECT_EQ(set.count(), reference.size());
+  const auto vec = set.to_vector();
+  EXPECT_TRUE(std::equal(vec.begin(), vec.end(), reference.begin()));
+  for (std::uint32_t v = 0; v < 310; ++v) {
+    EXPECT_EQ(set.contains(v), reference.contains(v)) << v;
+  }
+  // Intervals are sorted, disjoint, non-adjacent.
+  const auto& ivs = set.intervals();
+  for (std::size_t i = 1; i < ivs.size(); ++i) {
+    EXPECT_GT(ivs[i].lo, ivs[i - 1].hi + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaskSetVsReference,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+// Property: union_with agrees with std::set_union.
+class UnionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UnionProperty, MatchesReferenceUnion) {
+  Rng rng(GetParam() * 977 + 5);
+  TaskSet a, b;
+  std::set<std::uint32_t> ra, rb;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = static_cast<std::uint32_t>(rng.next_below(500));
+    const auto vb = static_cast<std::uint32_t>(rng.next_below(500));
+    a.insert(va);
+    ra.insert(va);
+    b.insert(vb);
+    rb.insert(vb);
+  }
+  TaskSet u = a;
+  u.union_with(b);
+  std::set<std::uint32_t> ru = ra;
+  ru.insert(rb.begin(), rb.end());
+  EXPECT_EQ(u.count(), ru.size());
+  // Commutativity.
+  TaskSet u2 = b;
+  u2.union_with(a);
+  EXPECT_EQ(u, u2);
+  // Idempotence.
+  TaskSet u3 = u;
+  u3.union_with(u);
+  EXPECT_EQ(u3, u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionProperty, ::testing::Range<std::uint64_t>(0, 10));
+
+// Wire formats.
+
+class WireRoundtrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireRoundtrip, DenseAndRangedRoundtrip) {
+  Rng rng(GetParam() * 31 + 7);
+  TaskSet set;
+  const std::uint32_t job_size = 2048;
+  for (int i = 0; i < 200; ++i) {
+    set.insert(static_cast<std::uint32_t>(rng.next_below(job_size)));
+  }
+
+  ByteSink dense_sink;
+  set.encode_dense(dense_sink, job_size);
+  EXPECT_EQ(dense_sink.size(), set.dense_wire_bytes(job_size));
+  auto dense_bytes = dense_sink.take();
+  ByteSource dense_source(dense_bytes);
+  auto dense_decoded = TaskSet::decode_dense(dense_source, job_size);
+  ASSERT_TRUE(dense_decoded.is_ok());
+  EXPECT_EQ(dense_decoded.value(), set);
+
+  ByteSink ranged_sink;
+  set.encode_ranged(ranged_sink);
+  EXPECT_EQ(ranged_sink.size(), set.ranged_wire_bytes());
+  auto ranged_bytes = ranged_sink.take();
+  ByteSource ranged_source(ranged_bytes);
+  auto ranged_decoded = TaskSet::decode_ranged(ranged_source);
+  ASSERT_TRUE(ranged_decoded.is_ok());
+  EXPECT_EQ(ranged_decoded.value(), set);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireRoundtrip, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(WireFormats, DenseSizeIsJobProportional) {
+  const TaskSet s = TaskSet::range(0, 127);  // one daemon's contiguous block
+  EXPECT_EQ(s.dense_wire_bytes(212992), 26624u);   // 26 KB at 208K tasks
+  EXPECT_EQ(s.dense_wire_bytes(1048576), 131072u); // the 1-megabit edge label
+  EXPECT_LT(s.ranged_wire_bytes(), 8u);            // vs a handful of bytes
+}
+
+TEST(WireFormats, DenseMatchesDenseBitVectorBytes) {
+  TaskSet s;
+  s.insert_range(3, 90);
+  s.insert(200);
+  const std::uint32_t size = 256;
+  ByteSink from_set;
+  s.encode_dense(from_set, size);
+  ByteSink from_bits;
+  DenseBitVector::from_task_set(s, size).encode(from_bits);
+  ASSERT_EQ(from_set.size(), from_bits.size());
+  EXPECT_TRUE(std::equal(from_set.bytes().begin(), from_set.bytes().end(),
+                         from_bits.bytes().begin()));
+}
+
+TEST(DenseBitVector, SetTestCount) {
+  DenseBitVector bits(130);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  EXPECT_THROW(bits.set(130), std::logic_error);
+}
+
+TEST(DenseBitVector, OrWithIsUnion) {
+  DenseBitVector a(100), b(100);
+  a.set(1);
+  a.set(50);
+  b.set(50);
+  b.set(99);
+  a.or_with(b);
+  EXPECT_EQ(a.count(), 3u);
+  DenseBitVector c(64);
+  EXPECT_THROW(a.or_with(c), std::logic_error);
+}
+
+TEST(DenseBitVector, TaskSetRoundtrip) {
+  TaskSet s;
+  s.insert_range(10, 20);
+  s.insert(63);
+  s.insert(64);
+  const DenseBitVector bits = DenseBitVector::from_task_set(s, 128);
+  EXPECT_EQ(bits.to_task_set(), s);
+}
+
+TEST(DenseBitVector, EncodeDecodeRoundtrip) {
+  DenseBitVector bits(77);
+  for (std::uint32_t i = 0; i < 77; i += 3) bits.set(i);
+  ByteSink sink;
+  bits.encode(sink);
+  EXPECT_EQ(sink.size(), bits.wire_bytes());
+  auto bytes = sink.take();
+  ByteSource source(bytes);
+  auto decoded = DenseBitVector::decode(source, 77);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), bits);
+}
+
+}  // namespace
+}  // namespace petastat::stat

@@ -1,0 +1,306 @@
+// Unit tests for TBON topology construction, connect-time model, the
+// reduction engine, and multicast.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "machine/cost_model.hpp"
+#include "tbon/reduction.hpp"
+#include "tbon/topology.hpp"
+
+namespace petastat::tbon {
+namespace {
+
+machine::DaemonLayout layout_of(const machine::MachineConfig& m,
+                                std::uint32_t tasks,
+                                machine::BglMode mode = machine::BglMode::kCoprocessor) {
+  machine::JobConfig job;
+  job.num_tasks = tasks;
+  job.mode = mode;
+  return machine::layout_daemons(m, job).value();
+}
+
+void check_tree_invariants(const TbonTopology& topo, std::uint32_t daemons) {
+  // procs[0] is the front end with no parent.
+  EXPECT_EQ(topo.procs[0].parent, -1);
+  EXPECT_EQ(topo.procs[0].level, 0u);
+  // Every other proc has a valid parent at the previous level, and parents
+  // list exactly their children.
+  std::vector<std::uint32_t> child_counts(topo.procs.size(), 0);
+  for (std::uint32_t i = 1; i < topo.procs.size(); ++i) {
+    const auto& p = topo.procs[i];
+    ASSERT_GE(p.parent, 0);
+    const auto& parent = topo.procs[static_cast<std::uint32_t>(p.parent)];
+    EXPECT_EQ(parent.level + 1, p.level);
+    EXPECT_NE(std::find(parent.children.begin(), parent.children.end(), i),
+              parent.children.end());
+    ++child_counts[static_cast<std::uint32_t>(p.parent)];
+  }
+  for (std::uint32_t i = 0; i < topo.procs.size(); ++i) {
+    EXPECT_EQ(topo.procs[i].children.size(), child_counts[i]);
+  }
+  // Leaves are exactly the daemons, in order.
+  ASSERT_EQ(topo.leaf_of_daemon.size(), daemons);
+  for (std::uint32_t d = 0; d < daemons; ++d) {
+    const auto& leaf = topo.procs[topo.leaf_of_daemon[d]];
+    EXPECT_TRUE(leaf.is_leaf());
+    EXPECT_EQ(leaf.daemon.value(), d);
+    EXPECT_TRUE(leaf.children.empty());
+  }
+}
+
+TEST(Topology, FlatTreeHasNoCommProcs) {
+  const auto layout = layout_of(machine::atlas(), 512);
+  const auto topo = build_topology(machine::atlas(), layout,
+                                   TopologySpec::flat());
+  ASSERT_TRUE(topo.is_ok());
+  EXPECT_EQ(topo.value().num_comm_procs(), 0u);
+  EXPECT_EQ(topo.value().front_end().children.size(), 64u);  // 512/8 daemons
+  check_tree_invariants(topo.value(), 64);
+}
+
+class BalancedDepth
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t>> {};
+
+TEST_P(BalancedDepth, InvariantsHoldAcrossScales) {
+  const auto [depth, tasks] = GetParam();
+  const auto layout = layout_of(machine::atlas(), tasks);
+  const auto topo = build_topology(machine::atlas(), layout,
+                                   TopologySpec::balanced(depth));
+  ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
+  check_tree_invariants(topo.value(), layout.num_daemons);
+  // Balanced rule: fanout near the depth-th root of the daemon count.
+  const double root = std::pow(layout.num_daemons, 1.0 / depth);
+  EXPECT_LE(topo.value().max_fanout(),
+            static_cast<std::uint32_t>(std::ceil(root)) * 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, BalancedDepth,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(64u, 512u, 4096u, 8192u)));
+
+TEST(Topology, FullClusterLeavesNoCommAllocation) {
+  // With every Atlas node running daemons there is no separate compute
+  // allocation left for comm processes; only the flat tree fits.
+  const auto layout = layout_of(machine::atlas(), 9216);
+  EXPECT_TRUE(build_topology(machine::atlas(), layout, TopologySpec::flat())
+                  .is_ok());
+  const auto deep =
+      build_topology(machine::atlas(), layout, TopologySpec::balanced(2));
+  EXPECT_EQ(deep.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Topology, BglTwoDeepFanoutRule) {
+  // "fanout from the front end = sqrt(#daemons) or 28, whichever is less"
+  const auto m = machine::bgl();
+  {
+    const auto layout = layout_of(m, 16384);  // 256 daemons -> sqrt = 16
+    const auto topo = build_topology(m, layout, TopologySpec::bgl(2)).value();
+    EXPECT_EQ(topo.front_end().children.size(), 16u);
+  }
+  {
+    const auto layout = layout_of(m, 104448);  // 1632 daemons -> min(41,28)=28
+    const auto topo = build_topology(m, layout, TopologySpec::bgl(2)).value();
+    EXPECT_EQ(topo.front_end().children.size(), 28u);
+    check_tree_invariants(topo, layout.num_daemons);
+  }
+}
+
+TEST(Topology, BglThreeDeepUsesFourThenSecondLevel) {
+  const auto m = machine::bgl();
+  const auto layout = layout_of(m, 65536);
+  for (const std::uint32_t second : {16u, 24u}) {
+    const auto topo =
+        build_topology(m, layout, TopologySpec::bgl(3, second)).value();
+    EXPECT_EQ(topo.front_end().children.size(), 4u);
+    EXPECT_EQ(topo.num_comm_procs(), 4u + second);
+    check_tree_invariants(topo, layout.num_daemons);
+  }
+}
+
+TEST(Topology, CommProcsPlacedOnLoginNodesOnBgl) {
+  const auto m = machine::bgl();
+  const auto layout = layout_of(m, 65536);
+  const auto topo = build_topology(m, layout, TopologySpec::bgl(2)).value();
+  for (const auto& p : topo.procs) {
+    if (!p.is_leaf() && p.parent >= 0) {
+      EXPECT_EQ(machine::node_role(p.host), machine::NodeRole::kLogin);
+      EXPECT_LT(machine::node_index(p.host), m.login_nodes);
+    }
+  }
+}
+
+TEST(Topology, CommProcsPlacedOnExtraComputeNodesOnAtlas) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 4096);  // daemons on nodes 0..511
+  const auto topo =
+      build_topology(m, layout, TopologySpec::balanced(2)).value();
+  for (const auto& p : topo.procs) {
+    if (!p.is_leaf() && p.parent >= 0) {
+      EXPECT_EQ(machine::node_role(p.host), machine::NodeRole::kCompute);
+      EXPECT_GE(machine::node_index(p.host), 512u);  // separate allocation
+    }
+  }
+}
+
+TEST(Topology, LoginCapacityIsEnforced) {
+  auto m = machine::bgl();
+  m.max_comm_procs_per_login = 1;  // capacity 14
+  const auto layout = layout_of(m, 104448);
+  const auto topo = build_topology(m, layout, TopologySpec::bgl(2));
+  EXPECT_EQ(topo.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Topology, ExplicitWidthsValidated) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 512);
+  TopologySpec spec;
+  spec.depth = 3;
+  spec.level_widths = {8};  // needs depth-1 = 2 entries
+  EXPECT_FALSE(build_topology(m, layout, spec).is_ok());
+  spec.level_widths = {8, 4};  // narrower than parent level
+  EXPECT_FALSE(build_topology(m, layout, spec).is_ok());
+  spec.level_widths = {4, 8};
+  EXPECT_TRUE(build_topology(m, layout, spec).is_ok());
+}
+
+TEST(Topology, DepthBoundsChecked) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 64);
+  TopologySpec spec;
+  spec.depth = 0;
+  EXPECT_FALSE(build_topology(m, layout, spec).is_ok());
+  spec.depth = 5;
+  EXPECT_FALSE(build_topology(m, layout, spec).is_ok());
+}
+
+TEST(Topology, ConnectTimeGrowsWithFanout) {
+  const auto m = machine::atlas();
+  const machine::LaunchCosts costs;
+  const auto flat = build_topology(m, layout_of(m, 4096),
+                                   TopologySpec::flat()).value();
+  const auto deep = build_topology(m, layout_of(m, 4096),
+                                   TopologySpec::balanced(2)).value();
+  EXPECT_GT(connect_time(flat, costs), connect_time(deep, costs));
+}
+
+// --------------------------------------------------------------------------
+// Reduction engine, with a toy integer payload.
+
+struct SumPayload {
+  std::uint64_t sum = 0;
+  std::uint32_t contributions = 0;
+};
+
+ReduceOps<SumPayload> sum_ops() {
+  ReduceOps<SumPayload> ops;
+  ops.merge_into = [](SumPayload& acc, SumPayload&& child, SimTime& cpu) {
+    acc.sum += child.sum;
+    acc.contributions += child.contributions;
+    cpu += 100;
+  };
+  ops.wire_bytes = [](const SumPayload&) { return std::uint64_t{64}; };
+  ops.codec_cost = [](std::uint64_t) { return SimTime{50}; };
+  return ops;
+}
+
+class ReductionCorrectness : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ReductionCorrectness, SumsAllLeavesExactlyOnce) {
+  const std::uint32_t tasks = GetParam();
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, tasks);
+  const auto topo =
+      build_topology(m, layout, TopologySpec::balanced(2)).value();
+
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
+
+  std::vector<SumPayload> leaves(layout.num_daemons);
+  std::uint64_t expected = 0;
+  for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+    leaves[d] = {static_cast<std::uint64_t>(d) * d + 1, 1};
+    expected += leaves[d].sum;
+  }
+
+  std::optional<ReduceResult<SumPayload>> result;
+  reduction.start(std::move(leaves),
+                  [&result](ReduceResult<SumPayload> r) { result = std::move(r); });
+  simulator.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload.sum, expected);
+  EXPECT_EQ(result->payload.contributions, layout.num_daemons);
+  EXPECT_GT(result->finished_at, 0u);
+  EXPECT_EQ(result->messages, topo.procs.size() - 1);  // one msg per edge
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ReductionCorrectness,
+                         ::testing::Values(64u, 256u, 1024u, 4096u));
+
+TEST(Reduction, DeeperTreesReduceFrontEndWork) {
+  // With expensive per-packet codec cost, the flat tree's front end pays for
+  // every daemon; the deep tree amortizes across comm processes.
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 4096);
+
+  const auto run_depth = [&](std::uint32_t depth) {
+    const auto topo = build_topology(
+        m, layout, depth == 1 ? TopologySpec::flat() : TopologySpec::balanced(depth))
+        .value();
+    sim::Simulator simulator;
+    net::Network network(simulator, m, net::default_network_params(m));
+    ReduceOps<SumPayload> ops = sum_ops();
+    ops.codec_cost = [](std::uint64_t) { return SimTime{1 * kMillisecond}; };
+    Reduction<SumPayload> reduction(simulator, network, topo, ops);
+    std::vector<SumPayload> leaves(layout.num_daemons, SumPayload{1, 1});
+    SimTime finish = 0;
+    reduction.start(std::move(leaves),
+                    [&finish](ReduceResult<SumPayload> r) { finish = r.finished_at; });
+    simulator.run();
+    return finish;
+  };
+
+  EXPECT_LT(run_depth(2), run_depth(1));
+}
+
+TEST(Reduction, PayloadCountMismatchThrows) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 64);
+  const auto topo = build_topology(m, layout, TopologySpec::flat()).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
+  std::vector<SumPayload> wrong(3);
+  EXPECT_THROW(reduction.start(std::move(wrong), nullptr), std::logic_error);
+}
+
+TEST(Multicast, ReachesEveryLeafOnce) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 1024);
+  const auto topo = build_topology(m, layout, TopologySpec::balanced(3)).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  SimTime finished = 0;
+  bool fired = false;
+  multicast(simulator, network, topo, 64, [&](SimTime t) {
+    finished = t;
+    fired = true;
+  });
+  simulator.run();
+  EXPECT_TRUE(fired);
+  EXPECT_GT(finished, 0u);
+  // One message per edge.
+  EXPECT_EQ(network.total_messages(), topo.procs.size() - 1);
+}
+
+TEST(TopologySpecNames, AreDescriptive) {
+  EXPECT_EQ(TopologySpec::flat().name(), "1-deep");
+  EXPECT_EQ(TopologySpec::balanced(2).name(), "2-deep");
+  EXPECT_EQ(TopologySpec::bgl(3, 24).name(), "3-deep(24)");
+}
+
+}  // namespace
+}  // namespace petastat::tbon

@@ -1,0 +1,65 @@
+// petastat — the driver tool: run the simulated STAT against a configurable
+// platform/job and emit a text, CSV, or JSON report.
+//
+//   $ petastat --machine bgl --tasks 212992 --mode vn
+//              --topology bgl2deep --repr hier --format json
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "stat/cli_config.hpp"
+#include "stat/report.hpp"
+#include "stat/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace petastat;
+
+  std::vector<std::string_view> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  for (const auto arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(stat::cli_usage().c_str(), stdout);
+      return 0;
+    }
+  }
+
+  auto parsed = stat::parse_cli(args);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "error: %s\n\n%s", parsed.status().to_string().c_str(),
+                 stat::cli_usage().c_str());
+    return 2;
+  }
+  const stat::CliConfig& config = parsed.value();
+
+  stat::StatScenario scenario(config.machine, config.job, config.options);
+  const stat::StatRunResult result = scenario.run();
+  const auto& frames = scenario.app().frames();
+
+  switch (config.format) {
+    case stat::OutputFormat::kText:
+      std::fputs(
+          stat::render_text_report(result, frames, config.print_tree).c_str(),
+          stdout);
+      break;
+    case stat::OutputFormat::kCsv:
+      std::printf("%s\n%s\n", stat::csv_header().c_str(),
+                  stat::render_csv_row(config.machine.name, result).c_str());
+      break;
+    case stat::OutputFormat::kJson:
+      std::fputs(stat::render_json_report(result, frames).c_str(), stdout);
+      break;
+  }
+
+  if (!config.dot_path.empty() && result.status.is_ok()) {
+    if (std::FILE* f = std::fopen(config.dot_path.c_str(), "w")) {
+      const std::string dot = stat::to_dot(result.tree_3d, frames);
+      std::fwrite(dot.data(), 1, dot.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", config.dot_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n", config.dot_path.c_str());
+      return 3;
+    }
+  }
+  return result.status.is_ok() ? 0 : 1;
+}
