@@ -3,6 +3,7 @@
 // the actual formats (dense bit vector pages vs ranged task lists).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -89,9 +90,9 @@ class ByteSource {
     while (true) {
       if (pos_ >= data_.size()) return truncated();
       const std::uint8_t byte = data_[pos_++];
-      if (shift >= 63 && (byte & 0x7e) != 0) {
-        return invalid_argument("varint overflow");
-      }
+      // The 10th byte holds bit 63 only: anything above 1 overflows, and a
+      // set continuation bit would push the next shift past 64 (UB).
+      if (shift >= 63 && byte > 1) return invalid_argument("varint overflow");
       out |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
       if ((byte & 0x80) == 0) return Status::ok();
       shift += 7;
@@ -101,14 +102,16 @@ class ByteSource {
   [[nodiscard]] Status get_string(std::string& out) {
     std::uint64_t len = 0;
     if (auto s = get_varint(len); !s.is_ok()) return s;
-    if (pos_ + len > data_.size()) return truncated();
+    // `pos_ + len` may wrap for attacker-controlled lengths; compare against
+    // the remaining bytes instead.
+    if (len > data_.size() - pos_) return truncated();
     out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
     pos_ += len;
     return Status::ok();
   }
 
   [[nodiscard]] Status get_bytes(std::size_t n, std::span<const std::uint8_t>& out) {
-    if (pos_ + n > data_.size()) return truncated();
+    if (n > data_.size() - pos_) return truncated();
     out = data_.subspan(pos_, n);
     pos_ += n;
     return Status::ok();
@@ -116,6 +119,14 @@ class ByteSource {
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
   [[nodiscard]] bool exhausted() const { return pos_ == data_.size(); }
+
+  /// Caps an untrusted element count before a container reserve(): every
+  /// encoded element occupies at least one byte, so no valid stream holds
+  /// more elements than it has bytes remaining. Keeps a corrupt count header
+  /// from allocating wildly before the truncation error surfaces.
+  [[nodiscard]] std::size_t clamped_count(std::uint64_t n) const {
+    return static_cast<std::size_t>(std::min<std::uint64_t>(n, remaining()));
+  }
 
  private:
   static Status truncated() { return invalid_argument("truncated buffer"); }

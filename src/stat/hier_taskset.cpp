@@ -80,12 +80,13 @@ Result<HierTaskSet> HierTaskSet::decode(ByteSource& source) {
   std::uint64_t n = 0;
   if (auto s = source.get_varint(n); !s.is_ok()) return s;
   HierTaskSet set;
-  set.blocks_.reserve(n);
+  set.blocks_.reserve(source.clamped_count(n));
   std::uint64_t cursor = 0;
   bool first = true;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::uint64_t delta = 0;
     if (auto s = source.get_varint(delta); !s.is_ok()) return s;
+    if (delta > UINT32_MAX) return invalid_argument("daemon id overflow");
     const std::uint64_t daemon = first ? delta : cursor + 1 + delta;
     if (daemon > UINT32_MAX) return invalid_argument("daemon id overflow");
     auto local = TaskSet::decode_ranged(source);

@@ -166,10 +166,16 @@ class PrefixTree {
               const LabelContext& ctx) const {
     encode_node(root_, sink, frames, ctx, /*is_root=*/true);
   }
+  /// Deepest tree decode() accepts. Real stacks are tens of frames; the
+  /// limit only exists so crafted input exhausts the Status budget, not the
+  /// call stack.
+  static constexpr std::size_t kMaxDecodeDepth = 512;
+
   static Result<PrefixTree> decode(ByteSource& source, app::FrameTable& frames,
                                    const LabelContext& ctx) {
     PrefixTree tree;
-    if (auto s = decode_children(tree.root_, source, frames, ctx); !s.is_ok()) {
+    if (auto s = decode_children(tree.root_, source, frames, ctx, 0);
+        !s.is_ok()) {
       return s;
     }
     return tree;
@@ -244,10 +250,14 @@ class PrefixTree {
   }
 
   static Status decode_children(Node& node, ByteSource& source,
-                                app::FrameTable& frames, const LabelContext& ctx) {
+                                app::FrameTable& frames, const LabelContext& ctx,
+                                std::size_t depth) {
+    if (depth > kMaxDecodeDepth) {
+      return invalid_argument("prefix tree exceeds maximum decode depth");
+    }
     std::uint64_t n = 0;
     if (auto s = source.get_varint(n); !s.is_ok()) return s;
-    node.children.reserve(n);
+    node.children.reserve(source.clamped_count(n));
     for (std::uint64_t i = 0; i < n; ++i) {
       std::string name;
       if (auto s = source.get_string(name); !s.is_ok()) return s;
@@ -255,7 +265,8 @@ class PrefixTree {
       if (!label.is_ok()) return label.status();
       Node& child = node.ensure_child(frames.intern(name));
       child.label.merge(label.value());
-      if (auto s = decode_children(child, source, frames, ctx); !s.is_ok()) {
+      if (auto s = decode_children(child, source, frames, ctx, depth + 1);
+          !s.is_ok()) {
         return s;
       }
     }

@@ -221,13 +221,16 @@ Result<TaskSet> TaskSet::decode_ranged(ByteSource& source) {
   std::uint64_t n = 0;
   if (auto s = source.get_varint(n); !s.is_ok()) return s;
   TaskSet set;
-  set.intervals_.reserve(n);
+  set.intervals_.reserve(source.clamped_count(n));
   std::uint64_t cursor = 0;
   bool first = true;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::uint64_t gap = 0, len = 0;
     if (auto s = source.get_varint(gap); !s.is_ok()) return s;
     if (auto s = source.get_varint(len); !s.is_ok()) return s;
+    if (gap > UINT32_MAX || len > UINT32_MAX) {
+      return invalid_argument("ranged task set overflow");
+    }
     const std::uint64_t lo = first ? gap : cursor + 1 + gap;
     const std::uint64_t hi = lo + len;
     if (hi > UINT32_MAX) return invalid_argument("ranged task set overflow");

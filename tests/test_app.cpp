@@ -28,8 +28,8 @@ TEST(FrameTable, RenderJoinsWithAngleBracket) {
 
 TEST(FrameTable, UnknownIdThrows) {
   FrameTable frames;
-  EXPECT_THROW(frames.name(FrameId(3)), std::logic_error);
-  EXPECT_THROW(frames.name(FrameId::invalid()), std::logic_error);
+  EXPECT_THROW((void)frames.name(FrameId(3)), std::logic_error);
+  EXPECT_THROW((void)frames.name(FrameId::invalid()), std::logic_error);
 }
 
 struct RingFixture : ::testing::Test {

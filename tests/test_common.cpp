@@ -273,7 +273,7 @@ TEST(Status, ResultHoldsValueOrStatus) {
   Result<int> bad(not_found("nope"));
   EXPECT_FALSE(bad.is_ok());
   EXPECT_EQ(bad.value_or(-1), -1);
-  EXPECT_THROW(bad.value(), std::logic_error);
+  EXPECT_THROW((void)bad.value(), std::logic_error);
 }
 
 TEST(StrongId, DistinctTypesAndHash) {

@@ -1,0 +1,303 @@
+// Scenario-matrix harness: runs StatScenario over the pruned cross-product of
+//   {Atlas, BG/L} x {CO, VN} x {dense, hierarchical} x {flat, balanced(2),
+//   balanced(16)} x {launchmon, mrnet-rsh, ciod-patched} x {ring-hang,
+//   threaded-ring, statbench}
+// and asserts, in every valid cell:
+//   1. the pipeline completes with an OK status,
+//   2. phase ordering (launch before connect before sampling before merge,
+//      every measured phase positive, remap only for the hierarchical repr),
+//   3. task-count conservation (classes cover the job exactly; partition it
+//      for single-threaded apps),
+//   4. dense/hierarchical equivalence-class agreement: the same cell with the
+//      representation flipped yields the same classes.
+// Cells that are invalid on the platform (VN mode off BG/L, rsh on BG/L,
+// CIOD off BG/L, 16-deep trees) are pruned; the pruning itself is tested —
+// pruned-but-runnable configurations must fail cleanly, never crash.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stat/scenario.hpp"
+
+namespace petastat::stat {
+namespace {
+
+enum class MachineKind { kAtlas, kBgl };
+enum class TopoKind { kFlat, kBalanced2, kBalanced16 };
+
+struct MatrixCase {
+  MachineKind machine;
+  machine::BglMode mode;
+  TaskSetRepr repr;
+  TopoKind topo;
+  LauncherKind launcher;
+  AppKind app;
+};
+
+const char* machine_name(MachineKind m) {
+  return m == MachineKind::kAtlas ? "atlas" : "bgl";
+}
+
+const char* topo_name(TopoKind t) {
+  switch (t) {
+    case TopoKind::kFlat: return "flat";
+    case TopoKind::kBalanced2: return "bal2";
+    case TopoKind::kBalanced16: return "bal16";
+  }
+  return "?";
+}
+
+const char* app_name(AppKind a) {
+  switch (a) {
+    case AppKind::kRingHang: return "ring";
+    case AppKind::kThreadedRing: return "threadedring";
+    case AppKind::kStatBench: return "statbench";
+  }
+  return "?";
+}
+
+std::string cell_name(const MatrixCase& c) {
+  std::string name = std::string(machine_name(c.machine)) + "_" +
+                     machine::bgl_mode_name(c.mode) + "_" +
+                     (c.repr == TaskSetRepr::kDenseGlobal ? "dense" : "hier");
+  name += std::string("_") + topo_name(c.topo) + "_";
+  switch (c.launcher) {
+    case LauncherKind::kLaunchMon: name += "launchmon"; break;
+    case LauncherKind::kMrnetRsh: name += "mrnetrsh"; break;
+    case LauncherKind::kCiodPatched: name += "ciod"; break;
+    default: name += "other"; break;
+  }
+  return name + "_" + app_name(c.app);
+}
+
+/// The full 2x2x2x3x3x3 cross-product, before pruning.
+std::vector<MatrixCase> all_cases() {
+  std::vector<MatrixCase> cases;
+  for (MachineKind machine : {MachineKind::kAtlas, MachineKind::kBgl}) {
+    for (machine::BglMode mode :
+         {machine::BglMode::kCoprocessor, machine::BglMode::kVirtualNode}) {
+      for (TaskSetRepr repr :
+           {TaskSetRepr::kDenseGlobal, TaskSetRepr::kHierarchical}) {
+        for (TopoKind topo :
+             {TopoKind::kFlat, TopoKind::kBalanced2, TopoKind::kBalanced16}) {
+          for (LauncherKind launcher :
+               {LauncherKind::kLaunchMon, LauncherKind::kMrnetRsh,
+                LauncherKind::kCiodPatched}) {
+            for (AppKind app : {AppKind::kRingHang, AppKind::kThreadedRing,
+                                AppKind::kStatBench}) {
+              cases.push_back({machine, mode, repr, topo, launcher, app});
+            }
+          }
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+/// Platform-validity pruning:
+///  * VN mode exists only on BG/L (JobConfig::mode is ignored on clusters,
+///    so Atlas x VN would duplicate Atlas x CO);
+///  * rsh spawning needs rshd on the daemon hosts — Atlas only;
+///  * CIOD is BG/L system software;
+///  * the topology builder supports depth 1..4, so 16-deep trees are invalid
+///    everywhere (their clean rejection is tested separately).
+bool is_valid(const MatrixCase& c) {
+  if (c.machine != MachineKind::kBgl &&
+      c.mode == machine::BglMode::kVirtualNode) {
+    return false;
+  }
+  if (c.topo == TopoKind::kBalanced16) return false;
+  if (c.launcher == LauncherKind::kMrnetRsh && c.machine != MachineKind::kAtlas) {
+    return false;
+  }
+  if (c.launcher == LauncherKind::kCiodPatched && c.machine != MachineKind::kBgl) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<MatrixCase> valid_cases() {
+  std::vector<MatrixCase> cases = all_cases();
+  std::erase_if(cases, [](const MatrixCase& c) { return !is_valid(c); });
+  return cases;
+}
+
+machine::MachineConfig machine_for(const MatrixCase& c) {
+  return c.machine == MachineKind::kAtlas ? machine::atlas() : machine::bgl();
+}
+
+machine::JobConfig job_for(const MatrixCase& c) {
+  machine::JobConfig job;
+  if (c.machine == MachineKind::kAtlas) {
+    job.num_tasks = 256;  // 32 daemons
+  } else {
+    // Same 64 I/O-node daemons in both modes.
+    job.num_tasks = c.mode == machine::BglMode::kVirtualNode ? 8192 : 4096;
+  }
+  job.mode = c.mode;
+  if (c.app == AppKind::kThreadedRing) job.threads_per_task = 4;
+  return job;
+}
+
+StatOptions options_for(const MatrixCase& c) {
+  StatOptions options;
+  switch (c.topo) {
+    case TopoKind::kFlat: options.topology = tbon::TopologySpec::flat(); break;
+    case TopoKind::kBalanced2:
+      options.topology = tbon::TopologySpec::balanced(2);
+      break;
+    case TopoKind::kBalanced16:
+      options.topology = tbon::TopologySpec::balanced(16);
+      break;
+  }
+  options.repr = c.repr;
+  options.launcher = c.launcher;
+  options.app = c.app;
+  options.statbench_classes = 16;
+  return options;
+}
+
+/// Runs a cell's scenario once and memoizes the result: the agreement check
+/// needs the repr-flipped cell, which is itself a primary cell elsewhere in
+/// the matrix, so every configuration is simulated exactly once.
+const StatRunResult& run_cached(const MatrixCase& c) {
+  static std::map<std::string, StatRunResult>& cache =
+      *new std::map<std::string, StatRunResult>();
+  const std::string key = cell_name(c);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  StatScenario scenario(machine_for(c), job_for(c), options_for(c));
+  return cache.emplace(key, scenario.run()).first->second;
+}
+
+/// Order-independent class signature: (task count, exact member set) pairs.
+std::vector<std::string> class_signature(const StatRunResult& result) {
+  std::vector<std::string> signature;
+  signature.reserve(result.classes.size());
+  for (const EquivalenceClass& cls : result.classes) {
+    signature.push_back(std::to_string(cls.size()) + ":" +
+                        cls.tasks.edge_label(/*max_items=*/64));
+  }
+  std::sort(signature.begin(), signature.end());
+  return signature;
+}
+
+class ScenarioMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+std::string param_name(const ::testing::TestParamInfo<MatrixCase>& info) {
+  return cell_name(info.param);
+}
+
+TEST_P(ScenarioMatrix, CellInvariantsHold) {
+  const MatrixCase& c = GetParam();
+  const machine::JobConfig job = job_for(c);
+  const StatRunResult& result = run_cached(c);
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+
+  // --- Phase ordering -------------------------------------------------------
+  const PhaseBreakdown& phases = result.phases;
+  EXPECT_TRUE(phases.launch.status.is_ok());
+  EXPECT_GE(phases.launch.finished_at, phases.launch.started_at);
+  EXPECT_GT(phases.connect_time, 0u);
+  // Startup subsumes both the launch and the MRNet connect that follows it.
+  EXPECT_GE(phases.startup_total,
+            phases.launch.finished_at - phases.launch.started_at);
+  EXPECT_GE(phases.startup_total, phases.connect_time);
+  EXPECT_TRUE(phases.sample_status.is_ok());
+  EXPECT_GT(phases.sample_time, 0u);
+  EXPECT_TRUE(phases.merge_status.is_ok());
+  EXPECT_GT(phases.merge_time, 0u);
+  EXPECT_GT(phases.merge_bytes, 0u);
+  if (c.repr == TaskSetRepr::kHierarchical) {
+    EXPECT_GT(phases.remap_time, 0u);  // the front-end remap step
+  } else {
+    EXPECT_EQ(phases.remap_time, 0u);  // dense has no remap
+  }
+
+  // --- Topology shape -------------------------------------------------------
+  if (c.topo == TopoKind::kFlat) {
+    EXPECT_EQ(result.num_comm_procs, 0u);
+  } else {
+    EXPECT_GT(result.num_comm_procs, 0u);
+  }
+
+  // --- Task-count conservation ----------------------------------------------
+  ASSERT_FALSE(result.classes.empty());
+  TaskSet covered;
+  std::uint64_t total = 0;
+  for (const EquivalenceClass& cls : result.classes) {
+    EXPECT_FALSE(cls.tasks.empty());
+    EXPECT_LE(cls.tasks.max_task(), job.num_tasks - 1);
+    total += cls.size();
+    covered.union_with(cls.tasks);
+  }
+  // Every rank is accounted for, and no rank is invented.
+  EXPECT_EQ(covered.count(), job.num_tasks);
+  if (c.app != AppKind::kRingHang) {
+    // Per-thread stacks (threaded ring) and per-sample stack variation
+    // (statbench) legitimately end a rank in several classes, so the classes
+    // cover (not partition) the rank space.
+    EXPECT_GE(total, job.num_tasks);
+  } else {
+    // The ring hang pins every task's stack: exact partition.
+    EXPECT_EQ(total, job.num_tasks);
+    TaskSet disjoint;
+    for (const EquivalenceClass& cls : result.classes) {
+      EXPECT_FALSE(disjoint.intersects(cls.tasks));
+      disjoint.union_with(cls.tasks);
+    }
+  }
+
+  // --- Dense/hierarchical agreement -----------------------------------------
+  MatrixCase flipped = c;
+  flipped.repr = c.repr == TaskSetRepr::kDenseGlobal
+                     ? TaskSetRepr::kHierarchical
+                     : TaskSetRepr::kDenseGlobal;
+  const StatRunResult& other = run_cached(flipped);
+  ASSERT_TRUE(other.status.is_ok()) << other.status.to_string();
+  EXPECT_EQ(result.classes.size(), other.classes.size());
+  EXPECT_EQ(class_signature(result), class_signature(other));
+  // The merged 3D trees agree structurally too (remap restores rank order).
+  EXPECT_EQ(result.tree_3d, other.tree_3d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pruned, ScenarioMatrix,
+                         ::testing::ValuesIn(valid_cases()), param_name);
+
+TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
+  EXPECT_EQ(all_cases().size(), 216u);
+  EXPECT_GE(valid_cases().size(), 24u);
+  // Lock the exact matrix: 3 machine-modes x 2 topologies x 2 reprs x
+  // 2 launchers x 3 apps. A pruning regression that silently drops cells
+  // must fail here, not shrink coverage unnoticed.
+  EXPECT_EQ(valid_cases().size(), 72u);
+}
+
+// Pruned-but-runnable configurations must fail with a clean Status — the
+// tool reports "cannot build that tree / cannot launch that way", it does
+// not crash.
+TEST(ScenarioMatrixPruning, SixteenDeepTopologyFailsCleanly) {
+  MatrixCase c{MachineKind::kAtlas, machine::BglMode::kCoprocessor,
+               TaskSetRepr::kHierarchical, TopoKind::kBalanced16,
+               LauncherKind::kLaunchMon, AppKind::kRingHang};
+  StatScenario scenario(machine_for(c), job_for(c), options_for(c));
+  const StatRunResult result = scenario.run();
+  EXPECT_FALSE(result.status.is_ok());
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScenarioMatrixPruning, RshOnBglFailsCleanly) {
+  MatrixCase c{MachineKind::kBgl, machine::BglMode::kCoprocessor,
+               TaskSetRepr::kHierarchical, TopoKind::kFlat,
+               LauncherKind::kMrnetRsh, AppKind::kRingHang};
+  StatScenario scenario(machine_for(c), job_for(c), options_for(c));
+  const StatRunResult result = scenario.run();
+  EXPECT_FALSE(result.status.is_ok());
+}
+
+}  // namespace
+}  // namespace petastat::stat
