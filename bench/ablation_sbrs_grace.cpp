@@ -62,7 +62,7 @@ GracePoint run_with_grace(SimTime grace) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Ablation", "SBRS SIGSTOP grace period (10 KB + 4 MB to 128 nodes)");
 
   std::printf("\n  %-14s %16s %18s\n", "grace (ms)", "relocation (s)",
@@ -86,5 +86,5 @@ int main() {
          std::to_string(reloc.y.back()) + " s");
   note("the knee sits at the settle threshold (~100 ms); the paper's "
        "half-second grace is comfortably past it");
-  return 0;
+  return bench::finish(argc, argv);
 }

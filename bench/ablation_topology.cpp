@@ -35,7 +35,7 @@ double run_depth(std::uint32_t depth, stat::TaskSetRepr repr,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Ablation", "TBON depth & comm-process budget at 212,992 tasks (BG/L VN)");
 
   std::printf("\n  depth sweep (paper rules):\n");
@@ -96,5 +96,5 @@ int main() {
                                                           dense_ok.y.end()));
   note("dense spread over widths: " + std::to_string(spread(dense_width)) +
        "x; hierarchical spread: " + std::to_string(spread(hier_width)) + "x");
-  return 0;
+  return bench::finish(argc, argv);
 }

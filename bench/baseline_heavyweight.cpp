@@ -13,7 +13,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Baseline", "heavyweight debugger vs STAT: one whole-job stack snapshot");
 
   const auto machine = machine::atlas();
@@ -60,5 +60,5 @@ int main() {
   note("the paper's strategy: run STAT on the full job, then aim the "
        "heavyweight debugger at the handful of representative tasks it "
        "identifies");
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -13,7 +13,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 1", "3D trace/space/time call graph prefix tree, 1024-task ring hang");
 
   stat::StatOptions options;
@@ -65,5 +65,5 @@ int main() {
   std::uint64_t total = 0;
   for (const auto& cls : run.classes) total += cls.size();
   shape_check("classes partition all 1024 tasks", total == 1024);
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -9,7 +9,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 2", "STAT startup time on Atlas: LaunchMON vs MRNet rsh");
 
   const auto machine = machine::atlas();
@@ -71,5 +71,5 @@ int main() {
   shape_check("LaunchMON beats rsh at every measured scale >= 32 daemons, "
               "increasingly so",
               lmon.y[3] < mrnet.y[3] && lmon.y[6] < mrnet.y[6]);
-  return 0;
+  return bench::finish(argc, argv);
 }

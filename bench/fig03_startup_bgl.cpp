@@ -31,7 +31,7 @@ double run_startup(const machine::MachineConfig& machine, std::uint32_t nodes,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 3", "STAT startup time on BG/L with various topologies");
 
   const auto machine = machine::bgl();
@@ -95,5 +95,5 @@ int main() {
               co2_patched.grows_roughly_linearly());
   shape_check("unpatched grows faster than patched",
               co2_unpatched.y.back() > co2_patched.y.back() * 1.5);
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -9,7 +9,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 4", "STAT merge time on Atlas with various topologies");
 
   const auto machine = machine::atlas();
@@ -43,5 +43,5 @@ int main() {
   shape_check("3-deep beats 1-deep at 4,096 tasks", d3.y.back() < d1.y.back());
   shape_check("deep trees stay several times below the flat tree at scale",
               d2.y.back() * 3 < d1.y.back());
-  return 0;
+  return bench::finish(argc, argv);
 }

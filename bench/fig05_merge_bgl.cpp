@@ -10,7 +10,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 5", "STAT merge time on BG/L (original bit vectors)");
 
   const auto machine = machine::bgl();
@@ -56,5 +56,5 @@ int main() {
                   d3co.y.back() < 2.0 * d2co.y.back());
   shape_check("1-deep grows steeply before failing",
               d1.y[1] > d2co.y[1]);
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -36,7 +36,7 @@ MergePoint run(const machine::MachineConfig& machine, std::uint32_t tasks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 7", "Optimized vs original bit vector STAT merge time (BG/L)");
 
   const auto machine = machine::bgl();
@@ -89,5 +89,5 @@ int main() {
               orig_vn.y[2] < orig_co.y[2] && orig_vn.y[3] < orig_co.y[3]);
   note("the optimized scheme's only job-size-proportional cost is the single "
        "front-end remap, reported separately above, exactly as in the paper");
-  return 0;
+  return bench::finish(argc, argv);
 }

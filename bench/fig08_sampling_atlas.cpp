@@ -11,7 +11,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 8", "STAT sampling time on Atlas (binaries on NFS, flat topology)");
 
   const auto machine = machine::atlas();
@@ -44,5 +44,5 @@ int main() {
   note("shared-FS I/O component: " +
        std::to_string(nfs.y.back() - nfs.y.front()) +
        " s growth from 8 to 512 daemons (all reading the same binaries)");
-  return 0;
+  return bench::finish(argc, argv);
 }

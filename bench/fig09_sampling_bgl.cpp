@@ -30,7 +30,7 @@ double run_sampling(const machine::MachineConfig& machine, std::uint32_t tasks,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 9", "STAT sampling time on BG/L with various topologies");
 
   const auto machine = machine::bgl();
@@ -84,5 +84,5 @@ int main() {
               co2.tail_slope_ratio() < 1.1);
   shape_check("VN (128 procs/daemon) slower than CO (64) at equal node count",
               vn2.y.front() > co2.y.front());
-  return 0;
+  return bench::finish(argc, argv);
 }

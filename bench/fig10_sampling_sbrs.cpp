@@ -29,7 +29,7 @@ stat::StatRunResult run_one(std::uint32_t tasks, stat::SharedFsKind fs_kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Figure 10",
         "STAT sampling time on Atlas with the binary relocation service");
 
@@ -70,5 +70,5 @@ int main() {
                   relocated.y.back() < lustre.y.back());
   note("compare with Fig. 8: the slim binary layout alone makes the NFS line "
        "~4x faster at equal scale (OS update effect)");
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -2,6 +2,15 @@
 // prints the series the corresponding paper figure plots, one row per
 // (scale, variant), plus the paper's stated anchors where it gives numbers,
 // and a qualitative shape check (who wins / where it fails / crossovers).
+//
+// Everything printed is also recorded, and `finish(argc, argv)` writes the
+// whole record as machine-readable JSON when the bench is invoked with
+// `--json <path>` — the seed of BENCH_*.json regression tracking:
+//
+//   ./build/bench_fig04_merge_atlas --json BENCH_fig04.json
+//
+// (The two Google Benchmark microbenches emit JSON natively via
+// `--benchmark_format=json`.)
 #pragma once
 
 #include <cstdio>
@@ -11,30 +20,10 @@
 #include "common/stats.hpp"
 #include "common/strings.hpp"
 #include "common/types.hpp"
+#include "stat/report.hpp"
 #include "stat/scenario.hpp"
 
 namespace petastat::bench {
-
-inline void title(const std::string& figure, const std::string& caption) {
-  std::printf("==============================================================\n");
-  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
-  std::printf("==============================================================\n");
-}
-
-inline void note(const std::string& text) {
-  std::printf("  note: %s\n", text.c_str());
-}
-
-inline void anchor(const std::string& what, const std::string& paper,
-                   const std::string& measured) {
-  std::printf("  paper-anchor: %-52s paper=%-12s measured=%s\n", what.c_str(),
-              paper.c_str(), measured.c_str());
-}
-
-inline void shape_check(const std::string& what, bool holds) {
-  std::printf("  shape-check:  %-52s [%s]\n", what.c_str(),
-              holds ? "OK" : "MISMATCH");
-}
 
 /// One series of (x = scale, y = seconds) measurements.
 struct Series {
@@ -83,9 +72,62 @@ struct Series {
   }
 };
 
+/// Everything one bench run reported, for the JSON emitter.
+struct BenchRecord {
+  std::string figure;
+  std::string caption;
+  struct Table {
+    std::string x_label;
+    std::vector<Series> series;
+  };
+  std::vector<Table> tables;
+  std::vector<std::string> notes;
+  struct Anchor {
+    std::string what, paper, measured;
+  };
+  std::vector<Anchor> anchors;
+  struct ShapeCheck {
+    std::string what;
+    bool holds;
+  };
+  std::vector<ShapeCheck> shape_checks;
+};
+
+inline BenchRecord& record() {
+  static BenchRecord r;
+  return r;
+}
+
+inline void title(const std::string& figure, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("==============================================================\n");
+  record().figure = figure;
+  record().caption = caption;
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+  record().notes.push_back(text);
+}
+
+inline void anchor(const std::string& what, const std::string& paper,
+                   const std::string& measured) {
+  std::printf("  paper-anchor: %-52s paper=%-12s measured=%s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+  record().anchors.push_back({what, paper, measured});
+}
+
+inline void shape_check(const std::string& what, bool holds) {
+  std::printf("  shape-check:  %-52s [%s]\n", what.c_str(),
+              holds ? "OK" : "MISMATCH");
+  record().shape_checks.push_back({what, holds});
+}
+
 /// Prints aligned columns: scale, then one column per series.
 inline void print_table(const std::string& x_label,
                         const std::vector<Series>& series) {
+  record().tables.push_back({x_label, series});
   std::printf("\n  %-14s", x_label.c_str());
   for (const auto& s : series) std::printf(" %18s", s.name.c_str());
   std::printf("\n");
@@ -116,6 +158,98 @@ inline stat::StatRunResult run_scenario(const machine::MachineConfig& machine,
   job.mode = mode;
   stat::StatScenario scenario(machine, job, options);
   return scenario.run();
+}
+
+/// Serializes the recorded run. Schema (stable for regression tracking):
+/// {figure, caption, notes[], tables[{x_label, series[{name, points[{x, y,
+/// note}]}]}], anchors[{what, paper, measured}], shape_checks[{what, holds}]}
+/// where y < 0 marks a failed point (note holds the status code).
+inline std::string to_json(const BenchRecord& r) {
+  using stat::json_escape;
+  std::string out = "{\n";
+  out += "  \"figure\": \"" + json_escape(r.figure) + "\",\n";
+  out += "  \"caption\": \"" + json_escape(r.caption) + "\",\n";
+  out += "  \"notes\": [";
+  for (std::size_t i = 0; i < r.notes.size(); ++i) {
+    out += (i ? ", " : "") + ("\"" + json_escape(r.notes[i]) + "\"");
+  }
+  out += "],\n  \"tables\": [";
+  for (std::size_t t = 0; t < r.tables.size(); ++t) {
+    const auto& table = r.tables[t];
+    out += (t ? ",\n" : "\n");
+    out += "    {\"x_label\": \"" + json_escape(table.x_label) +
+           "\", \"series\": [";
+    for (std::size_t s = 0; s < table.series.size(); ++s) {
+      const Series& series = table.series[s];
+      out += (s ? ",\n" : "\n");
+      out += "      {\"name\": \"" + json_escape(series.name) +
+             "\", \"points\": [";
+      for (std::size_t i = 0; i < series.x.size(); ++i) {
+        char point[160];
+        std::snprintf(point, sizeof point, "%s{\"x\": %g, \"y\": %.9g",
+                      i ? ", " : "", series.x[i], series.y[i]);
+        out += point;
+        if (!series.notes[i].empty()) {
+          out += ", \"note\": \"" + json_escape(series.notes[i]) + "\"";
+        }
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "\n    ]}";
+  }
+  out += "\n  ],\n  \"anchors\": [";
+  for (std::size_t i = 0; i < r.anchors.size(); ++i) {
+    out += (i ? ",\n" : "\n");
+    out += "    {\"what\": \"" + json_escape(r.anchors[i].what) +
+           "\", \"paper\": \"" + json_escape(r.anchors[i].paper) +
+           "\", \"measured\": \"" + json_escape(r.anchors[i].measured) + "\"}";
+  }
+  out += "\n  ],\n  \"shape_checks\": [";
+  for (std::size_t i = 0; i < r.shape_checks.size(); ++i) {
+    out += (i ? ",\n" : "\n");
+    out += "    {\"what\": \"" + json_escape(r.shape_checks[i].what) +
+           "\", \"holds\": " + (r.shape_checks[i].holds ? "true" : "false") +
+           "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+/// Call at the end of main: writes the recorded run to the path given by
+/// `--json <path>` (if any) and returns the process exit code (non-zero when
+/// the JSON file cannot be written).
+inline int finish(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --json needs a path\n");
+        return 2;
+      }
+      path = argv[++i];  // consume the value
+    } else {
+      // Self-driving benches take no other flags; a typo must not silently
+      // skip the JSON a regression-tracking pipeline expects.
+      std::fprintf(stderr, "error: unknown argument '%s' (only --json <path>)\n",
+                   argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) return 0;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 3;
+  }
+  const std::string json = to_json(record());
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  if (std::fclose(f) != 0 || !ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+    return 3;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace petastat::bench

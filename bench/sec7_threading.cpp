@@ -39,7 +39,7 @@ stat::StatRunResult run_threads(std::uint32_t tasks, std::uint32_t threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   title("Section VII", "Threading: threads multiply tool data like nodes do");
 
   Series sample("sampling");
@@ -98,5 +98,5 @@ int main() {
               many_threads.classes.size() < 16);
   shape_check("8-thread run collects the same trace volume as the 8x-node run",
               traces_ratio == 1.0);
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -10,7 +10,7 @@
 using namespace petastat;
 using namespace petastat::bench;
 
-int main() {
+int main(int argc, char** argv) {
   title("STATBench", "emulated merge at virtual scales (BG/L daemon population)");
 
   Series dense("dense");
@@ -64,5 +64,5 @@ int main() {
   note("emulation validates the Sec. V projection: at 4M virtual tasks a "
        "dense edge label is half a megabyte; the hierarchical label tracks "
        "only the subtree");
-  return 0;
+  return bench::finish(argc, argv);
 }

@@ -86,25 +86,85 @@ CallPath RingHangApp::stack(TaskId task, std::uint32_t thread,
 ThreadedRingApp::ThreadedRingApp(ThreadedRingOptions options)
     : options_(options), ring_(options.ring) {
   check(options_.threads_per_task >= 1, "threads_per_task must be >= 1");
+  // Pre-intern every worker-thread frame: stack() must be read-only on the
+  // frame table so parallel samplers can synthesize traces concurrently.
+  FrameTable& table = frames();
+  f_clone_ = table.intern("clone");
+  f_start_thread_ = table.intern("start_thread");
+  f_gomp_start_ = table.intern("gomp_thread_start");
+  f_kernel_ = table.intern("compute_kernel");
+  f_stencil_ = table.intern("stencil_sweep");
+  f_reduce_ = table.intern("reduce_partial");
+  f_memcpy_ = table.intern("__memcpy");
 }
 
 CallPath ThreadedRingApp::stack(TaskId task, std::uint32_t thread,
                                 std::uint32_t sample) const {
   if (thread == 0) return ring_.stack(task, 0, sample);
   // Worker threads: OpenMP-style compute kernel with two hot inner loops.
-  FrameTable& table = frames();
   Rng rng = trace_rng(options_.ring.seed * 31, task.value(), thread, sample);
-  CallPath path;
-  path.push_back(table.intern("clone"));
-  path.push_back(table.intern("start_thread"));
-  path.push_back(table.intern("gomp_thread_start"));
-  path.push_back(table.intern("compute_kernel"));
+  CallPath path{f_clone_, f_start_thread_, f_gomp_start_, f_kernel_};
   if (rng.bernoulli(0.6)) {
-    path.push_back(table.intern("stencil_sweep"));
+    path.push_back(f_stencil_);
   } else {
-    path.push_back(table.intern("reduce_partial"));
-    if (rng.bernoulli(0.5)) path.push_back(table.intern("__memcpy"));
+    path.push_back(f_reduce_);
+    if (rng.bernoulli(0.5)) path.push_back(f_memcpy_);
   }
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// IoStallApp
+
+IoStallApp::IoStallApp(IoStallOptions options) : options_(std::move(options)) {
+  check(options_.num_tasks >= 2, "IoStallApp needs at least 2 tasks");
+  check(options_.aggregator_stride >= 1, "aggregator_stride must be >= 1");
+  f_start_ = frames_.intern(options_.bgl_frames ? "_start_blrts" : "_start");
+  f_main_ = frames_.intern("main");
+  f_checkpoint_ = frames_.intern("checkpoint_write");
+  f_write_all_ = frames_.intern("MPIO_Write_all");
+  f_fwrite_ = frames_.intern("_IO_fwrite");
+  f_write_nocancel_ = frames_.intern("__write_nocancel");
+  f_nfs_wait_ = frames_.intern("nfs_wait_on_request");
+  f_lock_spin_ = frames_.intern("adioi_lock_spin");
+  f_sched_yield_ = frames_.intern("__sched_yield");
+  f_barrier_ = frames_.intern("PMPI_Barrier");
+  f_progress_wait_ = frames_.intern("MPID_Progress_wait");
+  f_pollfcn_ = frames_.intern("BGLML_pollfcn");
+  f_advance_ = frames_.intern("BGLML_Messager_advance");
+}
+
+CallPath IoStallApp::stack(TaskId task, std::uint32_t thread,
+                           std::uint32_t sample) const {
+  check(task.value() < options_.num_tasks, "IoStallApp::stack task out of range");
+  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+
+  CallPath path{f_start_, f_main_};
+  if (is_aggregator(task)) {
+    // Wedged in the collective checkpoint write. Most aggregators are deep
+    // in the FS client waiting on the unresponsive server; a stable subset
+    // (per task, not per sample — the hang is persistent) spins on the
+    // shared-file write lock instead.
+    path.push_back(f_checkpoint_);
+    path.push_back(f_write_all_);
+    Rng task_rng(options_.seed, /*stream_id=*/task.value());
+    if (task_rng.bernoulli(0.25)) {
+      path.push_back(f_lock_spin_);
+      path.push_back(f_sched_yield_);
+    } else {
+      path.push_back(f_fwrite_);
+      path.push_back(f_write_nocancel_);
+      path.push_back(f_nfs_wait_);
+    }
+    return path;
+  }
+  // Everyone else reached the post-checkpoint barrier and churns the
+  // progress engine at a sample-varying depth (the time dimension).
+  path.push_back(f_barrier_);
+  path.push_back(f_progress_wait_);
+  path.push_back(f_pollfcn_);
+  const std::uint32_t spins = static_cast<std::uint32_t>(rng.next_below(2));
+  for (std::uint32_t i = 0; i < spins; ++i) path.push_back(f_advance_);
   return path;
 }
 

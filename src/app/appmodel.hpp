@@ -126,6 +126,50 @@ class ThreadedRingApp : public AppModel {
  private:
   ThreadedRingOptions options_;
   RingHangApp ring_;
+  // Pre-interned worker-thread frames (stack() stays read-only).
+  FrameId f_clone_, f_start_thread_, f_gomp_start_, f_kernel_;
+  FrameId f_stencil_, f_reduce_, f_memcpy_;
+};
+
+struct IoStallOptions {
+  std::uint32_t num_tasks = 1024;
+  /// "_start_blrts" on BG/L, "_start" elsewhere.
+  bool bgl_frames = true;
+  /// Every `aggregator_stride`-th rank is an I/O aggregator.
+  std::uint32_t aggregator_stride = 64;
+  std::uint64_t seed = 2008;
+  AppBinarySpec binaries;
+};
+
+/// I/O-stall hang (the classic checkpoint pathology): the job's I/O
+/// aggregators (every Nth rank) are wedged inside a collective checkpoint
+/// write — some blocked on the file-system client, some spinning on the
+/// write lock — while every other rank sits in the barrier that follows the
+/// checkpoint, churning the progress engine at task-dependent depth.
+class IoStallApp : public AppModel {
+ public:
+  explicit IoStallApp(IoStallOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return options_.num_tasks;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return options_.binaries;
+  }
+
+  [[nodiscard]] bool is_aggregator(TaskId task) const {
+    return task.value() % options_.aggregator_stride == 0;
+  }
+
+ private:
+  IoStallOptions options_;
+  // Pre-interned frames (stack() stays read-only for parallel samplers).
+  FrameId f_start_, f_main_, f_checkpoint_;
+  FrameId f_write_all_, f_fwrite_, f_write_nocancel_, f_nfs_wait_;
+  FrameId f_lock_spin_, f_sched_yield_;
+  FrameId f_barrier_, f_progress_wait_, f_pollfcn_, f_advance_;
 };
 
 struct StatBenchOptions {

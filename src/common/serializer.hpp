@@ -15,6 +15,14 @@
 
 namespace petastat {
 
+/// Wire-format version carried as the leading byte of every top-level
+/// encoding (ranged task sets, hierarchical task sets, prefix trees).
+/// Nested fields inside a versioned envelope are unversioned. Bump on any
+/// incompatible layout change so decoders can distinguish version skew
+/// (FAILED_PRECONDITION) from plain truncation/corruption
+/// (INVALID_ARGUMENT "truncated buffer").
+inline constexpr std::uint8_t kWireFormatVersion = 1;
+
 /// Append-only byte sink with varint and fixed-width encoders.
 class ByteSink {
  public:
@@ -134,5 +142,22 @@ class ByteSource {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+inline void put_wire_version(ByteSink& sink) {
+  sink.put_u8(kWireFormatVersion);
+}
+
+/// Reads and checks the leading version byte. A missing byte reports
+/// truncation; a mismatched byte reports version skew, distinctly.
+[[nodiscard]] inline Status check_wire_version(ByteSource& source) {
+  std::uint8_t version = 0;
+  if (auto s = source.get_u8(version); !s.is_ok()) return s;
+  if (version != kWireFormatVersion) {
+    return failed_precondition(
+        "wire format version skew: got " + std::to_string(version) +
+        ", expected " + std::to_string(kWireFormatVersion));
+  }
+  return Status::ok();
+}
 
 }  // namespace petastat

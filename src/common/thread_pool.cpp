@@ -1,0 +1,121 @@
+#include "common/thread_pool.hpp"
+
+#include "common/status.hpp"
+
+namespace petastat {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned n = threads == 0 ? 1 : threads;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  // Release the completion queue's keepalive references.
+  std::lock_guard<std::mutex> lock(completion_mutex_);
+  drain_completions_locked();
+}
+
+ThreadPool::TaskRef ThreadPool::package(std::function<void()> work) {
+  check(static_cast<bool>(work), "ThreadPool::package with empty work");
+  auto task = std::make_shared<Task>();
+  task->work_ = std::move(work);
+  return task;
+}
+
+void ThreadPool::post(TaskRef task) {
+  check(task != nullptr, "ThreadPool::post null task");
+  post_job([this, task = std::move(task)]() { execute(task); });
+}
+
+void ThreadPool::post_job(std::function<void()> job) {
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    check(!stopping_, "ThreadPool::post_job after shutdown");
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::execute(const TaskRef& task) {
+  task->work_();
+  task->work_ = nullptr;  // release captures eagerly
+  // Publish on the MPSC completion stack. The self-reference keeps the task
+  // alive while queued even if the submitter drops its ref; the node is
+  // pushed with a single CAS (multi-producer), and only drained by one
+  // consumer at a time under completion_mutex_.
+  Task* node = task.get();
+  node->self_ = task;
+  node->next_ = completion_head_.load(std::memory_order_relaxed);
+  while (!completion_head_.compare_exchange_weak(node->next_, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+  }
+  node->done_.store(true, std::memory_order_release);
+  // Lock/unlock pairs the done-flag write with waiters' predicate checks so
+  // a notification cannot slip between a check and the wait.
+  { std::lock_guard<std::mutex> lock(completion_mutex_); }
+  completion_cv_.notify_all();
+}
+
+void ThreadPool::drain_completions_locked() {
+  Task* head = completion_head_.exchange(nullptr, std::memory_order_acquire);
+  while (head != nullptr) {
+    Task* next = head->next_;
+    head->next_ = nullptr;
+    ++drained_;
+    head->self_.reset();  // may destroy *head; `next` was saved first
+    head = next;
+  }
+}
+
+void ThreadPool::wait(const TaskRef& task) {
+  if (task == nullptr || task->done()) {
+    // Fast path: still drain opportunistically so finished tasks (and their
+    // keepalive refs) don't pile up when workers outpace the waiter.
+    if (std::unique_lock<std::mutex> lock(completion_mutex_, std::try_to_lock);
+        lock.owns_lock()) {
+      drain_completions_locked();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  completion_cv_.wait(lock, [&]() { return task->done(); });
+  drain_completions_locked();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(completion_mutex_);
+  completion_cv_.wait(lock, [&]() {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+  drain_completions_locked();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&]() { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+    in_flight_.fetch_sub(1, std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(completion_mutex_); }
+    completion_cv_.notify_all();
+  }
+}
+
+}  // namespace petastat

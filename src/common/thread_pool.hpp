@@ -1,0 +1,103 @@
+// Fixed-size worker pool with an MPSC completion queue.
+//
+// This is the execution substrate of the parallel engine: the simulator
+// thread submits real computations (tree merges, trace synthesis) as Tasks,
+// workers execute them, and completions flow back over a lock-free
+// multi-producer/single-consumer stack (in the spirit of the constant-time
+// LL/SC hand-off constructions: workers only ever CAS-push one node; the
+// consumer swaps the whole list out). The pool knows nothing about virtual
+// time — determinism is the sim::Executor's contract, built on top of the
+// one guarantee made here: after wait(task) returns, the task's side effects
+// are visible to the caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace petastat {
+
+class ThreadPool {
+ public:
+  /// One unit of work plus its completion state. Tasks are shared between
+  /// the submitter (who waits on it) and the worker (who runs it); the
+  /// completion queue holds a third reference until the consumer drains it.
+  class Task {
+   public:
+    [[nodiscard]] bool done() const {
+      return done_.load(std::memory_order_acquire);
+    }
+
+   private:
+    friend class ThreadPool;
+    std::function<void()> work_;
+    std::atomic<bool> done_{false};
+    Task* next_ = nullptr;        // intrusive link in the completion stack
+    std::shared_ptr<Task> self_;  // keepalive while queued for the consumer
+  };
+  using TaskRef = std::shared_ptr<Task>;
+
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Wraps `work` in a Task without scheduling it. The task can be run by
+  /// a worker via post() or on the calling thread via execute() — strands
+  /// use the latter to serialize a chain inside one worker job.
+  [[nodiscard]] static TaskRef package(std::function<void()> work);
+
+  /// Enqueues a packaged task for any worker.
+  void post(TaskRef task);
+
+  /// Enqueues a raw job with no completion tracking (strand pumps).
+  void post_job(std::function<void()> job);
+
+  /// Runs `task` on the calling thread: executes the work, marks the task
+  /// done, and publishes it on the completion queue.
+  void execute(const TaskRef& task);
+
+  /// Blocks until `task` is done. A null ref counts as already done.
+  void wait(const TaskRef& task);
+
+  /// Blocks until every posted job has finished.
+  void wait_idle();
+
+  [[nodiscard]] unsigned thread_count() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+  /// Tasks whose completions have been drained from the MPSC queue.
+  [[nodiscard]] std::uint64_t completed() const { return drained_; }
+
+ private:
+  void worker_loop();
+  /// Consumer side of the completion queue; requires completion_mutex_.
+  void drain_completions_locked();
+
+  // Submission side: a mutex-guarded FIFO the workers pop from.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+
+  // Completion side: workers CAS-push finished tasks; waiters swap the list
+  // out under completion_mutex_ (single consumer at a time) and release the
+  // queue's keepalive references.
+  std::atomic<Task*> completion_head_{nullptr};
+  std::mutex completion_mutex_;
+  std::condition_variable completion_cv_;
+  std::uint64_t drained_ = 0;
+
+  std::atomic<std::uint64_t> in_flight_{0};
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace petastat

@@ -1,0 +1,76 @@
+#include "sim/executor.hpp"
+
+namespace petastat::sim {
+
+Executor::Executor(unsigned threads)
+    : pool_(threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr) {}
+
+Executor::~Executor() {
+  if (pool_) pool_->wait_idle();
+}
+
+Executor::TaskRef Executor::run(std::function<void()> work) {
+  if (!pool_) {
+    work();
+    return nullptr;
+  }
+  TaskRef task = ThreadPool::package(std::move(work));
+  pool_->post(task);
+  return task;
+}
+
+void Executor::wait(const TaskRef& task) {
+  if (pool_) pool_->wait(task);
+}
+
+void Executor::wait_all() {
+  if (pool_) pool_->wait_idle();
+}
+
+Executor::TaskRef Executor::Strand::run(std::function<void()> work) {
+  if (!executor_.pool_) {
+    work();
+    return nullptr;
+  }
+  TaskRef task = ThreadPool::package(std::move(work));
+  bool start_pump = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_->mutex);
+    queue_->pending.push_back(task);
+    if (!queue_->running) {
+      queue_->running = true;
+      start_pump = true;
+    }
+  }
+  if (start_pump) {
+    ThreadPool& pool = *executor_.pool_;
+    executor_.pool_->post_job(
+        [&pool, queue = queue_]() { pump(pool, queue); });
+  }
+  return task;
+}
+
+void Executor::Strand::pump(ThreadPool& pool,
+                            const std::shared_ptr<Queue>& queue) {
+  // Drain the chain one item at a time on this worker; if new items arrive
+  // while draining, keep going. The running flag guarantees at most one
+  // pump per strand, which is the serialization the accumulator needs.
+  // A waiter on the final item may wake (and destroy the Strand) the moment
+  // execute() marks it done — before the empty-check below — which is why
+  // the queue is co-owned here rather than reached through the Strand.
+  while (true) {
+    TaskRef next;
+    {
+      std::lock_guard<std::mutex> lock(queue->mutex);
+      if (queue->pending.empty()) {
+        queue->running = false;
+        return;
+      }
+      next = std::move(queue->pending.front());
+      queue->pending.pop_front();
+    }
+    pool.execute(next);
+  }
+}
+
+}  // namespace petastat::sim

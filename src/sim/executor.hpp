@@ -1,0 +1,93 @@
+// Execution-engine seam between simulator callbacks and real computation.
+//
+// The discrete-event simulator is single-threaded and must stay
+// deterministic: every modelled duration is computed arithmetically from the
+// cost model, never from wall-clock measurement. But the *real* work the
+// simulation carries along (prefix-tree merges, trace synthesis, remaps) has
+// no effect on virtual time — so it can run on worker threads while the
+// event loop continues, as long as no event observes a result before the
+// virtual timestamp at which the model says it exists.
+//
+// The contract event handlers follow:
+//   1. compute modelled costs inline (on the simulator thread, in event
+//      order — this fixes all virtual timestamps up front);
+//   2. submit the real computation via run() (any worker) or
+//      Strand::run() (serialized chain, e.g. one TBON proc's accumulator);
+//   3. schedule a simulator event at the modelled completion time whose
+//      callback first wait()s on the task, then consumes the result.
+// Because submission order, strand order, and wait points are all decided by
+// the deterministic event loop, results are bit-identical to a serial run.
+//
+// An Executor constructed with threads <= 1 has no pool: run() executes the
+// work immediately on the calling thread and returns a null (already-done)
+// task, which is exactly the historical serial behaviour.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "common/thread_pool.hpp"
+
+namespace petastat::sim {
+
+class Executor {
+ public:
+  using TaskRef = ThreadPool::TaskRef;  // nullptr == already done (inline)
+
+  /// threads <= 1: inline (serial) mode, no worker threads are spawned.
+  explicit Executor(unsigned threads = 1);
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+  ~Executor();
+
+  [[nodiscard]] bool parallel() const { return pool_ != nullptr; }
+  [[nodiscard]] unsigned thread_count() const {
+    return pool_ ? pool_->thread_count() : 1;
+  }
+
+  /// Submits independent work to any worker (inline mode: runs it now).
+  TaskRef run(std::function<void()> work);
+
+  /// Blocks until `task`'s side effects are visible. Null is a no-op.
+  void wait(const TaskRef& task);
+
+  /// Blocks until everything submitted so far (including strand chains) has
+  /// finished.
+  void wait_all();
+
+  /// A FIFO chain of work items: items of one strand never run concurrently
+  /// with each other (they share mutable state, e.g. a reduction
+  /// accumulator), but different strands run in parallel. Submission order
+  /// is execution order. The queue state is co-owned by the in-flight pump
+  /// job, so a Strand may be destroyed as soon as its last item's wait()
+  /// returns — the pump's final empty-check does not touch the Strand
+  /// object. The Executor must outlive the pump (wait_all()/~Executor
+  /// guarantee it).
+  class Strand {
+   public:
+    explicit Strand(Executor& executor)
+        : executor_(executor), queue_(std::make_shared<Queue>()) {}
+    Strand(const Strand&) = delete;
+    Strand& operator=(const Strand&) = delete;
+
+    TaskRef run(std::function<void()> work);
+
+   private:
+    struct Queue {
+      std::mutex mutex;
+      std::deque<TaskRef> pending;
+      bool running = false;
+    };
+    static void pump(ThreadPool& pool, const std::shared_ptr<Queue>& queue);
+
+    Executor& executor_;
+    std::shared_ptr<Queue> queue_;
+  };
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace petastat::sim

@@ -67,30 +67,46 @@ void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
   const std::uint32_t count = layout_.tasks_of(daemon);
   const std::uint32_t threads = app_.threads_per_task();
 
-  double walk_s = 0.0;
-  std::uint32_t traces = 0;
-  for (std::uint32_t s = 0; s < num_samples; ++s) {
-    for (std::uint32_t t = 0; t < count; ++t) {
-      const TaskId task =
-          resolver_ ? resolver_(daemon, t) : TaskId(first + t);
-      for (std::uint32_t th = 0; th < threads; ++th) {
-        const app::CallPath path = app_.stack(task, th, s);
-        walk_s += to_seconds(walk_cost(path.size()));
-        ++traces;
-        sink(task, t, th, s, path);
+  // The synthesis job: ground-truth stacks plus their walk-cost tally. Pure
+  // per-daemon work (app reads + sink into this daemon's payload), so it may
+  // run on a worker while other daemons' events proceed.
+  struct Synthesis {
+    double walk_s = 0.0;
+    std::uint32_t traces = 0;
+  };
+  auto synthesis = std::make_shared<Synthesis>();
+  auto job = [this, synthesis, sink, daemon, first, count, threads,
+              num_samples]() {
+    for (std::uint32_t s = 0; s < num_samples; ++s) {
+      for (std::uint32_t t = 0; t < count; ++t) {
+        const TaskId task = resolver_ ? resolver_(daemon, t) : TaskId(first + t);
+        for (std::uint32_t th = 0; th < threads; ++th) {
+          const app::CallPath path = app_.stack(task, th, s);
+          synthesis->walk_s += to_seconds(walk_cost(path.size()));
+          ++synthesis->traces;
+          sink(task, t, th, s, path);
+        }
       }
     }
-  }
-  const auto walk_time = seconds(walk_s * contention);
-  const auto parse_time = static_cast<SimTime>(
-      static_cast<double>(parse_cpu) * contention);
+  };
+  sim::Executor::TaskRef pending =
+      executor_ ? executor_->run(std::move(job)) : (job(), nullptr);
 
-  report.symbol_parse_time = parse_time;
-  report.walk_time = walk_time;
-  report.traces = traces;
-  report.finished_at = io_done + parse_time + walk_time;
-  sim_.schedule_at(report.finished_at,
-                   [report, done = std::move(done)]() { done(report); });
+  // At the modelled end of symbol I/O the traces must exist; from there the
+  // modelled parse + walk durations fix the completion timestamp.
+  const auto parse_time =
+      static_cast<SimTime>(static_cast<double>(parse_cpu) * contention);
+  sim_.schedule_at(
+      io_done, [this, report, contention, parse_time, io_done, synthesis,
+                pending = std::move(pending), done = std::move(done)]() mutable {
+        if (executor_) executor_->wait(pending);
+        report.symbol_parse_time = parse_time;
+        report.walk_time = seconds(synthesis->walk_s * contention);
+        report.traces = synthesis->traces;
+        report.finished_at = io_done + parse_time + report.walk_time;
+        sim_.schedule_at(report.finished_at,
+                         [report, done = std::move(done)]() { done(report); });
+      });
 }
 
 void StackWalker::reset() { parsed_.clear(); }

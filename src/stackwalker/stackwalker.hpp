@@ -28,6 +28,7 @@
 #include "fs/filesystem.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/machine.hpp"
+#include "sim/executor.hpp"
 #include "sim/simulator.hpp"
 
 namespace petastat::stackwalker {
@@ -62,10 +63,23 @@ class StackWalker {
               std::uint64_t seed);
 
   /// Samples `num_samples` rounds of traces for every task of `daemon`.
-  /// `sink` runs synchronously for each trace; `done` fires at the modelled
-  /// completion time with the phase breakdown.
+  /// `done` fires at the modelled completion time with the phase breakdown.
+  ///
+  /// The symbol-acquisition I/O, the contention draw, and every modelled
+  /// duration are fixed on the simulator thread, in call order. The trace
+  /// synthesis itself (app stacks + `sink` per trace) is real work with no
+  /// effect on virtual time: with a parallel executor installed it runs on a
+  /// worker — one job per daemon, daemons being independent — and is waited
+  /// for before the daemon's completion event consumes the traces. `sink`
+  /// must therefore only touch per-daemon state, and the app model's frame
+  /// table must be fully interned up front (models do this in their
+  /// constructors) so concurrent stack() calls are read-only.
   void sample_daemon(DaemonId daemon, std::uint32_t num_samples,
                      const TraceSink& sink, SampleCallback done);
+
+  /// Installs the execution engine. Null or serial: synthesis runs inline,
+  /// the historical behaviour. The executor must outlive all sampling.
+  void set_executor(sim::Executor* executor) { executor_ = executor; }
 
   /// Modelled CPU time to walk one path of `frames` frames (before
   /// contention scaling). Includes the daemon's local per-node merge cost.
@@ -105,6 +119,7 @@ class StackWalker {
   machine::DaemonLayout layout_;
   Rng rng_;
   TaskResolver resolver_;
+  sim::Executor* executor_ = nullptr;
   std::unordered_set<DaemonKey, DaemonKeyHash> parsed_;
 };
 

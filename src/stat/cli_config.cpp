@@ -49,9 +49,13 @@ std::string cli_usage() {
       "  --fs nfs|lustre                 shared file system\n"
       "  --sbrs                          relocate binaries to RAM disks\n"
       "  --slim-binaries                 post-OS-update library layout\n"
-      "  --app ring|threaded|statbench   target application model\n"
+      "  --app ring|threaded|statbench|iostall\n"
+      "                                  target application model\n"
       "  --fail-fraction F               daemon failure probability\n"
       "  --seed N                        run seed (default 2008)\n"
+      "  --exec-threads N                execution-engine worker threads\n"
+      "                                  (default 1 = serial; results are\n"
+      "                                  bit-identical at any thread count)\n"
       "  --format text|csv|json          report format (default text)\n"
       "  --print-tree                    include the 3D tree in the report\n"
       "  --dot PATH                      write the 3D tree as Graphviz DOT\n";
@@ -182,6 +186,8 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         config.options.app = AppKind::kThreadedRing;
       } else if (value.value() == "statbench") {
         config.options.app = AppKind::kStatBench;
+      } else if (value.value() == "iostall") {
+        config.options.app = AppKind::kIoStall;
       } else {
         return bad("unknown app '" + std::string(value.value()) + "'");
       }
@@ -197,6 +203,15 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
       auto n = parse_number(flag, value.value());
       if (!n.is_ok()) return n.status();
       config.options.seed = n.value();
+    } else if (flag == "--exec-threads") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto n = parse_number(flag, value.value());
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > 256) {
+        return bad("--exec-threads out of range");
+      }
+      config.options.exec_threads = static_cast<std::uint32_t>(n.value());
     } else if (flag == "--format") {
       auto value = next();
       if (!value.is_ok()) return value.status();

@@ -36,9 +36,10 @@ struct CliConfig {
 ///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
 ///   --samples N                       --fs nfs|lustre
 ///   --sbrs                            --slim-binaries
-///   --seed N                          --app ring|threaded|statbench
+///   --seed N                          --app ring|threaded|statbench|iostall
 ///   --fail-fraction F                 --format text|csv|json
-///   --print-tree                      --dot PATH
+///   --exec-threads N                  --print-tree
+///   --dot PATH
 [[nodiscard]] Result<CliConfig> parse_cli(std::span<const std::string_view> args);
 
 }  // namespace petastat::stat

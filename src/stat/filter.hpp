@@ -47,15 +47,17 @@ template <typename Label>
            static_cast<SimTime>(static_cast<double>(costs.pack_per_byte) *
                                 static_cast<double>(bytes));
   };
-  ops.merge_into = [costs, &frames, ctx](StatPayload<Label>& acc,
-                                         StatPayload<Label>&& child,
-                                         SimTime& cpu) {
+  // The modelled cost depends on the incoming payload only (streaming
+  // filters charge per arrival), which lets the real merge run on a worker.
+  ops.merge_cpu = [costs, &frames, ctx](const StatPayload<Label>& child) {
     const std::uint64_t nodes =
         child.tree_2d.node_count() + child.tree_3d.node_count();
     const std::uint64_t label_bytes = payload_wire_bytes(child, frames, ctx);
-    cpu += nodes * costs.merge_per_tree_node +
+    return nodes * costs.merge_per_tree_node +
            static_cast<SimTime>(static_cast<double>(costs.merge_per_label_byte) *
                                 static_cast<double>(label_bytes));
+  };
+  ops.merge_into = [](StatPayload<Label>& acc, StatPayload<Label>&& child) {
     acc.tree_2d.merge(child.tree_2d);
     acc.tree_3d.merge(child.tree_3d);
   };

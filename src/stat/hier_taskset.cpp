@@ -59,24 +59,38 @@ std::uint64_t HierTaskSet::count() const {
 }
 
 std::uint64_t HierTaskSet::wire_bytes() const {
-  ByteSink sink;
-  encode(sink);
-  return sink.size();
+  return 1 + body_wire_bytes();  // version byte + body
 }
 
 void HierTaskSet::encode(ByteSink& sink) const {
+  put_wire_version(sink);
+  encode_body(sink);
+}
+
+Result<HierTaskSet> HierTaskSet::decode(ByteSource& source) {
+  if (auto s = check_wire_version(source); !s.is_ok()) return s;
+  return decode_body(source);
+}
+
+std::uint64_t HierTaskSet::body_wire_bytes() const {
+  ByteSink sink;
+  encode_body(sink);
+  return sink.size();
+}
+
+void HierTaskSet::encode_body(ByteSink& sink) const {
   sink.put_varint(blocks_.size());
   std::uint32_t prev = 0;
   bool first = true;
   for (const auto& block : blocks_) {
     sink.put_varint(first ? block.daemon : block.daemon - prev - 1);
-    block.local.encode_ranged(sink);
+    block.local.encode_ranged_body(sink);
     prev = block.daemon;
     first = false;
   }
 }
 
-Result<HierTaskSet> HierTaskSet::decode(ByteSource& source) {
+Result<HierTaskSet> HierTaskSet::decode_body(ByteSource& source) {
   std::uint64_t n = 0;
   if (auto s = source.get_varint(n); !s.is_ok()) return s;
   HierTaskSet set;
@@ -89,7 +103,7 @@ Result<HierTaskSet> HierTaskSet::decode(ByteSource& source) {
     if (delta > UINT32_MAX) return invalid_argument("daemon id overflow");
     const std::uint64_t daemon = first ? delta : cursor + 1 + delta;
     if (daemon > UINT32_MAX) return invalid_argument("daemon id overflow");
-    auto local = TaskSet::decode_ranged(source);
+    auto local = TaskSet::decode_ranged_body(source);
     if (!local.is_ok()) return local.status();
     set.blocks_.push_back(
         {static_cast<std::uint32_t>(daemon), std::move(local).value()});

@@ -48,11 +48,16 @@ class HierTaskSet {
 
   friend bool operator==(const HierTaskSet&, const HierTaskSet&) = default;
 
-  /// Wire format: varint block count, then per block varint daemon delta and
-  /// the local set's ranged encoding.
+  /// Wire format: version byte, varint block count, then per block varint
+  /// daemon delta and the local set's ranged body. The *_body variants omit
+  /// the version byte — the nested form prefix-tree labels embed inside the
+  /// tree's versioned envelope.
   [[nodiscard]] std::uint64_t wire_bytes() const;
   void encode(ByteSink& sink) const;
   static Result<HierTaskSet> decode(ByteSource& source);
+  [[nodiscard]] std::uint64_t body_wire_bytes() const;
+  void encode_body(ByteSink& sink) const;
+  static Result<HierTaskSet> decode_body(ByteSource& source);
 
  private:
   std::vector<Block> blocks_;  // sorted by daemon

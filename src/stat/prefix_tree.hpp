@@ -84,15 +84,16 @@ struct HierLabel {
 
   [[nodiscard]] std::uint64_t member_count() const { return tasks.count(); }
 
+  // Labels are nested inside the tree's versioned envelope: body form only.
   [[nodiscard]] std::uint64_t wire_bytes(const LabelContext&) const {
-    return tasks.wire_bytes() + 4;
+    return tasks.body_wire_bytes() + 4;
   }
   void encode(ByteSink& sink, const LabelContext&) const {
-    tasks.encode(sink);
+    tasks.encode_body(sink);
     sink.put_u32(static_cast<std::uint32_t>(visits));
   }
   static Result<HierLabel> decode(ByteSource& source, const LabelContext&) {
-    auto tasks = HierTaskSet::decode(source);
+    auto tasks = HierTaskSet::decode_body(source);
     if (!tasks.is_ok()) return tasks.status();
     std::uint32_t visits = 0;
     if (auto s = source.get_u32(visits); !s.is_ok()) return s;
@@ -155,15 +156,17 @@ class PrefixTree {
   /// Maximum root-to-leaf depth.
   [[nodiscard]] std::size_t depth() const { return depth_of(root_); }
 
-  /// Total wire size: per node, the frame name, the label, and the child
-  /// count. Computed arithmetically (no buffer is built).
+  /// Total wire size: a version byte, then per node the frame name, the
+  /// label, and the child count. Computed arithmetically (no buffer is
+  /// built).
   [[nodiscard]] std::uint64_t wire_bytes(const app::FrameTable& frames,
                                          const LabelContext& ctx) const {
-    return node_wire_bytes(root_, frames, ctx);
+    return 1 + node_wire_bytes(root_, frames, ctx);
   }
 
   void encode(ByteSink& sink, const app::FrameTable& frames,
               const LabelContext& ctx) const {
+    put_wire_version(sink);
     encode_node(root_, sink, frames, ctx, /*is_root=*/true);
   }
   /// Deepest tree decode() accepts. Real stacks are tens of frames; the
@@ -173,6 +176,7 @@ class PrefixTree {
 
   static Result<PrefixTree> decode(ByteSource& source, app::FrameTable& frames,
                                    const LabelContext& ctx) {
+    if (auto s = check_wire_version(source); !s.is_ok()) return s;
     PrefixTree tree;
     if (auto s = decode_children(tree.root_, source, frames, ctx, 0);
         !s.is_ok()) {

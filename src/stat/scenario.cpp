@@ -63,6 +63,14 @@ std::unique_ptr<app::AppModel> make_app(const machine::MachineConfig& machine,
       bench.binaries = std::move(binaries);
       return std::make_unique<app::StatBenchApp>(std::move(bench));
     }
+    case AppKind::kIoStall: {
+      app::IoStallOptions stall;
+      stall.num_tasks = job.num_tasks;
+      stall.bgl_frames = bgl_style;
+      stall.seed = options.seed;
+      stall.binaries = std::move(binaries);
+      return std::make_unique<app::IoStallApp>(std::move(stall));
+    }
   }
   check(false, "unknown AppKind");
   return nullptr;
@@ -75,7 +83,8 @@ StatScenario::StatScenario(machine::MachineConfig machine,
     : machine_(std::move(machine)),
       job_(job),
       options_(std::move(options)),
-      costs_(machine::default_cost_model(machine_)) {
+      costs_(machine::default_cost_model(machine_)),
+      exec_(options_.exec_threads) {
   auto layout = machine::layout_daemons(machine_, job_);
   check(layout.is_ok(), "StatScenario: job does not fit the machine");
   layout_ = layout.value();
@@ -120,6 +129,7 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   app_ = make_app(machine_, job_, options_);
   walker_ = std::make_unique<stackwalker::StackWalker>(
       sim_, machine_, costs_.sampling, *files_, *app_, layout_, run_seed);
+  walker_->set_executor(&exec_);
   lmon_ = std::make_unique<launchmon::LaunchMonSession>(sim_, machine_, *net_,
                                                         layout_);
 }
@@ -345,7 +355,8 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
 
   const SimTime merge_start = sim_.now();
   tbon::Reduction<StatPayload<Label>> reduction(
-      sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx));
+      sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx),
+      &exec_);
 
   std::optional<StatPayload<Label>> merged;
   reduction.start(std::move(payloads),
@@ -364,9 +375,13 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
     phases.remap_time = static_cast<SimTime>(
         static_cast<double>(costs_.merge.remap_per_task) * layout_.num_tasks);
     sim_.schedule_in(phases.remap_time, []() {});
-    sim_.run();
-    result.tree_2d = remap_tree(merged->tree_2d, task_map);
+    // The two trees remap independently; overlap them across workers while
+    // the modelled remap duration elapses.
+    auto remap_2d = exec_.run(
+        [&]() { result.tree_2d = remap_tree(merged->tree_2d, task_map); });
     result.tree_3d = remap_tree(merged->tree_3d, task_map);
+    exec_.wait(remap_2d);
+    sim_.run();
   } else {
     result.tree_2d = std::move(merged->tree_2d);
     result.tree_3d = std::move(merged->tree_3d);

@@ -29,6 +29,7 @@
 #include "net/network.hpp"
 #include "rm/launcher.hpp"
 #include "sbrs/sbrs.hpp"
+#include "sim/executor.hpp"
 #include "sim/simulator.hpp"
 #include "stackwalker/stackwalker.hpp"
 #include "stat/equivalence.hpp"
@@ -56,7 +57,7 @@ enum class TaskSetRepr {
 [[nodiscard]] const char* task_set_repr_name(TaskSetRepr repr);
 
 enum class SharedFsKind { kNfs, kLustre };
-enum class AppKind { kRingHang, kThreadedRing, kStatBench };
+enum class AppKind { kRingHang, kThreadedRing, kStatBench, kIoStall };
 
 /// How far the pipeline runs (startup benches skip sampling/merge).
 enum class RunThrough { kStartup, kSampling, kFull };
@@ -82,6 +83,11 @@ struct StatOptions {
   /// operational behaviour the LLNL deployment needed.
   double daemon_failure_probability = 0.0;
   std::uint64_t seed = 2008;
+  /// Worker threads for the execution engine (sampling synthesis, TBON
+  /// merges, front-end remap). 0 or 1 = serial. Results are bit-identical
+  /// across thread counts: virtual timestamps come from the cost model, and
+  /// the engine only overlaps the real computations between them.
+  std::uint32_t exec_threads = 1;
 };
 
 struct PhaseBreakdown {
@@ -154,6 +160,7 @@ class StatScenario {
   machine::DaemonLayout layout_;
 
   sim::Simulator sim_;
+  sim::Executor exec_;  // before everything that may hold submitted work
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<fs::FileSystem> shared_fs_;
   std::unique_ptr<fs::FileSystem> local_fs_;

@@ -25,29 +25,37 @@ StatBenchResult run_with_label(const StatBenchConfig& config,
   result.virtual_tasks_per_daemon = layout.tasks_per_daemon;
 
   sim::Simulator sim;
+  sim::Executor exec(config.exec_threads);
   net::Network network(sim, config.machine,
                        net::default_network_params(config.machine));
 
   // Each daemon synthesizes traces for its virtual task block and builds its
-  // local trees — exactly the tool-side work, minus the StackWalker.
+  // local trees — exactly the tool-side work, minus the StackWalker. Daemons
+  // are independent, so each is one executor job; the slowest-daemon
+  // reduction below runs in daemon order either way.
   std::vector<StatPayload<Label>> payloads(layout.num_daemons);
-  double slowest_generate_s = 0.0;
+  std::vector<double> generate_s(layout.num_daemons, 0.0);
   for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
-    const std::uint32_t first = layout.first_task_of(DaemonId(d));
-    const std::uint32_t count = layout.tasks_of(DaemonId(d));
-    double generate_s = 0.0;
-    for (std::uint32_t s = 0; s < config.num_samples; ++s) {
-      for (std::uint32_t i = 0; i < count; ++i) {
-        const TaskId task(first + i);
-        const app::CallPath path = app.stack(task, 0, s);
-        const Label seed = make_seed(d, i, task);
-        if (s == 0) payloads[d].tree_2d.insert(path, seed);
-        payloads[d].tree_3d.insert(path, seed);
-        generate_s += to_seconds(costs.sampling.local_merge_per_node) *
-                      static_cast<double>(path.size());
+    exec.run([&, d]() {
+      const std::uint32_t first = layout.first_task_of(DaemonId(d));
+      const std::uint32_t count = layout.tasks_of(DaemonId(d));
+      for (std::uint32_t s = 0; s < config.num_samples; ++s) {
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const TaskId task(first + i);
+          const app::CallPath path = app.stack(task, 0, s);
+          const Label seed = make_seed(d, i, task);
+          if (s == 0) payloads[d].tree_2d.insert(path, seed);
+          payloads[d].tree_3d.insert(path, seed);
+          generate_s[d] += to_seconds(costs.sampling.local_merge_per_node) *
+                           static_cast<double>(path.size());
+        }
       }
-    }
-    slowest_generate_s = std::max(slowest_generate_s, generate_s);
+    });
+  }
+  exec.wait_all();
+  double slowest_generate_s = 0.0;
+  for (const double g : generate_s) {
+    slowest_generate_s = std::max(slowest_generate_s, g);
   }
   result.generate_time = seconds(slowest_generate_s);
   sim.schedule_in(result.generate_time, []() {});
@@ -60,7 +68,7 @@ StatBenchResult run_with_label(const StatBenchConfig& config,
   const SimTime merge_start = sim.now();
   tbon::Reduction<StatPayload<Label>> reduction(
       sim, network, topology,
-      make_stat_reduce_ops<Label>(costs.merge, frames, ctx));
+      make_stat_reduce_ops<Label>(costs.merge, frames, ctx), &exec);
   std::optional<StatPayload<Label>> merged;
   std::uint64_t bytes = 0;
   reduction.start(std::move(payloads),

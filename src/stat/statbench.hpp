@@ -37,6 +37,9 @@ struct StatBenchConfig {
   std::uint32_t num_samples = 10;
   std::uint32_t app_classes = 32;
   std::uint64_t seed = 2008;
+  /// Worker threads for trace generation and the TBON merge (see
+  /// StatOptions::exec_threads); results are bit-identical across counts.
+  std::uint32_t exec_threads = 1;
 };
 
 struct StatBenchResult {

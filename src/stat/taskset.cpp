@@ -198,12 +198,26 @@ Result<TaskSet> TaskSet::decode_dense(ByteSource& source,
 }
 
 std::uint64_t TaskSet::ranged_wire_bytes() const {
-  ByteSink sink;
-  encode_ranged(sink);
-  return sink.size();
+  return 1 + ranged_body_bytes();  // version byte + body
 }
 
 void TaskSet::encode_ranged(ByteSink& sink) const {
+  put_wire_version(sink);
+  encode_ranged_body(sink);
+}
+
+Result<TaskSet> TaskSet::decode_ranged(ByteSource& source) {
+  if (auto s = check_wire_version(source); !s.is_ok()) return s;
+  return decode_ranged_body(source);
+}
+
+std::uint64_t TaskSet::ranged_body_bytes() const {
+  ByteSink sink;
+  encode_ranged_body(sink);
+  return sink.size();
+}
+
+void TaskSet::encode_ranged_body(ByteSink& sink) const {
   sink.put_varint(intervals_.size());
   std::uint32_t prev_hi = 0;
   bool first = true;
@@ -217,7 +231,7 @@ void TaskSet::encode_ranged(ByteSink& sink) const {
   }
 }
 
-Result<TaskSet> TaskSet::decode_ranged(ByteSource& source) {
+Result<TaskSet> TaskSet::decode_ranged_body(ByteSource& source) {
   std::uint64_t n = 0;
   if (auto s = source.get_varint(n); !s.is_ok()) return s;
   TaskSet set;

@@ -80,10 +80,16 @@ class TaskSet {
   void encode_dense(ByteSink& sink, std::uint32_t job_size) const;
   static Result<TaskSet> decode_dense(ByteSource& source, std::uint32_t job_size);
 
-  /// Ranged format: varint interval count, then delta-coded intervals.
+  /// Ranged format: version byte, varint interval count, then delta-coded
+  /// intervals. The *_body variants omit the version byte — they are the
+  /// nested form composite encodings (HierTaskSet blocks) embed inside
+  /// their own versioned envelope.
   [[nodiscard]] std::uint64_t ranged_wire_bytes() const;
   void encode_ranged(ByteSink& sink) const;
   static Result<TaskSet> decode_ranged(ByteSource& source);
+  [[nodiscard]] std::uint64_t ranged_body_bytes() const;
+  void encode_ranged_body(ByteSink& sink) const;
+  static Result<TaskSet> decode_ranged_body(ByteSource& source);
 
  private:
   std::vector<Interval> intervals_;

@@ -11,6 +11,17 @@
 // accounting. Network transfers and per-proc CPU serialization are modelled
 // with real contention: a comm process with 28 children unpacks/merges them
 // one after another on its core, and its NIC drains them one after another.
+//
+// Execution engine: the modelled CPU cost of a merge (merge_cpu) is a
+// function of the incoming payload alone, so all virtual timestamps are
+// fixed on the simulator thread at arrival — the *real* structural merge
+// only has to be finished by the time the proc forwards its accumulator.
+// With a parallel sim::Executor, each proc's merges run on a per-proc strand
+// (serialized in arrival order, exactly as the proc's single modelled core
+// would) while independent sibling subtrees merge concurrently on other
+// workers; the forward event wait()s on the strand before reading the
+// accumulator. Timestamps, merge order, and therefore results are
+// bit-identical to a serial run.
 #pragma once
 
 #include <functional>
@@ -21,6 +32,7 @@
 #include "common/status.hpp"
 #include "common/types.hpp"
 #include "net/network.hpp"
+#include "sim/executor.hpp"
 #include "sim/simulator.hpp"
 #include "tbon/topology.hpp"
 
@@ -28,9 +40,12 @@ namespace petastat::tbon {
 
 template <typename Payload>
 struct ReduceOps {
-  /// Merges `child` into `acc` (acc starts default-constructed at every
-  /// internal proc) and adds the modelled CPU cost to `cpu`.
-  std::function<void(Payload& acc, Payload&& child, SimTime& cpu)> merge_into;
+  /// Modelled CPU cost of merging `child` into an accumulator. Streaming
+  /// filters charge per arrival, so the cost may depend only on the child —
+  /// this is what lets the real merge run off the simulator thread.
+  std::function<SimTime(const Payload& child)> merge_cpu;
+  /// The real merge (acc starts default-constructed at every internal proc).
+  std::function<void(Payload& acc, Payload&& child)> merge_into;
   /// Real serialized size of a payload.
   std::function<std::uint64_t(const Payload&)> wire_bytes;
   /// CPU to pack or unpack `bytes` of payload.
@@ -47,13 +62,19 @@ struct ReduceResult {
 };
 
 /// Runs one upstream reduction. Leaf payloads must be indexed by daemon id.
-/// `done` fires at the front end's completion time.
+/// `done` fires at the front end's completion time. `executor` may be null
+/// (serial); a parallel executor must outlive the reduction's completion.
 template <typename Payload>
 class Reduction {
  public:
   Reduction(sim::Simulator& simulator, net::Network& network,
-            const TbonTopology& topology, ReduceOps<Payload> ops)
-      : sim_(simulator), net_(network), topo_(topology), ops_(std::move(ops)) {}
+            const TbonTopology& topology, ReduceOps<Payload> ops,
+            sim::Executor* executor = nullptr)
+      : sim_(simulator),
+        net_(network),
+        topo_(topology),
+        ops_(std::move(ops)),
+        executor_(executor) {}
 
   void start(std::vector<Payload> leaf_payloads,
              std::function<void(ReduceResult<Payload>)> done) {
@@ -64,9 +85,14 @@ class Reduction {
     state->bytes_at_start = net_.total_bytes_moved();
     state->messages_at_start = net_.total_messages();
     state->procs.resize(topo_.procs.size());
+    const bool threaded = executor_ != nullptr && executor_->parallel();
     for (std::size_t i = 0; i < topo_.procs.size(); ++i) {
       state->procs[i].pending = topo_.procs[i].children.size();
       state->procs[i].cpu_free_at = sim_.now();
+      if (threaded && state->procs[i].pending > 0) {
+        state->procs[i].strand =
+            std::make_unique<sim::Executor::Strand>(*executor_);
+      }
     }
 
     // Leaves pack and send. Leaf packing happens on the daemon's core in
@@ -89,6 +115,8 @@ class Reduction {
     Payload acc{};
     std::size_t pending = 0;
     SimTime cpu_free_at = 0;
+    std::unique_ptr<sim::Executor::Strand> strand;  // parallel mode only
+    sim::Executor::TaskRef last_merge;
   };
   struct State {
     std::vector<ProcState> procs;
@@ -125,20 +153,37 @@ class Reduction {
     ProcState& ps = state->procs[proc_index];
     check(ps.pending > 0, "Reduction::receive with no pending children");
 
-    // The proc's single core unpacks and merges arrivals serially.
-    SimTime cpu = ops_.codec_cost(bytes);  // unpack
-    ops_.merge_into(ps.acc, std::move(payload), cpu);
+    // The proc's single core unpacks and merges arrivals serially: all
+    // timestamps are fixed here, before any real merge work runs.
+    const SimTime cpu = ops_.codec_cost(bytes) + ops_.merge_cpu(payload);
     const SimTime start = std::max(sim_.now(), ps.cpu_free_at);
     ps.cpu_free_at = start + cpu;
     --ps.pending;
 
+    // The real merge: serialized per proc (arrival order), concurrent across
+    // sibling subtrees.
+    if (ps.strand) {
+      auto child = std::make_shared<Payload>(std::move(payload));
+      ps.last_merge = ps.strand->run([this, state, proc_index, child]() {
+        ops_.merge_into(state->procs[proc_index].acc, std::move(*child));
+      });
+    } else {
+      ops_.merge_into(ps.acc, std::move(payload));
+    }
+
     if (ps.pending == 0) {
-      // All children merged: pack and forward at CPU availability.
-      const std::uint64_t out_bytes = ops_.wire_bytes(ps.acc);
-      const SimTime packed_at = ps.cpu_free_at + ops_.codec_cost(out_bytes);
-      sim_.schedule_at(packed_at, [this, state, proc_index, out_bytes]() {
+      // All children accounted for: when the modelled core frees up, collect
+      // the real accumulator (waiting out any in-flight merge), then pack
+      // and forward.
+      sim_.schedule_at(ps.cpu_free_at, [this, state, proc_index]() {
         ProcState& finished = state->procs[proc_index];
-        send_up(state, proc_index, std::move(finished.acc), out_bytes);
+        if (executor_) executor_->wait(finished.last_merge);
+        const std::uint64_t out_bytes = ops_.wire_bytes(finished.acc);
+        const SimTime packed_at = sim_.now() + ops_.codec_cost(out_bytes);
+        sim_.schedule_at(packed_at, [this, state, proc_index, out_bytes]() {
+          ProcState& ready = state->procs[proc_index];
+          send_up(state, proc_index, std::move(ready.acc), out_bytes);
+        });
       });
     }
   }
@@ -147,6 +192,7 @@ class Reduction {
   net::Network& net_;
   const TbonTopology& topo_;
   ReduceOps<Payload> ops_;
+  sim::Executor* executor_;
 };
 
 /// Downstream control multicast (e.g. "take 10 samples now"): small fixed

@@ -219,12 +219,75 @@ TEST(CorruptHierTree, TruncationsAndFlipsNeverCrash) {
   expect_clean_on_byte_flips(encoded, decode);
 }
 
+// --- Wire-format versioning -------------------------------------------------
+
+/// A bumped version byte must fail as version skew (FAILED_PRECONDITION),
+/// distinctly from truncation (INVALID_ARGUMENT "truncated buffer") — the
+/// operational difference between "daemon runs an old tool build" and "the
+/// connection died mid-packet".
+TEST(WireVersion, SkewIsDistinguishedFromTruncation) {
+  ByteSink sink;
+  sample_set().encode_ranged(sink);
+  Bytes encoded = sink.take();
+
+  // Full buffer with a bumped version: skew.
+  Bytes skewed = encoded;
+  skewed[0] = kWireFormatVersion + 1;
+  {
+    ByteSource source(skewed);
+    auto decoded = TaskSet::decode_ranged(source);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(decoded.status().message().find("version skew"),
+              std::string::npos);
+  }
+  // Empty buffer: truncation, not skew.
+  {
+    ByteSource source(std::span<const std::uint8_t>{});
+    auto decoded = TaskSet::decode_ranged(source);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireVersion, AllVersionedFormatsRejectSkew) {
+  app::FrameTable frames;
+  const LabelContext ctx{16};
+  GlobalTree tree;
+  tree.insert(frames.make_path({"_start", "main"}), GlobalLabel::for_task(1));
+
+  {
+    ByteSink sink;
+    tree.encode(sink, frames, ctx);
+    Bytes encoded = sink.take();
+    encoded[0] = 0x7e;  // no such version
+    ByteSource source(encoded);
+    app::FrameTable fresh;
+    auto decoded = GlobalTree::decode(source, fresh, ctx);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    ByteSink sink;
+    sample_hier().encode(sink);
+    Bytes encoded = sink.take();
+    encoded[0] = 0x7e;
+    ByteSource source(encoded);
+    auto decoded = HierTaskSet::decode(source);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
 // --- Pathological headers ---------------------------------------------------
 
 /// A count header claiming 2^60 elements with no payload behind it must be
-/// rejected via Status (and must not reserve() petabytes on the way).
+/// rejected via Status (and must not reserve() petabytes on the way). The
+/// valid version byte up front gets the decoder past the envelope check into
+/// the count-handling path under test.
 TEST(PathologicalHeaders, HugeElementCountsFailCleanly) {
   ByteSink sink;
+  sink.put_u8(kWireFormatVersion);
   sink.put_varint(1ull << 60);
   const Bytes encoded = sink.take();
   {
@@ -245,6 +308,7 @@ TEST(PathologicalHeaders, HugeElementCountsFailCleanly) {
 TEST(PathologicalHeaders, HugeRangedDeltasFailCleanly) {
   // One interval with gap > UINT32_MAX: used to wrap the cursor arithmetic.
   ByteSink sink;
+  sink.put_u8(kWireFormatVersion);
   sink.put_varint(1);           // one interval
   sink.put_varint(UINT64_MAX);  // gap
   sink.put_varint(0);           // length
@@ -254,11 +318,12 @@ TEST(PathologicalHeaders, HugeRangedDeltasFailCleanly) {
 
 TEST(PathologicalHeaders, HugeDaemonDeltaFailsCleanly) {
   ByteSink sink;
+  sink.put_u8(kWireFormatVersion);
   sink.put_varint(2);           // two blocks
   sink.put_varint(1);           // daemon 1
-  TaskSet::single(0).encode_ranged(sink);
+  TaskSet::single(0).encode_ranged_body(sink);
   sink.put_varint(UINT64_MAX);  // second daemon delta: overflow
-  TaskSet::single(0).encode_ranged(sink);
+  TaskSet::single(0).encode_ranged_body(sink);
   ByteSource source(sink.bytes());
   EXPECT_FALSE(HierTaskSet::decode(source).is_ok());
 }
@@ -267,6 +332,7 @@ TEST(PathologicalHeaders, DeeplyNestedTreeFailsCleanly) {
   // A chain of single-child nodes a few bytes per level: without a decode
   // depth limit this recursed once per level and overflowed the stack.
   ByteSink sink;
+  sink.put_u8(kWireFormatVersion);
   const std::uint32_t levels = 200000;
   for (std::uint32_t i = 0; i < levels; ++i) {
     sink.put_varint(1);                     // one child

@@ -35,7 +35,8 @@ TEST(EdgeCases, SingleDaemonReduction) {
   sim::Simulator simulator;
   net::Network network(simulator, m, net::default_network_params(m));
   tbon::ReduceOps<int> ops;
-  ops.merge_into = [](int& acc, int&& child, SimTime&) { acc += child; };
+  ops.merge_cpu = [](const int&) { return SimTime{0}; };
+  ops.merge_into = [](int& acc, int&& child) { acc += child; };
   ops.wire_bytes = [](const int&) { return std::uint64_t{8}; };
   ops.codec_cost = [](std::uint64_t) { return SimTime{10}; };
   tbon::Reduction<int> reduction(simulator, network, topo, ops);

@@ -26,8 +26,12 @@ TEST_F(FilterFixture, MergeIntoCombinesBothTrees) {
   auto ops = make_stat_reduce_ops<GlobalLabel>(costs, frames, ctx);
   StatPayload<GlobalLabel> acc;
   SimTime cpu = 0;
-  ops.merge_into(acc, payload_for(1), cpu);
-  ops.merge_into(acc, payload_for(2), cpu);
+  auto merge = [&](StatPayload<GlobalLabel>&& child) {
+    cpu += ops.merge_cpu(child);
+    ops.merge_into(acc, std::move(child));
+  };
+  merge(payload_for(1));
+  merge(payload_for(2));
   EXPECT_EQ(acc.tree_2d.node_count(), 3u);
   EXPECT_EQ(acc.tree_3d.node_count(), 3u);
   const auto* start = acc.tree_3d.root().find_child(frames.intern("_start"));
@@ -48,10 +52,8 @@ TEST_F(FilterFixture, CpuCostScalesWithChildSize) {
     big.tree_2d.insert(path, GlobalLabel::for_task(i));
   }
 
-  SimTime cpu_small = 0, cpu_big = 0;
-  StatPayload<GlobalLabel> acc1, acc2;
-  ops.merge_into(acc1, std::move(small), cpu_small);
-  ops.merge_into(acc2, std::move(big), cpu_big);
+  const SimTime cpu_small = ops.merge_cpu(small);
+  const SimTime cpu_big = ops.merge_cpu(big);
   EXPECT_GT(cpu_big, cpu_small * 5);
 }
 
@@ -80,8 +82,7 @@ TEST_F(FilterFixture, WireBytesReflectRepresentationAndJobSize) {
 TEST_F(FilterFixture, EmptyPayloadMergesAreHarmless) {
   auto ops = make_stat_reduce_ops<GlobalLabel>(costs, frames, ctx);
   StatPayload<GlobalLabel> acc = payload_for(3);
-  SimTime cpu = 0;
-  ops.merge_into(acc, StatPayload<GlobalLabel>{}, cpu);  // dead daemon
+  ops.merge_into(acc, StatPayload<GlobalLabel>{});  // dead daemon
   EXPECT_EQ(acc.tree_3d.node_count(), 3u);
   const auto* start = acc.tree_3d.root().find_child(frames.intern("_start"));
   EXPECT_TRUE(start->label.tasks.contains(3));
@@ -93,9 +94,8 @@ TEST_F(FilterFixture, HierOpsConcatenateDaemonBlocks) {
   StatPayload<HierLabel> a, b, acc;
   a.tree_3d.insert(path, HierLabel::for_local(0, 5));
   b.tree_3d.insert(path, HierLabel::for_local(7, 2));
-  SimTime cpu = 0;
-  ops.merge_into(acc, std::move(a), cpu);
-  ops.merge_into(acc, std::move(b), cpu);
+  ops.merge_into(acc, std::move(a));
+  ops.merge_into(acc, std::move(b));
   const auto* start = acc.tree_3d.root().find_child(frames.intern("_start"));
   ASSERT_NE(start, nullptr);
   EXPECT_EQ(start->label.tasks.blocks().size(), 2u);

@@ -1,0 +1,174 @@
+// The execution engine's determinism contract: a scenario run with worker
+// threads must produce a StatRunResult *bit-identical* to the serial run —
+// same merged trees, same classes, same virtual timings, same byte counts.
+// Virtual timestamps are fixed arithmetically on the simulator thread; the
+// workers only overlap the real computations (trace synthesis, TBON merges,
+// remap) between those timestamps, so nothing observable may drift.
+//
+// Cells are sampled across both machines, both representations, deep and
+// flat topologies, all four app models, SBRS, and failure injection; each
+// cell runs serial and with --exec-threads {2, 8}.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "stat/scenario.hpp"
+#include "stat/statbench.hpp"
+
+namespace petastat::stat {
+namespace {
+
+struct Cell {
+  const char* name;
+  machine::MachineConfig machine;
+  machine::JobConfig job;
+  StatOptions options;
+};
+
+std::vector<Cell> cells() {
+  std::vector<Cell> out;
+  {
+    Cell c{"atlas_ring_hier_flat", machine::atlas(), {}, {}};
+    c.job.num_tasks = 256;
+    c.options.topology = tbon::TopologySpec::flat();
+    c.options.repr = TaskSetRepr::kHierarchical;
+    out.push_back(c);
+  }
+  {
+    Cell c{"atlas_statbench_dense_2deep", machine::atlas(), {}, {}};
+    c.job.num_tasks = 512;
+    c.options.topology = tbon::TopologySpec::balanced(2);
+    c.options.repr = TaskSetRepr::kDenseGlobal;
+    c.options.app = AppKind::kStatBench;
+    c.options.statbench_classes = 16;
+    out.push_back(c);
+  }
+  {
+    Cell c{"bgl_threaded_hier_bgl2", machine::bgl(), {}, {}};
+    c.job.num_tasks = 4096;
+    c.job.mode = machine::BglMode::kCoprocessor;
+    c.job.threads_per_task = 4;
+    c.options.topology = tbon::TopologySpec::bgl(2);
+    c.options.repr = TaskSetRepr::kHierarchical;
+    c.options.launcher = LauncherKind::kCiodPatched;
+    c.options.app = AppKind::kThreadedRing;
+    out.push_back(c);
+  }
+  {
+    Cell c{"bgl_iostall_dense_vn", machine::bgl(), {}, {}};
+    c.job.num_tasks = 8192;
+    c.job.mode = machine::BglMode::kVirtualNode;
+    c.options.topology = tbon::TopologySpec::bgl(2);
+    c.options.repr = TaskSetRepr::kDenseGlobal;
+    c.options.launcher = LauncherKind::kCiodPatched;
+    c.options.app = AppKind::kIoStall;
+    out.push_back(c);
+  }
+  {
+    // SBRS + failure injection: the operationally gnarly path.
+    Cell c{"atlas_ring_hier_sbrs_failures", machine::atlas(), {}, {}};
+    c.job.num_tasks = 512;
+    c.options.topology = tbon::TopologySpec::balanced(2);
+    c.options.repr = TaskSetRepr::kHierarchical;
+    c.options.use_sbrs = true;
+    c.options.daemon_failure_probability = 0.05;
+    out.push_back(c);
+  }
+  return out;
+}
+
+StatRunResult run_cell(const Cell& cell, std::uint32_t threads) {
+  StatOptions options = cell.options;
+  options.exec_threads = threads;
+  StatScenario scenario(cell.machine, cell.job, options);
+  return scenario.run();
+}
+
+/// Every observable field must match exactly — "close" is a bug.
+void expect_identical(const StatRunResult& serial, const StatRunResult& parallel,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  ASSERT_TRUE(serial.status.is_ok()) << serial.status.to_string();
+  ASSERT_TRUE(parallel.status.is_ok()) << parallel.status.to_string();
+
+  // Merged trees and classes: the actual tool product.
+  EXPECT_TRUE(serial.tree_2d == parallel.tree_2d);
+  EXPECT_TRUE(serial.tree_3d == parallel.tree_3d);
+  ASSERT_EQ(serial.classes.size(), parallel.classes.size());
+  for (std::size_t i = 0; i < serial.classes.size(); ++i) {
+    EXPECT_EQ(serial.classes[i].path, parallel.classes[i].path);
+    EXPECT_TRUE(serial.classes[i].tasks == parallel.classes[i].tasks);
+  }
+
+  // Virtual timings and modelled volumes, to the nanosecond and byte.
+  const PhaseBreakdown& a = serial.phases;
+  const PhaseBreakdown& b = parallel.phases;
+  EXPECT_EQ(a.startup_total, b.startup_total);
+  EXPECT_EQ(a.connect_time, b.connect_time);
+  EXPECT_EQ(a.sbrs_grace, b.sbrs_grace);
+  EXPECT_EQ(a.sbrs_relocation, b.sbrs_relocation);
+  EXPECT_EQ(a.sample_time, b.sample_time);
+  EXPECT_EQ(a.sample_symbol_io_max, b.sample_symbol_io_max);
+  EXPECT_EQ(a.failed_daemons, b.failed_daemons);
+  EXPECT_EQ(a.merge_time, b.merge_time);
+  EXPECT_EQ(a.remap_time, b.remap_time);
+  EXPECT_EQ(a.merge_bytes, b.merge_bytes);
+  EXPECT_EQ(a.merge_messages, b.merge_messages);
+  EXPECT_EQ(a.leaf_payload_bytes, b.leaf_payload_bytes);
+  // Per-daemon sampling statistics accumulate in event order, which the
+  // engine keeps deterministic — bitwise-equal floating point, not "close".
+  EXPECT_EQ(a.daemon_sample_seconds.count(), b.daemon_sample_seconds.count());
+  EXPECT_EQ(a.daemon_sample_seconds.mean(), b.daemon_sample_seconds.mean());
+  EXPECT_EQ(a.daemon_sample_seconds.max(), b.daemon_sample_seconds.max());
+}
+
+class ParallelDeterminism : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ParallelDeterminism, MatchesSerialBitForBit) {
+  const std::uint32_t threads = GetParam();
+  for (const Cell& cell : cells()) {
+    const StatRunResult serial = run_cell(cell, 1);
+    const StatRunResult parallel = run_cell(cell, threads);
+    expect_identical(serial, parallel,
+                     std::string(cell.name) + " x" + std::to_string(threads));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDeterminism,
+                         ::testing::Values(2u, 8u));
+
+TEST(ParallelDeterminism, StatBenchEmulationMatchesSerial) {
+  StatBenchConfig config;
+  config.machine = machine::bgl();
+  config.virtual_tasks = 1u << 15;
+  config.topology = tbon::TopologySpec::bgl(2);
+  config.repr = TaskSetRepr::kHierarchical;
+
+  config.exec_threads = 1;
+  const StatBenchResult serial = run_statbench(config);
+  config.exec_threads = 8;
+  const StatBenchResult parallel = run_statbench(config);
+
+  ASSERT_TRUE(serial.status.is_ok()) << serial.status.to_string();
+  ASSERT_TRUE(parallel.status.is_ok()) << parallel.status.to_string();
+  EXPECT_EQ(serial.generate_time, parallel.generate_time);
+  EXPECT_EQ(serial.merge_time, parallel.merge_time);
+  EXPECT_EQ(serial.remap_time, parallel.remap_time);
+  EXPECT_EQ(serial.merge_bytes, parallel.merge_bytes);
+  EXPECT_EQ(serial.leaf_payload_bytes, parallel.leaf_payload_bytes);
+  EXPECT_TRUE(serial.tree_3d == parallel.tree_3d);
+  ASSERT_EQ(serial.classes.size(), parallel.classes.size());
+}
+
+// Repeated parallel runs of one cell must agree with each other too (no
+// run-to-run scheduling sensitivity).
+TEST(ParallelDeterminism, RepeatedParallelRunsAgree) {
+  const Cell cell = cells().front();
+  const StatRunResult first = run_cell(cell, 8);
+  const StatRunResult second = run_cell(cell, 8);
+  expect_identical(first, second, "repeat x8");
+}
+
+}  // namespace
+}  // namespace petastat::stat

@@ -1,7 +1,7 @@
 // Scenario-matrix harness: runs StatScenario over the pruned cross-product of
 //   {Atlas, BG/L} x {CO, VN} x {dense, hierarchical} x {flat, balanced(2),
 //   balanced(16)} x {launchmon, mrnet-rsh, ciod-patched} x {ring-hang,
-//   threaded-ring, statbench}
+//   threaded-ring, statbench, io-stall}
 // and asserts, in every valid cell:
 //   1. the pipeline completes with an OK status,
 //   2. phase ordering (launch before connect before sampling before merge,
@@ -13,9 +13,15 @@
 // Cells that are invalid on the platform (VN mode off BG/L, rsh on BG/L,
 // CIOD off BG/L, 16-deep trees) are pruned; the pruning itself is tested —
 // pruned-but-runnable configurations must fail cleanly, never crash.
+//
+// PETASTAT_EXEC_THREADS=N runs every cell through the parallel execution
+// engine (default 1 = serial). Results are bit-identical by the engine's
+// determinism contract — test_parallel_determinism asserts that — so the
+// matrix passes identically either way, just faster on more cores.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <string>
 #include <vector>
@@ -55,8 +61,24 @@ const char* app_name(AppKind a) {
     case AppKind::kRingHang: return "ring";
     case AppKind::kThreadedRing: return "threadedring";
     case AppKind::kStatBench: return "statbench";
+    case AppKind::kIoStall: return "iostall";
   }
   return "?";
+}
+
+std::uint32_t exec_threads_from_env() {
+  const char* env = std::getenv("PETASTAT_EXEC_THREADS");
+  if (env == nullptr) return 1;
+  // Fail loudly on a bad value: a silent serial fallback would quietly strip
+  // the TSan job of the concurrency coverage it exists for.
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || n < 1 || n > 256) {
+    ADD_FAILURE() << "PETASTAT_EXEC_THREADS='" << env
+                  << "' is not a thread count in [1,256]";
+    return 1;
+  }
+  return static_cast<std::uint32_t>(n);
 }
 
 std::string cell_name(const MatrixCase& c) {
@@ -87,7 +109,7 @@ std::vector<MatrixCase> all_cases() {
                {LauncherKind::kLaunchMon, LauncherKind::kMrnetRsh,
                 LauncherKind::kCiodPatched}) {
             for (AppKind app : {AppKind::kRingHang, AppKind::kThreadedRing,
-                                AppKind::kStatBench}) {
+                                AppKind::kStatBench, AppKind::kIoStall}) {
               cases.push_back({machine, mode, repr, topo, launcher, app});
             }
           }
@@ -158,6 +180,7 @@ StatOptions options_for(const MatrixCase& c) {
   options.launcher = c.launcher;
   options.app = c.app;
   options.statbench_classes = 16;
+  options.exec_threads = exec_threads_from_env();
   return options;
 }
 
@@ -269,12 +292,12 @@ INSTANTIATE_TEST_SUITE_P(Pruned, ScenarioMatrix,
                          ::testing::ValuesIn(valid_cases()), param_name);
 
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
-  EXPECT_EQ(all_cases().size(), 216u);
+  EXPECT_EQ(all_cases().size(), 288u);
   EXPECT_GE(valid_cases().size(), 24u);
   // Lock the exact matrix: 3 machine-modes x 2 topologies x 2 reprs x
-  // 2 launchers x 3 apps. A pruning regression that silently drops cells
+  // 2 launchers x 4 apps. A pruning regression that silently drops cells
   // must fail here, not shrink coverage unnoticed.
-  EXPECT_EQ(valid_cases().size(), 72u);
+  EXPECT_EQ(valid_cases().size(), 96u);
 }
 
 // Pruned-but-runnable configurations must fail with a clean Status — the

@@ -196,10 +196,10 @@ struct SumPayload {
 
 ReduceOps<SumPayload> sum_ops() {
   ReduceOps<SumPayload> ops;
-  ops.merge_into = [](SumPayload& acc, SumPayload&& child, SimTime& cpu) {
+  ops.merge_cpu = [](const SumPayload&) { return SimTime{100}; };
+  ops.merge_into = [](SumPayload& acc, SumPayload&& child) {
     acc.sum += child.sum;
     acc.contributions += child.contributions;
-    cpu += 100;
   };
   ops.wire_bytes = [](const SumPayload&) { return std::uint64_t{64}; };
   ops.codec_cost = [](std::uint64_t) { return SimTime{50}; };
