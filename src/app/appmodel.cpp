@@ -169,6 +169,60 @@ CallPath IoStallApp::stack(TaskId task, std::uint32_t thread,
 }
 
 // ---------------------------------------------------------------------------
+// ImbalanceApp
+
+ImbalanceApp::ImbalanceApp(ImbalanceOptions options)
+    : options_(std::move(options)) {
+  check(options_.num_tasks >= 2, "ImbalanceApp needs at least 2 tasks");
+  check(options_.straggler_stride >= 1, "straggler_stride must be >= 1");
+  check(options_.min_recursion >= 1 &&
+            options_.min_recursion <= options_.max_recursion,
+        "ImbalanceApp recursion range is empty");
+  f_start_ = frames_.intern(options_.bgl_frames ? "_start_blrts" : "_start");
+  f_main_ = frames_.intern("main");
+  f_solve_ = frames_.intern("solve_domain");
+  f_refine_ = frames_.intern("refine_cell");
+  f_kernel_ = frames_.intern("relax_kernel");
+  f_flux_ = frames_.intern("compute_flux");
+  f_barrier_ = frames_.intern("PMPI_Barrier");
+  f_progress_wait_ = frames_.intern("MPID_Progress_wait");
+  f_pollfcn_ = frames_.intern("BGLML_pollfcn");
+  f_advance_ = frames_.intern("BGLML_Messager_advance");
+}
+
+CallPath ImbalanceApp::stack(TaskId task, std::uint32_t thread,
+                             std::uint32_t sample) const {
+  check(task.value() < options_.num_tasks, "ImbalanceApp::stack out of range");
+  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+
+  CallPath path{f_start_, f_main_};
+  if (is_straggler(task)) {
+    // Still refining an oversized subdomain: a recursive refine_cell chain
+    // whose depth is a stable per-task signature of how much work that rank
+    // was dealt (the hang diagnosis the classes must surface).
+    path.push_back(f_solve_);
+    Rng task_rng(options_.seed, /*stream_id=*/task.value());
+    const std::uint32_t depth =
+        options_.min_recursion +
+        static_cast<std::uint32_t>(task_rng.next_below(
+            options_.max_recursion - options_.min_recursion + 1));
+    for (std::uint32_t i = 0; i < depth; ++i) path.push_back(f_refine_);
+    // The straggler is actively computing, so the leaf varies sample to
+    // sample (the 3D tree's time dimension).
+    path.push_back(rng.bernoulli(0.7) ? f_kernel_ : f_flux_);
+    return path;
+  }
+  // Everyone else finished its subdomain and is idle in the phase barrier,
+  // churning the progress engine at a sample-varying depth.
+  path.push_back(f_barrier_);
+  path.push_back(f_progress_wait_);
+  path.push_back(f_pollfcn_);
+  const std::uint32_t spins = static_cast<std::uint32_t>(rng.next_below(2));
+  for (std::uint32_t i = 0; i < spins; ++i) path.push_back(f_advance_);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
 // StatBenchApp
 
 StatBenchApp::StatBenchApp(StatBenchOptions options) : options_(options) {

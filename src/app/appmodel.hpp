@@ -172,6 +172,49 @@ class IoStallApp : public AppModel {
   FrameId f_barrier_, f_progress_wait_, f_pollfcn_, f_advance_;
 };
 
+struct ImbalanceOptions {
+  std::uint32_t num_tasks = 1024;
+  /// "_start_blrts" on BG/L, "_start" elsewhere.
+  bool bgl_frames = true;
+  /// Every `straggler_stride`-th rank is a straggler.
+  std::uint32_t straggler_stride = 32;
+  /// Straggler recursion depth range (per task, stable across samples).
+  std::uint32_t min_recursion = 6;
+  std::uint32_t max_recursion = 22;
+  std::uint64_t seed = 2008;
+  AppBinarySpec binaries;
+};
+
+/// Load-imbalance hang (the adaptive-refinement pathology): a sparse set of
+/// stragglers is still grinding through oversized subdomains — deep in a
+/// recursive refine_cell chain whose depth is a stable per-task signature —
+/// while every other rank sits in the phase barrier churning the progress
+/// engine. Looks like a hang to the operator; STAT's classes separate the
+/// "idle in barrier" majority from the handful of distinct-depth stragglers.
+class ImbalanceApp : public AppModel {
+ public:
+  explicit ImbalanceApp(ImbalanceOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return options_.num_tasks;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return options_.binaries;
+  }
+
+  [[nodiscard]] bool is_straggler(TaskId task) const {
+    return task.value() % options_.straggler_stride == 0;
+  }
+
+ private:
+  ImbalanceOptions options_;
+  // Pre-interned frames (stack() stays read-only for parallel samplers).
+  FrameId f_start_, f_main_, f_solve_, f_refine_, f_kernel_, f_flux_;
+  FrameId f_barrier_, f_progress_wait_, f_pollfcn_, f_advance_;
+};
+
 struct StatBenchOptions {
   std::uint32_t num_tasks = 4096;
   std::uint32_t num_classes = 32;   // distinct behaviour classes

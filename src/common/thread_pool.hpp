@@ -1,20 +1,30 @@
-// Fixed-size worker pool with an MPSC completion queue.
+// Fixed-size worker pool with a lock-free submission path and an MPSC
+// completion queue.
 //
 // This is the execution substrate of the parallel engine: the simulator
 // thread submits real computations (tree merges, trace synthesis) as Tasks,
 // workers execute them, and completions flow back over a lock-free
 // multi-producer/single-consumer stack (in the spirit of the constant-time
-// LL/SC hand-off constructions: workers only ever CAS-push one node; the
-// consumer swaps the whole list out). The pool knows nothing about virtual
-// time — determinism is the sim::Executor's contract, built on top of the
-// one guarantee made here: after wait(task) returns, the task's side effects
-// are visible to the caller.
+// LL/SC hand-off constructions: producers only ever CAS-push one node; the
+// consumer swaps the whole list out). Submission uses the same pointer-width
+// CAS construction in the other direction: each worker owns an intrusive
+// lock-free inbox that producers CAS-push onto round-robin and that its
+// worker (or an idle thief) drains wholesale with a single exchange —
+// exchange-only consumption means no ABA window and no tagged pointers. The
+// submission fast path takes no mutex; a parked worker is woken through its
+// park mutex with the standard Dekker-style sleeping-flag handshake.
+//
+// Ordering: jobs drained from one inbox batch run in submission order, but
+// there is no global FIFO across inboxes (stealing reorders freely). Nothing
+// in the engine depends on submission order — determinism is the
+// sim::Executor's contract, built on top of the one guarantee made here:
+// after wait(task) returns, the task's side effects are visible to the
+// caller.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -77,15 +87,37 @@ class ThreadPool {
   [[nodiscard]] std::uint64_t completed() const { return drained_; }
 
  private:
-  void worker_loop();
+  /// Intrusive node in a worker's lock-free inbox (LIFO while queued; the
+  /// drainer reverses the batch back into submission order).
+  struct JobNode {
+    std::function<void()> fn;
+    JobNode* next = nullptr;
+  };
+
+  /// Per-worker submission state. The inbox is the lock-free part; the
+  /// mutex/cv pair only parks and wakes this one worker.
+  struct WorkerSlot {
+    std::atomic<JobNode*> inbox{nullptr};
+    std::atomic<bool> sleeping{false};
+    std::mutex park_mutex;
+    std::condition_variable park_cv;
+  };
+
+  void worker_loop(unsigned index);
+  /// True when any inbox holds work or the pool is stopping — the park
+  /// predicate (a parked worker may be woken to steal another's inbox).
+  [[nodiscard]] bool work_visible() const;
+  static void push_inbox(WorkerSlot& slot, JobNode* node);
+  /// Drains the whole inbox with one exchange and reverses it to FIFO.
+  [[nodiscard]] static JobNode* drain_inbox(WorkerSlot& slot);
+  void wake(WorkerSlot& slot);
   /// Consumer side of the completion queue; requires completion_mutex_.
   void drain_completions_locked();
 
-  // Submission side: a mutex-guarded FIFO the workers pop from.
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  // Submission side: one lock-free inbox per worker, producers round-robin.
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::atomic<std::uint64_t> next_slot_{0};
+  std::atomic<bool> stopping_{false};
 
   // Completion side: workers CAS-push finished tasks; waiters swap the list
   // out under completion_mutex_ (single consumer at a time) and release the

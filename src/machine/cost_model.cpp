@@ -1,5 +1,7 @@
 #include "machine/cost_model.hpp"
 
+#include "common/status.hpp"
+
 namespace petastat::machine {
 
 CostModel default_cost_model(const MachineConfig& m) {
@@ -20,6 +22,97 @@ CostModel default_cost_model(const MachineConfig& m) {
     c.sampling.walk_per_process = seconds(0.0006);
   }
   return c;
+}
+
+// ---------------------------------------------------------------------------
+// Analytic phase formulas
+
+std::uint32_t tree_levels(std::uint32_t n, std::uint32_t fanout) {
+  if (n <= 1) return n;
+  check(fanout >= 2, "tree_levels fanout must be >= 2");
+  std::uint32_t levels = 0;
+  std::uint64_t reach = 1;
+  while (reach < n) {
+    reach *= fanout;
+    ++levels;
+  }
+  return levels;
+}
+
+SimTime serial_shell_spawn_time(const LaunchCosts& costs,
+                                std::uint32_t daemons) {
+  return static_cast<SimTime>(
+      static_cast<double>(costs.remote_shell_per_daemon) * daemons);
+}
+
+SimTime bulk_tree_spawn_time(const LaunchCosts& costs, std::uint32_t daemons) {
+  const std::uint32_t levels = tree_levels(daemons, costs.rm_broadcast_fanout);
+  return costs.rm_request_overhead + levels * costs.rm_broadcast_per_level;
+}
+
+SimTime ciod_process_table_time(const LaunchCosts& costs,
+                                std::uint32_t app_procs, bool patched) {
+  const auto p = static_cast<double>(app_procs);
+  double t = to_seconds(costs.ciod_base) + to_seconds(costs.ciod_per_proc) * p;
+  if (!patched) {
+    // strcat rescans the destination buffer on every append: Theta(P^2).
+    t += costs.ciod_strcat_ns_per_proc_sq * p * p * 1e-9;
+  }
+  return seconds(t);
+}
+
+SimTime ciod_spawn_time(const LaunchCosts& costs, std::uint32_t daemons) {
+  return costs.rm_broadcast_per_level *
+         tree_levels(daemons, costs.rm_broadcast_fanout);
+}
+
+SimTime ciod_app_launch_time(const LaunchCosts& costs,
+                             std::uint32_t app_procs) {
+  return costs.app_launch_base +
+         static_cast<SimTime>(static_cast<double>(costs.app_launch_per_proc) *
+                              app_procs);
+}
+
+SimTime comm_spawn_time(const LaunchCosts& costs, std::uint32_t comm_procs) {
+  return static_cast<SimTime>(
+      static_cast<double>(costs.remote_shell_per_daemon) * comm_procs);
+}
+
+SimTime stack_walk_cost(const SamplingCosts& costs, std::size_t frames) {
+  return costs.walk_per_process +
+         static_cast<SimTime>(frames) *
+             (costs.walk_per_frame + costs.local_merge_per_node);
+}
+
+SimTime symtab_parse_cost(const SamplingCosts& costs,
+                          std::uint64_t image_bytes) {
+  return static_cast<SimTime>(
+      static_cast<double>(costs.symtab_parse_per_mb) *
+      (static_cast<double>(image_bytes) / (1024.0 * 1024.0)));
+}
+
+double expected_contention(const SamplingCosts& costs,
+                           bool daemon_shares_cpu) {
+  return daemon_shares_cpu ? costs.cpu_contention_mean : 1.0;
+}
+
+SimTime packet_codec_cost(const MergeCosts& costs, std::uint64_t bytes) {
+  return costs.per_packet_cpu +
+         static_cast<SimTime>(static_cast<double>(costs.pack_per_byte) *
+                              static_cast<double>(bytes));
+}
+
+SimTime filter_merge_cost(const MergeCosts& costs, std::uint64_t tree_nodes,
+                          std::uint64_t label_bytes) {
+  return tree_nodes * costs.merge_per_tree_node +
+         static_cast<SimTime>(
+             static_cast<double>(costs.merge_per_label_byte) *
+             static_cast<double>(label_bytes));
+}
+
+SimTime frontend_remap_cost(const MergeCosts& costs, std::uint64_t tasks) {
+  return static_cast<SimTime>(static_cast<double>(costs.remap_per_task) *
+                              static_cast<double>(tasks));
 }
 
 }  // namespace petastat::machine

@@ -96,4 +96,73 @@ struct CostModel {
 /// Default cost model for a machine preset.
 [[nodiscard]] CostModel default_cost_model(const MachineConfig& machine);
 
+// ---------------------------------------------------------------------------
+// Analytic phase formulas.
+//
+// Noise-free expectations of every modelled duration. The simulated services
+// (rm::*Launcher, stackwalker::StackWalker, the STAT filter, StatScenario)
+// draw per-run noise *around exactly these formulas*; plan::PhasePredictor
+// consumes them directly. One shared formulation is what makes the
+// predictor's topology ranking trustworthy — if a service's timing model
+// changes, it must change here, where both sides see it.
+
+/// Fan-out tree levels needed to reach n leaves (n itself for n <= 1).
+[[nodiscard]] std::uint32_t tree_levels(std::uint32_t n, std::uint32_t fanout);
+
+/// MRNet's ad hoc spawner: one remote shell per daemon, strictly serial from
+/// the front end (the Fig. 2 linear trend).
+[[nodiscard]] SimTime serial_shell_spawn_time(const LaunchCosts& costs,
+                                              std::uint32_t daemons);
+
+/// LaunchMON path: one RM request plus the RM's internal broadcast tree.
+[[nodiscard]] SimTime bulk_tree_spawn_time(const LaunchCosts& costs,
+                                           std::uint32_t daemons);
+
+/// BG/L process-table generation; quadratic strcat term when unpatched.
+[[nodiscard]] SimTime ciod_process_table_time(const LaunchCosts& costs,
+                                              std::uint32_t app_procs,
+                                              bool patched);
+
+/// BG/L daemon push to the I/O nodes through the control network
+/// (daemon_init, which applies to every launcher, is accounted separately).
+[[nodiscard]] SimTime ciod_spawn_time(const LaunchCosts& costs,
+                                      std::uint32_t daemons);
+
+/// BG/L application launch under tool control.
+[[nodiscard]] SimTime ciod_app_launch_time(const LaunchCosts& costs,
+                                           std::uint32_t app_procs);
+
+/// MRNet comm processes are spawned serially from the front end.
+[[nodiscard]] SimTime comm_spawn_time(const LaunchCosts& costs,
+                                      std::uint32_t comm_procs);
+
+/// One third-party stack walk of `frames` frames, including the daemon-local
+/// merge of the resulting path (before contention scaling).
+[[nodiscard]] SimTime stack_walk_cost(const SamplingCosts& costs,
+                                      std::size_t frames);
+
+/// Symbol-table parse CPU for `image_bytes` of binary images.
+[[nodiscard]] SimTime symtab_parse_cost(const SamplingCosts& costs,
+                                        std::uint64_t image_bytes);
+
+/// Expected CPU-contention factor for a daemon's walk/parse work: the full
+/// spin-wait slowdown on shared nodes, 1.0 on dedicated I/O nodes.
+[[nodiscard]] double expected_contention(const SamplingCosts& costs,
+                                         bool daemon_shares_cpu);
+
+/// Filter-process CPU to pack or unpack one `bytes`-sized payload packet.
+[[nodiscard]] SimTime packet_codec_cost(const MergeCosts& costs,
+                                        std::uint64_t bytes);
+
+/// Filter-process CPU to merge an incoming payload of `tree_nodes` prefix
+/// tree nodes carrying `label_bytes` of edge labels into the accumulator.
+[[nodiscard]] SimTime filter_merge_cost(const MergeCosts& costs,
+                                        std::uint64_t tree_nodes,
+                                        std::uint64_t label_bytes);
+
+/// Front-end remap of daemon-order task lists to MPI rank order (the
+/// optimized representation's finalization step).
+[[nodiscard]] SimTime frontend_remap_cost(const MergeCosts& costs,
+                                          std::uint64_t tasks);
+
 }  // namespace petastat::machine

@@ -46,35 +46,41 @@ NetworkParams default_network_params(const machine::MachineConfig& machine) {
   return p;
 }
 
-Network::Network(sim::Simulator& simulator, const machine::MachineConfig& machine,
-                 NetworkParams params)
-    : sim_(simulator), machine_(machine), params_(params) {}
-
-const LinkParams& Network::link_between(NodeId a, NodeId b) const {
+const LinkParams& link_between(const NetworkParams& params, NodeId a,
+                               NodeId b) {
   const NodeRole ra = node_role(a);
   const NodeRole rb = node_role(b);
   const auto pair_has = [&](NodeRole x, NodeRole y) {
     return (ra == x && rb == y) || (ra == y && rb == x);
   };
-  if (pair_has(NodeRole::kFrontEnd, NodeRole::kLogin)) return params_.fe_to_login;
-  if (pair_has(NodeRole::kLogin, NodeRole::kLogin)) return params_.login_to_login;
-  if (pair_has(NodeRole::kLogin, NodeRole::kIo)) return params_.login_to_io;
-  if (pair_has(NodeRole::kFrontEnd, NodeRole::kIo)) return params_.login_to_io;
-  if (pair_has(NodeRole::kIo, NodeRole::kCompute)) return params_.io_to_compute;
-  if (pair_has(NodeRole::kFrontEnd, NodeRole::kCompute)) return params_.fe_to_compute;
-  if (pair_has(NodeRole::kLogin, NodeRole::kCompute)) return params_.fe_to_compute;
-  return params_.compute_fabric;
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kLogin)) return params.fe_to_login;
+  if (pair_has(NodeRole::kLogin, NodeRole::kLogin)) return params.login_to_login;
+  if (pair_has(NodeRole::kLogin, NodeRole::kIo)) return params.login_to_io;
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kIo)) return params.login_to_io;
+  if (pair_has(NodeRole::kIo, NodeRole::kCompute)) return params.io_to_compute;
+  if (pair_has(NodeRole::kFrontEnd, NodeRole::kCompute)) return params.fe_to_compute;
+  if (pair_has(NodeRole::kLogin, NodeRole::kCompute)) return params.fe_to_compute;
+  return params.compute_fabric;
 }
 
-double Network::nic_rate(NodeId n) const {
+double nic_rate(const NetworkParams& params, NodeId n) {
   switch (node_role(n)) {
-    case NodeRole::kFrontEnd: return params_.frontend_nic_bytes_per_sec;
-    case NodeRole::kLogin: return params_.login_nic_bytes_per_sec;
-    case NodeRole::kIo: return params_.io_nic_bytes_per_sec;
-    case NodeRole::kCompute: return params_.compute_nic_bytes_per_sec;
+    case NodeRole::kFrontEnd: return params.frontend_nic_bytes_per_sec;
+    case NodeRole::kLogin: return params.login_nic_bytes_per_sec;
+    case NodeRole::kIo: return params.io_nic_bytes_per_sec;
+    case NodeRole::kCompute: return params.compute_nic_bytes_per_sec;
   }
-  return params_.compute_nic_bytes_per_sec;
+  return params.compute_nic_bytes_per_sec;
 }
+
+double transfer_rate(const NetworkParams& params, NodeId src, NodeId dst) {
+  return std::min({nic_rate(params, src), nic_rate(params, dst),
+                   link_between(params, src, dst).bytes_per_sec});
+}
+
+Network::Network(sim::Simulator& simulator, const machine::MachineConfig& machine,
+                 NetworkParams params)
+    : sim_(simulator), machine_(machine), params_(params) {}
 
 sim::SerialDevice& Network::nic(NodeId n) {
   auto it = nics_.find(n);
@@ -85,9 +91,8 @@ sim::SerialDevice& Network::nic(NodeId n) {
 }
 
 SimTime Network::transfer(NodeId src, NodeId dst, std::uint64_t bytes) {
-  const LinkParams& link = link_between(src, dst);
-  const double rate =
-      std::min({nic_rate(src), nic_rate(dst), link.bytes_per_sec});
+  const LinkParams& link = link_between(params_, src, dst);
+  const double rate = transfer_rate(params_, src, dst);
   const auto ser = static_cast<SimTime>(static_cast<double>(bytes) / rate * 1e9);
 
   // Transmit occupies the source NIC; cut-through reception occupies the

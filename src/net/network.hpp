@@ -46,6 +46,20 @@ struct NetworkParams {
 [[nodiscard]] NetworkParams default_network_params(
     const machine::MachineConfig& machine);
 
+/// Link parameters for a transfer between `a` and `b` (by node role pair).
+/// Shared formulation: the simulated Network and the analytic
+/// plan::PhasePredictor both price transfers through these two functions.
+[[nodiscard]] const LinkParams& link_between(const NetworkParams& params,
+                                             NodeId a, NodeId b);
+
+/// NIC serialization rate of node `n`.
+[[nodiscard]] double nic_rate(const NetworkParams& params, NodeId n);
+
+/// Effective serialization rate of one transfer (min of both NICs and the
+/// link).
+[[nodiscard]] double transfer_rate(const NetworkParams& params, NodeId src,
+                                   NodeId dst);
+
 class Network {
  public:
   Network(sim::Simulator& simulator, const machine::MachineConfig& machine,
@@ -69,8 +83,6 @@ class Network {
   [[nodiscard]] const NetworkParams& params() const { return params_; }
 
  private:
-  [[nodiscard]] const LinkParams& link_between(NodeId a, NodeId b) const;
-  [[nodiscard]] double nic_rate(NodeId n) const;
   sim::SerialDevice& nic(NodeId n);
 
   sim::Simulator& sim_;

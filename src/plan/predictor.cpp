@@ -1,0 +1,386 @@
+#include "plan/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "app/appmodel.hpp"
+#include "fs/filesystem.hpp"
+#include "stat/filter.hpp"
+#include "stat/hier_taskset.hpp"
+#include "stat/prefix_tree.hpp"
+
+namespace petastat::plan {
+
+namespace {
+
+/// Piecewise-linear interpolation over (probe_counts, values), extrapolated
+/// beyond the last probe point with the final segment's slope (clamped to be
+/// non-decreasing — payloads never shrink as a subtree grows).
+double interpolate(const std::vector<std::uint32_t>& xs,
+                   const std::vector<double>& ys, double x) {
+  check(!xs.empty() && xs.size() == ys.size(), "malformed workload profile");
+  if (x <= xs.front()) return ys.front();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (x <= xs[i]) {
+      const double t = (x - xs[i - 1]) / (xs[i] - xs[i - 1]);
+      return ys[i - 1] + t * (ys[i] - ys[i - 1]);
+    }
+  }
+  if (xs.size() == 1) return ys.back();
+  const std::size_t n = xs.size();
+  const double slope = std::max(
+      0.0, (ys[n - 1] - ys[n - 2]) / (xs[n - 1] - xs[n - 2]));
+  return ys.back() + slope * (x - xs.back());
+}
+
+}  // namespace
+
+double WorkloadProfile::payload_bytes_for(double daemons) const {
+  return interpolate(probe_counts, merged_payload_bytes, daemons);
+}
+
+double WorkloadProfile::tree_nodes_for(double daemons) const {
+  return interpolate(probe_counts, merged_tree_nodes, daemons);
+}
+
+namespace {
+
+/// Synthesizes one daemon's trace payload exactly as the scenario's sampling
+/// sink would, for either label representation.
+template <typename Label>
+stat::StatPayload<Label> synthesize_payload(const app::AppModel& app,
+                                            const machine::DaemonLayout& layout,
+                                            const stat::TaskMap& task_map,
+                                            std::uint32_t daemon,
+                                            std::uint32_t num_samples,
+                                            double& frames_sum,
+                                            std::uint64_t& trace_count) {
+  stat::StatPayload<Label> payload;
+  const std::uint32_t count = layout.tasks_of(DaemonId(daemon));
+  const std::uint32_t threads = app.threads_per_task();
+  for (std::uint32_t s = 0; s < num_samples; ++s) {
+    for (std::uint32_t t = 0; t < count; ++t) {
+      const TaskId task = TaskId(task_map.global_rank(daemon, t));
+      for (std::uint32_t th = 0; th < threads; ++th) {
+        const app::CallPath path = app.stack(task, th, s);
+        frames_sum += static_cast<double>(path.size());
+        ++trace_count;
+        stat::insert_trace(payload, path, daemon, t, task, s);
+      }
+    }
+  }
+  return payload;
+}
+
+template <typename Label>
+void profile_with_label(const app::AppModel& app,
+                        const machine::DaemonLayout& layout,
+                        const stat::TaskMap& task_map,
+                        const stat::StatOptions& options,
+                        WorkloadProfile& profile) {
+  const stat::LabelContext ctx{layout.num_tasks};
+  const app::FrameTable& frames = app.frames();
+
+  // Probe the first 1, 2, 4, 8 daemons (capped at the job size): enough to
+  // see whether payloads grow with the subtree (hier) or saturate (dense).
+  std::vector<std::uint32_t> ks;
+  for (std::uint32_t k = 1; k <= layout.num_daemons && k <= 8; k *= 2) {
+    ks.push_back(k);
+  }
+  if (ks.back() < layout.num_daemons && ks.back() < 8) {
+    ks.push_back(layout.num_daemons);  // tiny jobs: probe everything
+  }
+
+  double frames_sum = 0.0;
+  std::uint64_t traces = 0;
+  double leaf_bytes_sum = 0.0;
+  double leaf_nodes_sum = 0.0;
+  stat::StatPayload<Label> merged;
+  std::uint32_t merged_daemons = 0;
+  for (const std::uint32_t k : ks) {
+    for (std::uint32_t d = merged_daemons; d < k; ++d) {
+      stat::StatPayload<Label> leaf = synthesize_payload<Label>(
+          app, layout, task_map, d, options.num_samples, frames_sum, traces);
+      leaf_bytes_sum +=
+          static_cast<double>(payload_wire_bytes(leaf, frames, ctx));
+      leaf_nodes_sum += static_cast<double>(leaf.tree_2d.node_count() +
+                                            leaf.tree_3d.node_count());
+      merged.tree_2d.merge(leaf.tree_2d);
+      merged.tree_3d.merge(leaf.tree_3d);
+    }
+    merged_daemons = k;
+    profile.probe_counts.push_back(k);
+    profile.merged_payload_bytes.push_back(
+        static_cast<double>(payload_wire_bytes(merged, frames, ctx)));
+    profile.merged_tree_nodes.push_back(static_cast<double>(
+        merged.tree_2d.node_count() + merged.tree_3d.node_count()));
+  }
+
+  profile.avg_frames_per_trace =
+      traces > 0 ? frames_sum / static_cast<double>(traces) : 0.0;
+  profile.traces_per_daemon =
+      traces / std::max<std::uint64_t>(1, merged_daemons);
+  profile.leaf_payload_bytes = leaf_bytes_sum / merged_daemons;
+  profile.leaf_tree_nodes = leaf_nodes_sum / merged_daemons;
+}
+
+}  // namespace
+
+WorkloadProfile profile_workload(const machine::MachineConfig& machine,
+                                 const machine::JobConfig& job,
+                                 const machine::DaemonLayout& layout,
+                                 const stat::StatOptions& options) {
+  WorkloadProfile profile;
+  const auto app = stat::make_app_model(machine, job, options);
+  const stat::TaskMap task_map =
+      options.shuffle_task_map ? stat::TaskMap::shuffled(layout, options.seed)
+                               : stat::TaskMap::identity(layout);
+  if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
+    profile_with_label<stat::GlobalLabel>(*app, layout, task_map, options,
+                                          profile);
+  } else {
+    profile_with_label<stat::HierLabel>(*app, layout, task_map, options,
+                                        profile);
+  }
+  for (const auto& image : app->binaries().images) {
+    profile.symbol_image_bytes += image.bytes;
+    if (image.path.rfind("/nfs", 0) == 0) {
+      profile.shared_fs_image_bytes += image.bytes;
+    }
+  }
+  return profile;
+}
+
+// ---------------------------------------------------------------------------
+// PhasePredictor
+
+PhasePredictor::PhasePredictor(machine::MachineConfig machine,
+                               machine::JobConfig job,
+                               stat::StatOptions options,
+                               machine::CostModel costs,
+                               machine::DaemonLayout layout)
+    : machine_(std::move(machine)),
+      job_(job),
+      options_(std::move(options)),
+      costs_(costs),
+      layout_(layout),
+      net_(net::default_network_params(machine_)),
+      profile_(profile_workload(machine_, job_, layout_, options_)) {}
+
+Result<PhasePredictor> PhasePredictor::create(machine::MachineConfig machine,
+                                              machine::JobConfig job,
+                                              stat::StatOptions options,
+                                              machine::CostModel costs) {
+  auto layout = machine::layout_daemons(machine, job);
+  if (!layout.is_ok()) return layout.status();
+  return PhasePredictor(std::move(machine), job, std::move(options), costs,
+                        layout.value());
+}
+
+SimTime PhasePredictor::predict_launch(Status& viability) const {
+  const machine::LaunchCosts& costs = costs_.launch;
+  const std::uint32_t daemons = layout_.num_daemons;
+  const bool tool_launches_app =
+      machine_.daemon_placement == machine::DaemonPlacement::kPerIoNode;
+  const std::uint32_t app_procs = tool_launches_app ? layout_.num_tasks : 0;
+
+  switch (options_.launcher) {
+    case stat::LauncherKind::kMrnetRsh:
+      if (!machine_.supports_rsh) {
+        viability = unavailable(machine_.name + " does not support rsh");
+      } else if (daemons >= costs.rsh_failure_threshold) {
+        viability = unavailable("rsh spawn fails (reserved ports exhausted)");
+      }
+      return machine::serial_shell_spawn_time(costs, daemons) +
+             costs.daemon_init;
+    case stat::LauncherKind::kMrnetSsh:
+      if (!machine_.supports_ssh) {
+        viability =
+            unavailable(machine_.name + " compute nodes do not run sshd");
+      }
+      return machine::serial_shell_spawn_time(costs, daemons) +
+             costs.daemon_init;
+    case stat::LauncherKind::kLaunchMon:
+      return machine::bulk_tree_spawn_time(costs, daemons) + costs.daemon_init;
+    case stat::LauncherKind::kCiodPatched:
+      return machine::ciod_spawn_time(costs, daemons) + costs.daemon_init +
+             machine::ciod_app_launch_time(costs, app_procs) +
+             machine::ciod_process_table_time(costs, app_procs,
+                                              /*patched=*/true);
+    case stat::LauncherKind::kCiodUnpatched:
+      if (app_procs >= costs.ciod_unpatched_hang_threshold) {
+        viability = deadline_exceeded(
+            "BG/L resource manager hang generating the process table");
+      }
+      return machine::ciod_spawn_time(costs, daemons) + costs.daemon_init +
+             machine::ciod_app_launch_time(costs, app_procs) +
+             machine::ciod_process_table_time(costs, app_procs,
+                                              /*patched=*/false);
+  }
+  check(false, "unknown LauncherKind");
+  return 0;
+}
+
+SimTime PhasePredictor::predict_sampling() const {
+  const machine::SamplingCosts& costs = costs_.sampling;
+  const double contention =
+      machine::expected_contention(costs, machine_.daemon_shares_cpu);
+
+  const double walk_s =
+      static_cast<double>(profile_.traces_per_daemon) *
+      to_seconds(machine::stack_walk_cost(
+          costs,
+          static_cast<std::size_t>(
+              std::llround(profile_.avg_frames_per_trace)))) *
+      contention;
+  const double parse_s =
+      to_seconds(
+          machine::symtab_parse_cost(costs, profile_.symbol_image_bytes)) *
+      contention;
+
+  // Coarse shared-FS model: every daemon pulls the shared images through the
+  // server's aggregate bandwidth (mostly page-cache hits — all daemons read
+  // the same binaries), taken from the same NfsParams the scenario mounts.
+  // Lustre runs reuse the NFS aggregate as a stand-in; sampling is
+  // topology-independent either way, so it never affects the ranking.
+  const fs::NfsParams nfs = stat::shared_nfs_params(machine_);
+  const double aggregate_bytes_per_sec =
+      nfs.server_threads * nfs.cached_bytes_per_sec;
+  const double io_s = static_cast<double>(profile_.shared_fs_image_bytes) *
+                      layout_.num_daemons / aggregate_bytes_per_sec;
+
+  return seconds(io_s + parse_s + walk_s);
+}
+
+Result<PhasePrediction> PhasePredictor::predict(
+    const tbon::TopologySpec& spec) const {
+  auto topo_result = tbon::build_topology(machine_, layout_, spec);
+  if (!topo_result.is_ok()) return topo_result.status();
+  const tbon::TbonTopology& topo = topo_result.value();
+
+  PhasePrediction p;
+  p.num_comm_procs = topo.num_comm_procs();
+
+  // --- Startup -------------------------------------------------------------
+  p.launch = predict_launch(p.viability);
+  p.connect = machine::comm_spawn_time(costs_.launch, p.num_comm_procs) +
+              tbon::connect_time(topo, costs_.launch);
+  p.startup = p.launch + p.connect;
+
+  // --- Sampling ------------------------------------------------------------
+  p.sampling = predict_sampling();
+
+  // --- Merge ---------------------------------------------------------------
+  // Front-end viability (the Sec. V-A failures the paper observed).
+  const auto fe_children =
+      static_cast<std::uint32_t>(topo.front_end().children.size());
+  if (p.viability.is_ok() && fe_children >= machine_.max_tool_connections) {
+    p.viability = resource_exhausted(
+        "front end cannot sustain " + std::to_string(fe_children) +
+        " tool connections (limit " +
+        std::to_string(machine_.max_tool_connections) + ")");
+  }
+
+  // Subtree daemon coverage per proc (children always index after parents).
+  const std::size_t n = topo.procs.size();
+  std::vector<double> daemons_under(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    const auto& proc = topo.procs[i];
+    if (proc.is_leaf()) {
+      daemons_under[i] = 1.0;
+    } else {
+      for (const std::uint32_t c : proc.children) {
+        daemons_under[i] += daemons_under[c];
+      }
+    }
+  }
+
+  const auto bytes_of = [&](std::size_t i) {
+    return topo.procs[i].is_leaf() ? profile_.leaf_payload_bytes
+                                   : profile_.payload_bytes_for(daemons_under[i]);
+  };
+  const auto nodes_of = [&](std::size_t i) {
+    return topo.procs[i].is_leaf() ? profile_.leaf_tree_nodes
+                                   : profile_.tree_nodes_for(daemons_under[i]);
+  };
+
+  std::uint64_t fe_leaf_incoming = 0;
+  for (const std::uint32_t child : topo.front_end().children) {
+    if (topo.procs[child].is_leaf()) {
+      fe_leaf_incoming += static_cast<std::uint64_t>(bytes_of(child));
+    }
+  }
+  if (p.viability.is_ok() &&
+      fe_leaf_incoming > costs_.merge.frontend_rx_buffer_bytes) {
+    p.viability = resource_exhausted(
+        "front-end receive buffers overflow: " +
+        std::to_string(fe_leaf_incoming) + " bytes inbound");
+  }
+
+  // Level-by-level critical path of the reduction: within one level, each
+  // parent's single core unpacks/merges its children serially and its NIC
+  // drains their transfers serially (the Network's congestion mechanism);
+  // parents work in parallel except where they share a host (BG/L login
+  // nodes). Levels complete bottom-up.
+  struct LevelCost {
+    double worst_cpu_s = 0.0;
+    double worst_latency_s = 0.0;
+    std::vector<std::pair<NodeId, double>> nic_s;  // per parent host
+  };
+  std::vector<LevelCost> levels(topo.depth);
+  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& parent = topo.procs[i];
+    if (parent.children.empty()) continue;
+    LevelCost& level = levels[parent.level];
+    double cpu_s = 0.0;
+    double nic_s = 0.0;
+    for (const std::uint32_t c : parent.children) {
+      const double child_bytes = bytes_of(c);
+      const auto wire = static_cast<std::uint64_t>(child_bytes);
+      cpu_s += to_seconds(machine::packet_codec_cost(costs_.merge, wire));
+      cpu_s += to_seconds(machine::filter_merge_cost(
+          costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), wire));
+      nic_s += child_bytes / net::transfer_rate(net_, topo.procs[c].host,
+                                                parent.host);
+      level.worst_latency_s = std::max(
+          level.worst_latency_s,
+          to_seconds(
+              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
+              msg_overhead_s);
+    }
+    if (parent.parent >= 0) {
+      // Internal procs pack their accumulator before forwarding it.
+      cpu_s += to_seconds(machine::packet_codec_cost(
+          costs_.merge, static_cast<std::uint64_t>(bytes_of(i))));
+    }
+    level.worst_cpu_s = std::max(level.worst_cpu_s, cpu_s);
+    auto it = std::find_if(level.nic_s.begin(), level.nic_s.end(),
+                           [&](const auto& e) { return e.first == parent.host; });
+    if (it == level.nic_s.end()) {
+      level.nic_s.emplace_back(parent.host, nic_s);
+    } else {
+      it->second += nic_s;  // comm procs sharing one host share its NIC
+    }
+  }
+
+  // Leaves pack in parallel, then each level gates the next.
+  double merge_s = to_seconds(machine::packet_codec_cost(
+      costs_.merge, static_cast<std::uint64_t>(profile_.leaf_payload_bytes)));
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    const LevelCost& level = levels[l];
+    double worst_nic_s = 0.0;
+    for (const auto& [host, s] : level.nic_s) {
+      worst_nic_s = std::max(worst_nic_s, s);
+    }
+    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_nic_s);
+  }
+  p.merge = seconds(merge_s);
+
+  if (options_.repr == stat::TaskSetRepr::kHierarchical) {
+    p.remap = machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+  }
+  return p;
+}
+
+}  // namespace petastat::plan

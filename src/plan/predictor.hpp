@@ -1,0 +1,132 @@
+// Analytic per-phase cost prediction — the planning half of the topology
+// auto-tuner (ROADMAP: "--topology auto", validated against the Fig. 4/5
+// crossovers).
+//
+// A PhasePredictor prices a (machine, job, options, TopologySpec) tuple
+// WITHOUT running the discrete-event simulator. It is side-effect-free and
+// consumes the exact formulation the simulated services use:
+//   * the analytic launch/sampling/merge formulas in machine/cost_model
+//     (the services draw their per-run noise *around* these),
+//   * the link/NIC rate selection in net::transfer_rate (what the simulated
+//     Network charges per transfer),
+//   * the process tree from tbon::build_topology (the same placement and
+//     fanouts the reduction runs over).
+// The only empirical input is the WorkloadProfile: payload sizes and prefix
+// tree node counts measured by synthesizing a probe subset of daemons'
+// traces through the real PrefixTree/label code — real data structures, no
+// simulator, no virtual time.
+//
+// Fidelity contract: startup (launch + comm spawn + connect) and merge are
+// modelled closely enough to rank topologies and to land within tens of
+// percent of the simulated magnitudes (bench/ablation_autotopo records the
+// agreement). The sampling estimate is coarser — symbol I/O runs through a
+// contention-free aggregate-bandwidth approximation of the shared FS — and
+// is topology-independent anyway, so it never affects the ranking.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/machine.hpp"
+#include "net/network.hpp"
+#include "stat/scenario.hpp"
+#include "tbon/topology.hpp"
+
+namespace petastat::plan {
+
+/// Topology-independent workload summary, measured from a probe subset of
+/// daemons (contiguous from daemon 0, counts ascending).
+struct WorkloadProfile {
+  std::uint64_t traces_per_daemon = 0;
+  double avg_frames_per_trace = 0.0;
+
+  /// One daemon's serialized 2D+3D trees (averaged over the probe set).
+  double leaf_payload_bytes = 0.0;
+  double leaf_tree_nodes = 0.0;
+
+  /// Merged payload size / node count after merging the first k probe
+  /// daemons, for each k in probe_counts.
+  std::vector<std::uint32_t> probe_counts;
+  std::vector<double> merged_payload_bytes;
+  std::vector<double> merged_tree_nodes;
+
+  /// Binary images each daemon parses; the shared-FS subset is what every
+  /// daemon pulls over the shared file system on its first sample.
+  std::uint64_t symbol_image_bytes = 0;
+  std::uint64_t shared_fs_image_bytes = 0;
+
+  /// Payload size / node count of a subtree accumulator covering `daemons`
+  /// daemons: piecewise-linear over the probe points, extrapolated with the
+  /// last segment's slope (hier labels grow with the subtree, dense labels
+  /// and both node counts saturate — both shapes are captured).
+  [[nodiscard]] double payload_bytes_for(double daemons) const;
+  [[nodiscard]] double tree_nodes_for(double daemons) const;
+};
+
+/// Measures the profile for this scenario configuration by synthesizing the
+/// traces of up to 8 probe daemons through the real tree/label code.
+[[nodiscard]] WorkloadProfile profile_workload(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const machine::DaemonLayout& layout, const stat::StatOptions& options);
+
+/// Predicted per-phase times for one topology spec.
+struct PhasePrediction {
+  /// OK when the run is predicted to complete. Non-OK carries the predicted
+  /// failure: front-end connection limit, receive-buffer overflow, launcher
+  /// unsupported on the machine, rsh port exhaustion, CIOD hang.
+  Status viability = Status::ok();
+
+  SimTime launch = 0;    // daemon (and BG/L app) launch
+  SimTime connect = 0;   // comm-process spawn + MRNet instantiation
+  SimTime startup = 0;   // launch + connect
+  SimTime sampling = 0;  // symbol I/O + parse + walks (coarse; see header)
+  SimTime merge = 0;     // TBON reduction to the front end
+  SimTime remap = 0;     // front-end remap (hierarchical repr only)
+  std::uint32_t num_comm_procs = 0;
+
+  /// The auto-tuner's objective (ROADMAP: minimal startup+merge time).
+  [[nodiscard]] SimTime startup_plus_merge() const {
+    return startup + merge + remap;
+  }
+};
+
+class PhasePredictor {
+ public:
+  /// Fails when the job does not fit the machine.
+  [[nodiscard]] static Result<PhasePredictor> create(
+      machine::MachineConfig machine, machine::JobConfig job,
+      stat::StatOptions options, machine::CostModel costs);
+
+  /// Predicts all phases for `spec`. Fails (rather than predicting) when the
+  /// spec cannot be built on the machine at all; a buildable spec that is
+  /// predicted to die at runtime comes back OK with a non-OK `viability`.
+  [[nodiscard]] Result<PhasePrediction> predict(
+      const tbon::TopologySpec& spec) const;
+
+  [[nodiscard]] const machine::MachineConfig& machine() const {
+    return machine_;
+  }
+  [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
+  [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
+
+ private:
+  PhasePredictor(machine::MachineConfig machine, machine::JobConfig job,
+                 stat::StatOptions options, machine::CostModel costs,
+                 machine::DaemonLayout layout);
+
+  [[nodiscard]] SimTime predict_launch(Status& viability) const;
+  [[nodiscard]] SimTime predict_sampling() const;
+
+  machine::MachineConfig machine_;
+  machine::JobConfig job_;
+  stat::StatOptions options_;
+  machine::CostModel costs_;
+  machine::DaemonLayout layout_;
+  net::NetworkParams net_;
+  WorkloadProfile profile_;
+};
+
+}  // namespace petastat::plan

@@ -1,0 +1,90 @@
+#include "plan/search.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace petastat::plan {
+
+std::vector<tbon::TopologySpec> enumerate_specs(
+    const machine::MachineConfig& machine, std::uint32_t num_daemons) {
+  std::vector<tbon::TopologySpec> specs;
+  // Dedup by derived widths: the balanced rule, the BG/L rule, and an
+  // explicit sweep can all land on the same tree.
+  std::set<std::vector<std::uint32_t>> seen;
+  const auto add = [&](tbon::TopologySpec spec) {
+    auto widths = tbon::derive_level_widths(machine, spec, num_daemons);
+    if (!widths.is_ok()) return;  // malformed for this scale; skip
+    if (!seen.insert(widths.value()).second) return;
+    specs.push_back(std::move(spec));
+  };
+
+  // The paper's rules (Figs. 4/5).
+  add(tbon::TopologySpec::flat());
+  add(tbon::TopologySpec::balanced(2));
+  add(tbon::TopologySpec::balanced(3));
+  if (!machine.comm_procs_on_compute_allocation) {
+    add(tbon::TopologySpec::bgl(2));
+    add(tbon::TopologySpec::bgl(3, 16));
+    add(tbon::TopologySpec::bgl(3, 24));
+  }
+
+  // Explicit width sweeps under the comm-process placement limits.
+  const std::uint64_t capacity =
+      tbon::comm_process_capacity(machine, num_daemons);
+  const auto explicit_spec = [](std::vector<std::uint32_t> widths) {
+    tbon::TopologySpec spec;
+    spec.depth = static_cast<std::uint32_t>(widths.size()) + 1;
+    spec.level_widths = std::move(widths);
+    return spec;
+  };
+  for (std::uint32_t w = 2; w <= num_daemons && w <= capacity && w <= 512;
+       w *= 2) {
+    add(explicit_spec({w}));
+    // 3-deep: a narrow front-end fanout over a wider second level.
+    for (const std::uint32_t f : {4u, 8u}) {
+      if (f <= w && static_cast<std::uint64_t>(f) + w <= capacity) {
+        add(explicit_spec({f, w}));
+      }
+    }
+  }
+  return specs;
+}
+
+Result<TopologySearchResult> search_topologies(
+    const PhasePredictor& predictor) {
+  TopologySearchResult result;
+  const std::vector<tbon::TopologySpec> specs = enumerate_specs(
+      predictor.machine(), predictor.layout().num_daemons);
+  for (const tbon::TopologySpec& spec : specs) {
+    auto prediction = predictor.predict(spec);
+    if (!prediction.is_ok()) continue;  // not buildable at this scale
+    if (prediction.value().viability.is_ok()) {
+      result.viable.push_back({spec, std::move(prediction).value()});
+    } else {
+      result.rejected.push_back({spec, std::move(prediction).value()});
+    }
+  }
+  if (result.viable.empty()) {
+    return resource_exhausted(
+        "no viable topology: every candidate is predicted to fail on " +
+        predictor.machine().name);
+  }
+  std::stable_sort(result.viable.begin(), result.viable.end(),
+                   [](const RankedTopology& a, const RankedTopology& b) {
+                     return a.prediction.startup_plus_merge() <
+                            b.prediction.startup_plus_merge();
+                   });
+  return result;
+}
+
+Result<tbon::TopologySpec> choose_topology(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs) {
+  auto predictor = PhasePredictor::create(machine, job, options, costs);
+  if (!predictor.is_ok()) return predictor.status();
+  auto ranked = search_topologies(predictor.value());
+  if (!ranked.is_ok()) return ranked.status();
+  return ranked.value().best().spec;
+}
+
+}  // namespace petastat::plan

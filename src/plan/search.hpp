@@ -1,0 +1,48 @@
+// Topology auto-tuning: enumerate the machine-feasible TopologySpec space
+// and rank it by predicted startup+merge time (ROADMAP: `--topology auto`).
+//
+// The spec space follows the paper's Figs. 4/5 axes — depth 1/2/3, the
+// balanced n-th-root rule, the BG/L fanout rules — plus explicit level-width
+// sweeps under the machine's comm-process placement limits (login-node slots
+// on BG/L, the leftover compute allocation on clusters). Every candidate is
+// priced by the same PhasePredictor; specs that cannot be built, or that the
+// predictor flags as doomed (front-end connection limit, receive-buffer
+// overflow), are excluded from the ranking but reported with their reason.
+#pragma once
+
+#include <vector>
+
+#include "plan/predictor.hpp"
+
+namespace petastat::plan {
+
+struct RankedTopology {
+  tbon::TopologySpec spec;
+  PhasePrediction prediction;  // viability non-OK for `rejected` entries
+};
+
+struct TopologySearchResult {
+  /// Viable specs, best predicted startup+merge first.
+  std::vector<RankedTopology> viable;
+  /// Buildable-but-doomed specs, with the predicted failure in `viability`.
+  std::vector<RankedTopology> rejected;
+
+  [[nodiscard]] const RankedTopology& best() const { return viable.front(); }
+};
+
+/// Candidate specs for this machine/scale (before feasibility filtering).
+[[nodiscard]] std::vector<tbon::TopologySpec> enumerate_specs(
+    const machine::MachineConfig& machine, std::uint32_t num_daemons);
+
+/// Prices every candidate with `predictor` and ranks the viable ones. Fails
+/// only when no candidate is viable.
+[[nodiscard]] Result<TopologySearchResult> search_topologies(
+    const PhasePredictor& predictor);
+
+/// One-call convenience for the `--topology auto` path: profile the
+/// workload, rank the space, return the winner.
+[[nodiscard]] Result<tbon::TopologySpec> choose_topology(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs);
+
+}  // namespace petastat::plan

@@ -5,18 +5,6 @@
 
 namespace petastat::rm {
 
-std::uint32_t tree_levels(std::uint32_t n, std::uint32_t fanout) {
-  if (n <= 1) return n;
-  check(fanout >= 2, "tree_levels fanout must be >= 2");
-  std::uint32_t levels = 0;
-  std::uint64_t reach = 1;
-  while (reach < n) {
-    reach *= fanout;
-    ++levels;
-  }
-  return levels;
-}
-
 // ---------------------------------------------------------------------------
 // RemoteShellLauncher
 
@@ -62,13 +50,18 @@ void RemoteShellLauncher::launch(const LaunchRequest& request,
     return;
   }
 
-  // One remote shell per daemon, strictly sequential from the front end.
-  double total_s = 0.0;
+  // One remote shell per daemon, strictly sequential from the front end:
+  // per-spawn lognormal noise around the shared analytic formula.
+  double noise_sum = 0.0;
   for (std::uint32_t i = 0; i < request.num_daemons; ++i) {
-    total_s += to_seconds(costs_.remote_shell_per_daemon) *
-               rng_.lognormal_factor(costs_.remote_shell_sigma);
+    noise_sum += rng_.lognormal_factor(costs_.remote_shell_sigma);
   }
-  const SimTime spawn = seconds(total_s);
+  const double mean_noise =
+      request.num_daemons > 0 ? noise_sum / request.num_daemons : 1.0;
+  const SimTime spawn = static_cast<SimTime>(
+      static_cast<double>(
+          machine::serial_shell_spawn_time(costs_, request.num_daemons)) *
+      mean_noise);
   const SimTime init = costs_.daemon_init;  // daemons initialize in parallel
   report.daemon_spawn_time = spawn;
   report.finished_at = sim_.now() + spawn + init;
@@ -88,12 +81,10 @@ void BulkTreeLauncher::launch(const LaunchRequest& request, LaunchCallback done)
   LaunchReport report;
   report.started_at = sim_.now();
 
-  const std::uint32_t levels =
-      tree_levels(request.num_daemons, costs_.rm_broadcast_fanout);
   const double noise = rng_.lognormal_factor(0.05);
   const SimTime spawn = static_cast<SimTime>(
-      static_cast<double>(costs_.rm_request_overhead +
-                          levels * costs_.rm_broadcast_per_level) *
+      static_cast<double>(
+          machine::bulk_tree_spawn_time(costs_, request.num_daemons)) *
       noise);
   report.daemon_spawn_time = spawn;
   report.finished_at = sim_.now() + spawn + costs_.daemon_init;
@@ -113,13 +104,7 @@ CiodLauncher::CiodLauncher(sim::Simulator& simulator,
       rng_(seed, /*stream_id=*/0xc10d) {}
 
 SimTime CiodLauncher::process_table_time(std::uint32_t procs) const {
-  const auto p = static_cast<double>(procs);
-  double t = to_seconds(costs_.ciod_base) + to_seconds(costs_.ciod_per_proc) * p;
-  if (!patched_) {
-    // strcat rescans the destination buffer on every append: Theta(P^2).
-    t += costs_.ciod_strcat_ns_per_proc_sq * p * p * 1e-9;
-  }
-  return seconds(t);
+  return machine::ciod_process_table_time(costs_, procs, patched_);
 }
 
 void CiodLauncher::launch(const LaunchRequest& request, LaunchCallback done) {
@@ -143,15 +128,20 @@ void CiodLauncher::launch(const LaunchRequest& request, LaunchCallback done) {
   const double noise = rng_.lognormal_factor(0.04);
 
   // Daemons are pushed to the I/O nodes through the control network in bulk.
-  const SimTime spawn = static_cast<SimTime>(
-      static_cast<double>(costs_.rm_broadcast_per_level *
-                          tree_levels(request.num_daemons,
-                                      costs_.rm_broadcast_fanout)) * noise) +
+  const SimTime spawn =
+      static_cast<SimTime>(
+          static_cast<double>(
+              machine::ciod_spawn_time(costs_, request.num_daemons)) *
+          noise) +
       costs_.daemon_init;
   // The app is launched under tool control (the BG/L prototype requires it).
-  const SimTime app = costs_.app_launch_base +
-      static_cast<SimTime>(static_cast<double>(costs_.app_launch_per_proc) *
-                           request.num_app_procs * noise);
+  const SimTime app =
+      costs_.app_launch_base +
+      static_cast<SimTime>(
+          static_cast<double>(
+              machine::ciod_app_launch_time(costs_, request.num_app_procs) -
+              costs_.app_launch_base) *
+          noise);
   const SimTime table = static_cast<SimTime>(
       static_cast<double>(process_table_time(request.num_app_procs)) * noise);
 

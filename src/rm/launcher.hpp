@@ -114,7 +114,8 @@ class CiodLauncher final : public DaemonLauncher {
   Rng rng_;
 };
 
-/// Number of fan-out tree levels needed to reach n leaves.
-[[nodiscard]] std::uint32_t tree_levels(std::uint32_t n, std::uint32_t fanout);
+/// Number of fan-out tree levels needed to reach n leaves (shared analytic
+/// formulation; lives in machine/cost_model next to the launch formulas).
+using machine::tree_levels;
 
 }  // namespace petastat::rm

@@ -18,9 +18,7 @@ StackWalker::StackWalker(sim::Simulator& simulator,
       rng_(seed, /*stream_id=*/0x5a) {}
 
 SimTime StackWalker::walk_cost(std::size_t frames) const {
-  return costs_.walk_per_process +
-         static_cast<SimTime>(frames) *
-             (costs_.walk_per_frame + costs_.local_merge_per_node);
+  return machine::stack_walk_cost(costs_, frames);
 }
 
 void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
@@ -43,9 +41,7 @@ void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
     // All images are opened as the loader would; reads race with every other
     // daemon's reads on the shared server.
     io_done = std::max(io_done, files_.open_and_read(host, image.path, image.bytes));
-    parse_cpu += static_cast<SimTime>(
-        static_cast<double>(costs_.symtab_parse_per_mb) *
-        (static_cast<double>(image.bytes) / (1024.0 * 1024.0)));
+    parse_cpu += machine::symtab_parse_cost(costs_, image.bytes);
   }
   report.symbol_io_time = io_done - start;
 

@@ -42,14 +42,16 @@ std::string cli_usage() {
       "  --tasks N                       MPI tasks (default 1024)\n"
       "  --mode co|vn                    BG/L execution mode (default co)\n"
       "  --threads N                     threads per task (default 1)\n"
-      "  --topology flat|2deep|3deep|bgl2deep|bgl3deep\n"
+      "  --topology flat|2deep|3deep|bgl2deep|bgl3deep|auto\n"
+      "                                  auto searches the feasible spec space\n"
+      "                                  for minimal predicted startup+merge\n"
       "  --repr dense|hier               edge-label representation\n"
       "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
       "  --samples N                     traces per task (default 10)\n"
       "  --fs nfs|lustre                 shared file system\n"
       "  --sbrs                          relocate binaries to RAM disks\n"
       "  --slim-binaries                 post-OS-update library layout\n"
-      "  --app ring|threaded|statbench|iostall\n"
+      "  --app ring|threaded|statbench|iostall|imbalance\n"
       "                                  target application model\n"
       "  --fail-fraction F               daemon failure probability\n"
       "  --seed N                        run seed (default 2008)\n"
@@ -116,7 +118,10 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
     } else if (flag == "--topology") {
       auto value = next();
       if (!value.is_ok()) return value.status();
-      if (value.value() == "flat") {
+      config.options.topology_auto = false;
+      if (value.value() == "auto") {
+        config.options.topology_auto = true;
+      } else if (value.value() == "flat") {
         config.options.topology = tbon::TopologySpec::flat();
       } else if (value.value() == "2deep") {
         config.options.topology = tbon::TopologySpec::balanced(2);
@@ -188,6 +193,8 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         config.options.app = AppKind::kStatBench;
       } else if (value.value() == "iostall") {
         config.options.app = AppKind::kIoStall;
+      } else if (value.value() == "imbalance") {
+        config.options.app = AppKind::kImbalance;
       } else {
         return bad("unknown app '" + std::string(value.value()) + "'");
       }

@@ -32,11 +32,11 @@ struct CliConfig {
 /// Flags:
 ///   --machine atlas|bgl|petascale     --tasks N
 ///   --mode co|vn                      --threads N
-///   --topology flat|2deep|3deep|bgl2deep|bgl3deep
+///   --topology flat|2deep|3deep|bgl2deep|bgl3deep|auto
 ///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
 ///   --samples N                       --fs nfs|lustre
 ///   --sbrs                            --slim-binaries
-///   --seed N                          --app ring|threaded|statbench|iostall
+///   --seed N                          --app ring|threaded|statbench|iostall|imbalance
 ///   --fail-fraction F                 --format text|csv|json
 ///   --exec-threads N                  --print-tree
 ///   --dot PATH

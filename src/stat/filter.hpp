@@ -10,6 +10,8 @@
 // vectors hurt: their bytes scale with the whole job.
 #pragma once
 
+#include <type_traits>
+
 #include "app/callpath.hpp"
 #include "machine/cost_model.hpp"
 #include "stat/prefix_tree.hpp"
@@ -22,6 +24,27 @@ struct StatPayload {
   PrefixTree<Label> tree_2d;
   PrefixTree<Label> tree_3d;
 };
+
+/// Folds one gathered trace into a daemon's payload: the first sample seeds
+/// the 2D trace/space tree, every sample the 3D trace/space/time tree, with
+/// the label seeded per representation (global rank vs daemon-local slot).
+/// One formulation, two consumers: the scenario's sampling sinks and the
+/// planner's workload probe both fold traces through here, so predicted
+/// payloads are built by exactly the rule the simulator merges with.
+template <typename Label>
+void insert_trace(StatPayload<Label>& payload, const app::CallPath& path,
+                  [[maybe_unused]] std::uint32_t daemon,
+                  [[maybe_unused]] std::uint32_t local_index,
+                  [[maybe_unused]] TaskId task, std::uint32_t sample) {
+  Label seed;
+  if constexpr (std::is_same_v<Label, GlobalLabel>) {
+    seed = GlobalLabel::for_task(task.value());
+  } else {
+    seed = HierLabel::for_local(daemon, local_index);
+  }
+  if (sample == 0) payload.tree_2d.insert(path, seed);
+  payload.tree_3d.insert(path, seed);
+}
 
 template <typename Label>
 [[nodiscard]] std::uint64_t payload_wire_bytes(const StatPayload<Label>& payload,
@@ -43,9 +66,7 @@ template <typename Label>
     return payload_wire_bytes(payload, frames, ctx);
   };
   ops.codec_cost = [costs](std::uint64_t bytes) {
-    return costs.per_packet_cpu +
-           static_cast<SimTime>(static_cast<double>(costs.pack_per_byte) *
-                                static_cast<double>(bytes));
+    return machine::packet_codec_cost(costs, bytes);
   };
   // The modelled cost depends on the incoming payload only (streaming
   // filters charge per arrival), which lets the real merge run on a worker.
@@ -53,9 +74,7 @@ template <typename Label>
     const std::uint64_t nodes =
         child.tree_2d.node_count() + child.tree_3d.node_count();
     const std::uint64_t label_bytes = payload_wire_bytes(child, frames, ctx);
-    return nodes * costs.merge_per_tree_node +
-           static_cast<SimTime>(static_cast<double>(costs.merge_per_label_byte) *
-                                static_cast<double>(label_bytes));
+    return machine::filter_merge_cost(costs, nodes, label_bytes);
   };
   ops.merge_into = [](StatPayload<Label>& acc, StatPayload<Label>&& child) {
     acc.tree_2d.merge(child.tree_2d);

@@ -21,6 +21,7 @@ std::string render_text_report(const StatRunResult& result,
          std::to_string(result.layout.num_daemons) + " daemons (" +
          std::to_string(result.layout.tasks_per_daemon) + " tasks/daemon), " +
          std::to_string(result.num_comm_procs) + " comm procs\n";
+  out += "topology: " + result.topology.name() + "\n";
 
   const PhaseBreakdown& p = result.phases;
   out += "phases:\n";

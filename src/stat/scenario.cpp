@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "plan/search.hpp"
 #include "stat/filter.hpp"
 #include "tbon/reduction.hpp"
 
@@ -24,12 +25,12 @@ const char* task_set_repr_name(TaskSetRepr repr) {
 }
 
 namespace {
-
 constexpr const char* kSharedBase = "/nfs/home/user";
+}  // namespace
 
-std::unique_ptr<app::AppModel> make_app(const machine::MachineConfig& machine,
-                                        const machine::JobConfig& job,
-                                        const StatOptions& options) {
+std::unique_ptr<app::AppModel> make_app_model(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const StatOptions& options) {
   const bool bgl_style =
       machine.daemon_placement == machine::DaemonPlacement::kPerIoNode;
   app::AppBinarySpec binaries =
@@ -71,12 +72,31 @@ std::unique_ptr<app::AppModel> make_app(const machine::MachineConfig& machine,
       stall.binaries = std::move(binaries);
       return std::make_unique<app::IoStallApp>(std::move(stall));
     }
+    case AppKind::kImbalance: {
+      app::ImbalanceOptions imbalance;
+      imbalance.num_tasks = job.num_tasks;
+      imbalance.bgl_frames = bgl_style;
+      imbalance.seed = options.seed;
+      imbalance.binaries = std::move(binaries);
+      return std::make_unique<app::ImbalanceApp>(std::move(imbalance));
+    }
   }
   check(false, "unknown AppKind");
   return nullptr;
 }
 
-}  // namespace
+fs::NfsParams shared_nfs_params(const machine::MachineConfig& machine) {
+  fs::NfsParams nfs;
+  if (machine.daemon_placement == machine::DaemonPlacement::kPerIoNode) {
+    // Lab-grade NFS farm behind the I/O nodes: faster cached reads (every
+    // daemon reads the same static binary), more lanes, but a moodier
+    // shared server.
+    nfs.server_threads = 8;
+    nfs.cached_bytes_per_sec = 150.0e6;  // aggregate 1.2 GB/s
+    nfs.run_load_sigma = 0.58;
+  }
+  return nfs;
+}
 
 StatScenario::StatScenario(machine::MachineConfig machine,
                            machine::JobConfig job, StatOptions options)
@@ -88,6 +108,17 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   auto layout = machine::layout_daemons(machine_, job_);
   check(layout.is_ok(), "StatScenario: job does not fit the machine");
   layout_ = layout.value();
+
+  // Resolve `--topology auto` up front so the run-seed salting below (and
+  // everything seeded from it) sees the spec the run will actually use.
+  if (options_.topology_auto) {
+    auto chosen = plan::choose_topology(machine_, job_, options_, costs_);
+    if (chosen.is_ok()) {
+      options_.topology = std::move(chosen).value();
+    } else {
+      auto_status_ = chosen.status();
+    }
+  }
 
   net_ = std::make_unique<net::Network>(sim_, machine_,
                                         net::default_network_params(machine_));
@@ -106,16 +137,8 @@ StatScenario::StatScenario(machine::MachineConfig machine,
     shared_fs_ = std::make_unique<fs::LustreFileSystem>(sim_, fs::LustreParams{},
                                                         run_seed);
   } else {
-    fs::NfsParams nfs;
-    if (machine_.daemon_placement == machine::DaemonPlacement::kPerIoNode) {
-      // Lab-grade NFS farm behind the I/O nodes: faster cached reads (every
-      // daemon reads the same static binary), more lanes, but a moodier
-      // shared server.
-      nfs.server_threads = 8;
-      nfs.cached_bytes_per_sec = 150.0e6;  // aggregate 1.2 GB/s
-      nfs.run_load_sigma = 0.58;
-    }
-    shared_fs_ = std::make_unique<fs::NfsFileSystem>(sim_, nfs, run_seed);
+    shared_fs_ = std::make_unique<fs::NfsFileSystem>(
+        sim_, shared_nfs_params(machine_), run_seed);
   }
   local_fs_ = std::make_unique<fs::RamDiskFileSystem>(
       sim_, fs::RamDiskParams{.bytes_per_sec = 150.0e6,
@@ -126,7 +149,7 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   mounts_.mount("/ramdisk", ramdisk_.get());
   files_ = std::make_unique<fs::FileAccess>(sim_, mounts_);
 
-  app_ = make_app(machine_, job_, options_);
+  app_ = make_app_model(machine_, job_, options_);
   walker_ = std::make_unique<stackwalker::StackWalker>(
       sim_, machine_, costs_.sampling, *files_, *app_, layout_, run_seed);
   walker_->set_executor(&exec_);
@@ -139,6 +162,12 @@ StatScenario::~StatScenario() = default;
 StatRunResult StatScenario::run() {
   StatRunResult result;
   result.layout = layout_;
+  result.topology = options_.topology;
+  if (!auto_status_.is_ok()) {
+    // `--topology auto` found no viable spec at construction time.
+    result.status = auto_status_;
+    return result;
+  }
   PhaseBreakdown& phases = result.phases;
 
   // Walkers see the (possibly shuffled) process-table mapping.
@@ -204,9 +233,9 @@ StatRunResult StatScenario::run() {
 
   // MRNet comm processes are spawned serially from the front end, then the
   // whole network instantiates level by level.
-  const SimTime comm_spawn =
-      result.num_comm_procs * costs_.launch.remote_shell_per_daemon;
-  phases.connect_time = comm_spawn + tbon::connect_time(topology, costs_.launch);
+  phases.connect_time =
+      machine::comm_spawn_time(costs_.launch, result.num_comm_procs) +
+      tbon::connect_time(topology, costs_.launch);
   sim_.schedule_in(phases.connect_time, []() {});
   sim_.run();
   phases.startup_total = sim_.now();
@@ -262,23 +291,20 @@ StatRunResult StatScenario::run() {
   for (std::uint32_t d = 0; d < num_daemons; ++d) {
     if (daemon_dead[d]) continue;
     stackwalker::TraceSink sink;
+    const std::uint32_t daemon_id = d;
     if (dense) {
       auto* payload = &dense_payloads[d];
-      sink = [payload](TaskId task, std::uint32_t, std::uint32_t,
-                       std::uint32_t sample, const app::CallPath& path) {
-        const GlobalLabel seed = GlobalLabel::for_task(task.value());
-        if (sample == 0) payload->tree_2d.insert(path, seed);
-        payload->tree_3d.insert(path, seed);
+      sink = [payload, daemon_id](TaskId task, std::uint32_t local,
+                                  std::uint32_t, std::uint32_t sample,
+                                  const app::CallPath& path) {
+        insert_trace(*payload, path, daemon_id, local, task, sample);
       };
     } else {
       auto* payload = &hier_payloads[d];
-      const std::uint32_t daemon_id = d;
-      sink = [payload, daemon_id](TaskId, std::uint32_t local, std::uint32_t,
-                                  std::uint32_t sample,
+      sink = [payload, daemon_id](TaskId task, std::uint32_t local,
+                                  std::uint32_t, std::uint32_t sample,
                                   const app::CallPath& path) {
-        const HierLabel seed = HierLabel::for_local(daemon_id, local);
-        if (sample == 0) payload->tree_2d.insert(path, seed);
-        payload->tree_3d.insert(path, seed);
+        insert_trace(*payload, path, daemon_id, local, task, sample);
       };
     }
     walker_->sample_daemon(
@@ -372,8 +398,8 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   // Front-end finalization: the optimized representation pays the remap from
   // daemon order to MPI rank order (0.66 s at 208K tasks).
   if constexpr (std::is_same_v<Label, HierLabel>) {
-    phases.remap_time = static_cast<SimTime>(
-        static_cast<double>(costs_.merge.remap_per_task) * layout_.num_tasks);
+    phases.remap_time =
+        machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
     sim_.schedule_in(phases.remap_time, []() {});
     // The two trees remap independently; overlap them across workers while
     // the modelled remap duration elapses.

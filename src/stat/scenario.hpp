@@ -57,13 +57,16 @@ enum class TaskSetRepr {
 [[nodiscard]] const char* task_set_repr_name(TaskSetRepr repr);
 
 enum class SharedFsKind { kNfs, kLustre };
-enum class AppKind { kRingHang, kThreadedRing, kStatBench, kIoStall };
+enum class AppKind { kRingHang, kThreadedRing, kStatBench, kIoStall, kImbalance };
 
 /// How far the pipeline runs (startup benches skip sampling/merge).
 enum class RunThrough { kStartup, kSampling, kFull };
 
 struct StatOptions {
   tbon::TopologySpec topology = tbon::TopologySpec::flat();
+  /// Ignore `topology` and let the plan::TopologySearch pick the predicted
+  /// fastest machine-feasible spec (the CLI's `--topology auto`).
+  bool topology_auto = false;
   TaskSetRepr repr = TaskSetRepr::kHierarchical;
   LauncherKind launcher = LauncherKind::kLaunchMon;
   std::uint32_t num_samples = 10;
@@ -90,6 +93,19 @@ struct StatOptions {
   std::uint32_t exec_threads = 1;
 };
 
+/// Builds the generative application model a scenario samples traces from.
+/// Shared with the planner's workload probe so predictions price exactly the
+/// traces the simulator would gather.
+[[nodiscard]] std::unique_ptr<app::AppModel> make_app_model(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const StatOptions& options);
+
+/// NFS parameters a scenario mounts for `machine`'s shared file system.
+/// Shared with the planner, which approximates symbol I/O against the same
+/// server's aggregate bandwidth (one formulation, two consumers).
+[[nodiscard]] fs::NfsParams shared_nfs_params(
+    const machine::MachineConfig& machine);
+
 struct PhaseBreakdown {
   rm::LaunchReport launch;
   SimTime connect_time = 0;
@@ -115,6 +131,8 @@ struct PhaseBreakdown {
 
 struct StatRunResult {
   Status status = Status::ok();  // first failing phase's status
+  /// The topology the run actually used (what `--topology auto` resolved to).
+  tbon::TopologySpec topology;
   PhaseBreakdown phases;
   GlobalTree tree_2d;
   GlobalTree tree_3d;
@@ -156,6 +174,7 @@ class StatScenario {
   machine::MachineConfig machine_;
   machine::JobConfig job_;
   StatOptions options_;
+  Status auto_status_ = Status::ok();  // outcome of --topology auto resolution
   machine::CostModel costs_;
   machine::DaemonLayout layout_;
 

@@ -82,9 +82,8 @@ StatBenchResult run_with_label(const StatBenchConfig& config,
   result.merge_bytes = bytes;
 
   if constexpr (std::is_same_v<Label, HierLabel>) {
-    result.remap_time = static_cast<SimTime>(
-        static_cast<double>(costs.merge.remap_per_task) *
-        static_cast<double>(config.virtual_tasks));
+    result.remap_time =
+        machine::frontend_remap_cost(costs.merge, config.virtual_tasks);
     // Emulated tasks are generated in rank order, so the identity map is
     // the correct remap (the shuffled case is exercised by the scenario).
     const TaskMap map = TaskMap::identity(layout);

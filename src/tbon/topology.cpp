@@ -10,18 +10,50 @@ std::string TopologySpec::name() const {
   if (bgl_rules && depth >= 3) {
     n += "(" + std::to_string(bgl_second_level) + ")";
   }
+  if (!level_widths.empty()) {
+    n += "[";
+    for (std::size_t i = 0; i < level_widths.size(); ++i) {
+      n += (i ? "," : "") + std::to_string(level_widths[i]);
+    }
+    n += "]";
+  }
   return n;
 }
 
-namespace {
+std::uint64_t comm_process_capacity(const machine::MachineConfig& machine,
+                                    std::uint32_t num_daemons) {
+  if (machine.comm_procs_on_compute_allocation) {
+    // Cluster: comm processes get their own compute allocation, one per
+    // core, on whatever nodes the daemons left free.
+    if (num_daemons >= machine.compute_nodes) return 0;
+    return static_cast<std::uint64_t>(machine.compute_nodes - num_daemons) *
+           machine.cores_per_compute_node;
+  }
+  return static_cast<std::uint64_t>(machine.login_nodes) *
+         machine.max_comm_procs_per_login;
+}
 
-/// Comm-process counts per internal level (front end's children first).
 Result<std::vector<std::uint32_t>> derive_level_widths(
-    const machine::MachineConfig&, const TopologySpec& spec,
+    const machine::MachineConfig& machine, const TopologySpec& spec,
     std::uint32_t num_daemons) {
+  if (spec.depth == 0) {
+    return invalid_argument("topology depth must be at least 1");
+  }
+  if (num_daemons == 0) return invalid_argument("no daemons");
   if (!spec.level_widths.empty()) {
     if (spec.level_widths.size() != spec.depth - 1) {
       return invalid_argument("level_widths must have depth-1 entries");
+    }
+    std::uint64_t total = 0;
+    for (const auto w : spec.level_widths) {
+      if (w == 0) return invalid_argument("level_widths entries must be > 0");
+      total += w;
+    }
+    if (total > comm_process_capacity(machine, num_daemons)) {
+      return invalid_argument(
+          "level_widths request " + std::to_string(total) +
+          " comm processes, machine has slots for " +
+          std::to_string(comm_process_capacity(machine, num_daemons)));
     }
     return spec.level_widths;
   }
@@ -57,8 +89,6 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
   return widths;
 }
 
-}  // namespace
-
 Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
                                     const machine::DaemonLayout& layout,
                                     const TopologySpec& spec) {
@@ -86,8 +116,7 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   for (const auto w : widths) total_comm += w;
   if (!machine.comm_procs_on_compute_allocation) {
     const std::uint64_t capacity =
-        static_cast<std::uint64_t>(machine.login_nodes) *
-        machine.max_comm_procs_per_login;
+        comm_process_capacity(machine, layout.num_daemons);
     if (total_comm > capacity) {
       return resource_exhausted(
           "comm processes (" + std::to_string(total_comm) +

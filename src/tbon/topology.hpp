@@ -87,6 +87,22 @@ struct TbonTopology {
   }
 };
 
+/// Total comm-process slots the machine can host for a job occupying
+/// `num_daemons` daemon nodes: the login-node tier on BG/L-style machines,
+/// or the leftover compute allocation (one process per core) on clusters.
+[[nodiscard]] std::uint64_t comm_process_capacity(
+    const machine::MachineConfig& machine, std::uint32_t num_daemons);
+
+/// Comm-process counts per internal level (front end's children first) for
+/// `spec` with `num_daemons` daemons: explicit level_widths validated, or
+/// derived from the balanced/BG/L fanout rule. Malformed specs (zero depth,
+/// zero-width levels, wrong entry count, explicit widths beyond the comm
+/// slots of `machine`) come back as INVALID_ARGUMENT here, before any
+/// process tree is built. Shared by build_topology and plan::TopologySearch.
+[[nodiscard]] Result<std::vector<std::uint32_t>> derive_level_widths(
+    const machine::MachineConfig& machine, const TopologySpec& spec,
+    std::uint32_t num_daemons);
+
 /// Builds the process tree for `spec` on `machine`, placing comm processes
 /// under the machine's constraints. Fails when the machine cannot host the
 /// requested tree (e.g. login-node capacity on BG/L).

@@ -1,7 +1,7 @@
 // Scenario-matrix harness: runs StatScenario over the pruned cross-product of
 //   {Atlas, BG/L} x {CO, VN} x {dense, hierarchical} x {flat, balanced(2),
 //   balanced(16)} x {launchmon, mrnet-rsh, ciod-patched} x {ring-hang,
-//   threaded-ring, statbench, io-stall}
+//   threaded-ring, statbench, io-stall, imbalance}
 // and asserts, in every valid cell:
 //   1. the pipeline completes with an OK status,
 //   2. phase ordering (launch before connect before sampling before merge,
@@ -62,6 +62,7 @@ const char* app_name(AppKind a) {
     case AppKind::kThreadedRing: return "threadedring";
     case AppKind::kStatBench: return "statbench";
     case AppKind::kIoStall: return "iostall";
+    case AppKind::kImbalance: return "imbalance";
   }
   return "?";
 }
@@ -109,7 +110,8 @@ std::vector<MatrixCase> all_cases() {
                {LauncherKind::kLaunchMon, LauncherKind::kMrnetRsh,
                 LauncherKind::kCiodPatched}) {
             for (AppKind app : {AppKind::kRingHang, AppKind::kThreadedRing,
-                                AppKind::kStatBench, AppKind::kIoStall}) {
+                                AppKind::kStatBench, AppKind::kIoStall,
+                                AppKind::kImbalance}) {
               cases.push_back({machine, mode, repr, topo, launcher, app});
             }
           }
@@ -292,12 +294,12 @@ INSTANTIATE_TEST_SUITE_P(Pruned, ScenarioMatrix,
                          ::testing::ValuesIn(valid_cases()), param_name);
 
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
-  EXPECT_EQ(all_cases().size(), 288u);
+  EXPECT_EQ(all_cases().size(), 360u);
   EXPECT_GE(valid_cases().size(), 24u);
   // Lock the exact matrix: 3 machine-modes x 2 topologies x 2 reprs x
-  // 2 launchers x 4 apps. A pruning regression that silently drops cells
+  // 2 launchers x 5 apps. A pruning regression that silently drops cells
   // must fail here, not shrink coverage unnoticed.
-  EXPECT_EQ(valid_cases().size(), 96u);
+  EXPECT_EQ(valid_cases().size(), 120u);
 }
 
 // Pruned-but-runnable configurations must fail with a clean Status — the

@@ -166,6 +166,77 @@ TEST(Topology, ExplicitWidthsValidated) {
   EXPECT_TRUE(build_topology(m, layout, spec).is_ok());
 }
 
+TEST(Topology, DeriveLevelWidthsRejectsMalformedSpecsUpFront) {
+  // The hardening contract: zero depth, zero-width levels, and explicit
+  // widths beyond the machine's comm-process slots are INVALID_ARGUMENT at
+  // derive_level_widths — callers (planner enumeration included) never see
+  // a malformed width vector, let alone a downstream crash.
+  const auto m = machine::bgl();
+  TopologySpec spec;
+  spec.depth = 0;
+  EXPECT_EQ(derive_level_widths(m, spec, 64).status().code(),
+            StatusCode::kInvalidArgument);
+
+  spec = TopologySpec();
+  spec.depth = 2;
+  spec.level_widths = {0};
+  EXPECT_EQ(derive_level_widths(m, spec, 64).status().code(),
+            StatusCode::kInvalidArgument);
+
+  spec.level_widths = {400};  // login tier holds 14 x 24 = 336
+  EXPECT_EQ(derive_level_widths(m, spec, 64).status().code(),
+            StatusCode::kInvalidArgument);
+
+  spec.level_widths = {24};
+  ASSERT_TRUE(derive_level_widths(m, spec, 64).is_ok());
+  EXPECT_EQ(derive_level_widths(m, spec, 64).value(),
+            (std::vector<std::uint32_t>{24}));
+
+  // Zero daemons cannot anchor any tree.
+  EXPECT_EQ(derive_level_widths(m, TopologySpec::flat(), 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Topology, ZeroWidthLevelRejectedByBuild) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 512);
+  TopologySpec spec;
+  spec.depth = 2;
+  spec.level_widths = {0};
+  EXPECT_EQ(build_topology(m, layout, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Topology, CommProcessCapacityByMachine) {
+  // BG/L: 14 login nodes x 24 slots, independent of the job.
+  EXPECT_EQ(comm_process_capacity(machine::bgl(), 64), 336u);
+  EXPECT_EQ(comm_process_capacity(machine::bgl(), 1664), 336u);
+  // Atlas: whatever compute nodes the daemons left free, one per core.
+  const auto atlas = machine::atlas();
+  EXPECT_EQ(comm_process_capacity(atlas, 512), (1152u - 512u) * 8u);
+  EXPECT_EQ(comm_process_capacity(atlas, 1152), 0u);
+}
+
+TEST(Topology, ExplicitWidthsBeyondCommSlotsFailEarly) {
+  // A full-cluster Atlas job leaves no comm allocation: explicit widths must
+  // be rejected as INVALID_ARGUMENT (malformed request), not discovered as
+  // an exhausted allocation mid-placement.
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 9216);
+  TopologySpec spec;
+  spec.depth = 2;
+  spec.level_widths = {8};
+  EXPECT_EQ(build_topology(m, layout, spec).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Topology, ExplicitWidthSpecNamesIncludeWidths) {
+  TopologySpec spec;
+  spec.depth = 3;
+  spec.level_widths = {4, 16};
+  EXPECT_EQ(spec.name(), "3-deep[4,16]");
+}
+
 TEST(Topology, DepthBoundsChecked) {
   const auto m = machine::atlas();
   const auto layout = layout_of(m, 64);

@@ -1,0 +1,327 @@
+// Unit and agreement tests for the plan:: subsystem — the analytic
+// PhasePredictor, the TopologySearch ranking, and `--topology auto`:
+//  (a) predictor-vs-simulator ranking agreement on the Fig. 4/5 Atlas/BG/L
+//      crossover configurations;
+//  (b) `--topology auto` never feasibility-violates placement limits across
+//      sampled matrix cells (machine x scale x representation).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "plan/search.hpp"
+#include "stat/cli_config.hpp"
+#include "stat/scenario.hpp"
+
+namespace petastat::plan {
+namespace {
+
+stat::StatOptions dense_options(stat::LauncherKind launcher) {
+  stat::StatOptions options;
+  options.repr = stat::TaskSetRepr::kDenseGlobal;
+  options.launcher = launcher;
+  return options;
+}
+
+Result<PhasePredictor> predictor_for(const machine::MachineConfig& machine,
+                                     std::uint32_t tasks,
+                                     const stat::StatOptions& options,
+                                     machine::BglMode mode =
+                                         machine::BglMode::kCoprocessor) {
+  machine::JobConfig job;
+  job.num_tasks = tasks;
+  job.mode = mode;
+  return PhasePredictor::create(machine, job, options,
+                                machine::default_cost_model(machine));
+}
+
+double simulated_startup_plus_merge(const machine::MachineConfig& machine,
+                                    std::uint32_t tasks,
+                                    stat::StatOptions options,
+                                    const tbon::TopologySpec& spec) {
+  options.topology = spec;
+  machine::JobConfig job;
+  job.num_tasks = tasks;
+  stat::StatScenario scenario(machine, job, options);
+  const stat::StatRunResult result = scenario.run();
+  if (!result.status.is_ok()) return -1.0;
+  return to_seconds(result.phases.startup_total + result.phases.merge_time +
+                    result.phases.remap_time);
+}
+
+// --------------------------------------------------------------------------
+// Workload profiling
+
+TEST(WorkloadProfile, DensePayloadsDwarfHierarchical) {
+  const auto machine = machine::atlas();
+  machine::JobConfig job{.num_tasks = 2048};
+  const auto layout = machine::layout_daemons(machine, job).value();
+  const WorkloadProfile dense = profile_workload(
+      machine, job, layout, dense_options(stat::LauncherKind::kLaunchMon));
+  stat::StatOptions hier_opts = dense_options(stat::LauncherKind::kLaunchMon);
+  hier_opts.repr = stat::TaskSetRepr::kHierarchical;
+  const WorkloadProfile hier = profile_workload(machine, job, layout, hier_opts);
+  // The paper's core result: full-job bit vectors on every edge dwarf the
+  // subtree-local lists.
+  EXPECT_GT(dense.leaf_payload_bytes, 4.0 * hier.leaf_payload_bytes);
+  EXPECT_GT(dense.leaf_tree_nodes, 0.0);
+  EXPECT_EQ(dense.probe_counts.front(), 1u);
+}
+
+TEST(WorkloadProfile, PayloadInterpolationIsMonotone) {
+  const auto machine = machine::atlas();
+  machine::JobConfig job{.num_tasks = 1024};
+  const auto layout = machine::layout_daemons(machine, job).value();
+  stat::StatOptions options = dense_options(stat::LauncherKind::kLaunchMon);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  const WorkloadProfile profile = profile_workload(machine, job, layout, options);
+  double prev = 0.0;
+  for (double d = 1; d <= layout.num_daemons; d *= 2) {
+    const double bytes = profile.payload_bytes_for(d);
+    EXPECT_GE(bytes, prev);
+    prev = bytes;
+  }
+  // Hier labels grow with the subtree: the full-job accumulator clearly
+  // outweighs one daemon's payload.
+  EXPECT_GT(profile.payload_bytes_for(layout.num_daemons),
+            profile.leaf_payload_bytes);
+}
+
+// --------------------------------------------------------------------------
+// Predictor phases and viability
+
+TEST(PhasePredictor, PredictsAllPhasesPositive) {
+  auto predictor = predictor_for(machine::atlas(), 1024,
+                                 dense_options(stat::LauncherKind::kLaunchMon));
+  ASSERT_TRUE(predictor.is_ok());
+  const auto prediction =
+      predictor.value().predict(tbon::TopologySpec::balanced(2));
+  ASSERT_TRUE(prediction.is_ok()) << prediction.status().to_string();
+  const PhasePrediction& p = prediction.value();
+  EXPECT_TRUE(p.viability.is_ok());
+  EXPECT_GT(p.launch, 0u);
+  EXPECT_GT(p.connect, 0u);
+  EXPECT_GT(p.sampling, 0u);
+  EXPECT_GT(p.merge, 0u);
+  EXPECT_EQ(p.remap, 0u);  // dense repr has no remap
+  EXPECT_GT(p.num_comm_procs, 0u);
+  EXPECT_EQ(p.startup, p.launch + p.connect);
+}
+
+TEST(PhasePredictor, HierarchicalReprPredictsRemap) {
+  stat::StatOptions options = dense_options(stat::LauncherKind::kLaunchMon);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  auto predictor = predictor_for(machine::atlas(), 1024, options);
+  ASSERT_TRUE(predictor.is_ok());
+  const auto prediction = predictor.value().predict(tbon::TopologySpec::flat());
+  ASSERT_TRUE(prediction.is_ok());
+  EXPECT_GT(prediction.value().remap, 0u);
+}
+
+TEST(PhasePredictor, FlatOnBglAtScaleHitsConnectionLimit) {
+  // The Sec. V-A failure: 16,384 compute nodes = 256 daemons against the
+  // BG/L front end's 256-connection ceiling.
+  auto predictor = predictor_for(machine::bgl(), 16384,
+                                 dense_options(stat::LauncherKind::kCiodPatched));
+  ASSERT_TRUE(predictor.is_ok());
+  const auto flat = predictor.value().predict(tbon::TopologySpec::flat());
+  ASSERT_TRUE(flat.is_ok());
+  EXPECT_EQ(flat.value().viability.code(), StatusCode::kResourceExhausted);
+  const auto deep = predictor.value().predict(tbon::TopologySpec::bgl(2));
+  ASSERT_TRUE(deep.is_ok());
+  EXPECT_TRUE(deep.value().viability.is_ok());
+}
+
+TEST(PhasePredictor, RshLauncherViabilityMatchesMachine) {
+  auto on_bgl = predictor_for(machine::bgl(), 4096,
+                              dense_options(stat::LauncherKind::kMrnetRsh));
+  ASSERT_TRUE(on_bgl.is_ok());
+  EXPECT_EQ(on_bgl.value().predict(tbon::TopologySpec::flat())
+                .value().viability.code(),
+            StatusCode::kUnavailable);
+  // Atlas supports rsh, but past the port-exhaustion threshold it dies too.
+  auto at_scale = predictor_for(machine::atlas(), 8192,
+                                dense_options(stat::LauncherKind::kMrnetRsh));
+  ASSERT_TRUE(at_scale.is_ok());  // 1024 daemons >= 512 threshold
+  EXPECT_EQ(at_scale.value().predict(tbon::TopologySpec::flat())
+                .value().viability.code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(PhasePredictor, UnbuildableSpecFailsInsteadOfPredicting) {
+  auto predictor = predictor_for(machine::atlas(), 1024,
+                                 dense_options(stat::LauncherKind::kLaunchMon));
+  ASSERT_TRUE(predictor.is_ok());
+  tbon::TopologySpec bad;
+  bad.depth = 2;
+  bad.level_widths = {0};
+  EXPECT_FALSE(predictor.value().predict(bad).is_ok());
+}
+
+// --------------------------------------------------------------------------
+// (a) Ranking agreement on the Fig. 4/5 crossover configurations
+
+TEST(RankingAgreement, AtlasMergeCrossoverDirection) {
+  // Fig. 4: at 4,096 tasks the deep trees clearly beat the flat tree's
+  // merge; at 64 tasks the flat tree is competitive. The predictor must
+  // order the merge times the same way the simulator does.
+  const auto machine = machine::atlas();
+  const stat::StatOptions options = dense_options(stat::LauncherKind::kLaunchMon);
+
+  const auto merge_pred = [&](std::uint32_t tasks, std::uint32_t depth) {
+    auto predictor = predictor_for(machine, tasks, options);
+    const auto p = predictor.value().predict(
+        depth == 1 ? tbon::TopologySpec::flat()
+                   : tbon::TopologySpec::balanced(depth));
+    return to_seconds(p.value().merge);
+  };
+  const auto merge_sim = [&](std::uint32_t tasks, std::uint32_t depth) {
+    stat::StatOptions o = options;
+    o.topology = depth == 1 ? tbon::TopologySpec::flat()
+                            : tbon::TopologySpec::balanced(depth);
+    machine::JobConfig job{.num_tasks = tasks};
+    stat::StatScenario scenario(machine, job, o);
+    const auto result = scenario.run();
+    EXPECT_TRUE(result.status.is_ok());
+    return to_seconds(result.phases.merge_time);
+  };
+
+  // Large scale: both sides say deep beats flat.
+  EXPECT_LT(merge_sim(4096, 2), merge_sim(4096, 1));
+  EXPECT_LT(merge_pred(4096, 2), merge_pred(4096, 1));
+  EXPECT_LT(merge_sim(4096, 3), merge_sim(4096, 1));
+  EXPECT_LT(merge_pred(4096, 3), merge_pred(4096, 1));
+  // Small scale: both sides say flat is competitive (within 25%).
+  EXPECT_LT(merge_sim(64, 1), 1.25 * merge_sim(64, 2));
+  EXPECT_LT(merge_pred(64, 1), 1.25 * merge_pred(64, 2));
+}
+
+TEST(RankingAgreement, AutoWithinTenPercentOfBestSimulated) {
+  // The acceptance bar, on both machines' crossover configs: the predictor's
+  // top pick, *simulated*, lands within 10% of the best simulated candidate
+  // in the enumerated space.
+  struct Config {
+    machine::MachineConfig machine;
+    std::uint32_t tasks;
+    stat::LauncherKind launcher;
+  };
+  const std::vector<Config> configs = {
+      {machine::atlas(), 64, stat::LauncherKind::kLaunchMon},
+      {machine::atlas(), 4096, stat::LauncherKind::kLaunchMon},
+      {machine::bgl(), 4096, stat::LauncherKind::kCiodPatched},
+      {machine::bgl(), 16384, stat::LauncherKind::kCiodPatched},
+  };
+  for (const Config& config : configs) {
+    const stat::StatOptions options = dense_options(config.launcher);
+    auto predictor = predictor_for(config.machine, config.tasks, options);
+    ASSERT_TRUE(predictor.is_ok());
+    auto search = search_topologies(predictor.value());
+    ASSERT_TRUE(search.is_ok()) << config.machine.name << " " << config.tasks;
+
+    double best = -1.0;
+    double chosen = -1.0;
+    for (const RankedTopology& ranked : search.value().viable) {
+      const double sim = simulated_startup_plus_merge(
+          config.machine, config.tasks, options, ranked.spec);
+      if (sim < 0) continue;
+      if (best < 0 || sim < best) best = sim;
+      if (chosen < 0) chosen = sim;  // first = predictor's pick
+    }
+    ASSERT_GT(chosen, 0.0) << config.machine.name << " " << config.tasks;
+    EXPECT_LE(chosen, 1.10 * best)
+        << config.machine.name << " @ " << config.tasks
+        << ": auto pick " << chosen << "s vs best " << best << "s";
+  }
+}
+
+// --------------------------------------------------------------------------
+// (b) `--topology auto` feasibility across sampled matrix cells
+
+TEST(AutoTopology, NeverViolatesPlacementLimitsAcrossMatrixCells) {
+  struct Cell {
+    machine::MachineConfig machine;
+    std::uint32_t tasks;
+    machine::BglMode mode;
+    stat::TaskSetRepr repr;
+    stat::LauncherKind launcher;
+  };
+  std::vector<Cell> cells;
+  for (const std::uint32_t tasks : {256u, 2048u, 4096u}) {
+    for (const auto repr :
+         {stat::TaskSetRepr::kDenseGlobal, stat::TaskSetRepr::kHierarchical}) {
+      cells.push_back({machine::atlas(), tasks, machine::BglMode::kCoprocessor,
+                       repr, stat::LauncherKind::kLaunchMon});
+    }
+  }
+  for (const std::uint32_t tasks : {4096u, 16384u}) {
+    for (const auto repr :
+         {stat::TaskSetRepr::kDenseGlobal, stat::TaskSetRepr::kHierarchical}) {
+      cells.push_back({machine::bgl(), tasks, machine::BglMode::kCoprocessor,
+                       repr, stat::LauncherKind::kCiodPatched});
+    }
+  }
+  cells.push_back({machine::bgl(), 8192, machine::BglMode::kVirtualNode,
+                   stat::TaskSetRepr::kHierarchical,
+                   stat::LauncherKind::kCiodPatched});
+
+  for (const Cell& cell : cells) {
+    machine::JobConfig job;
+    job.num_tasks = cell.tasks;
+    job.mode = cell.mode;
+    stat::StatOptions options;
+    options.repr = cell.repr;
+    options.launcher = cell.launcher;
+    const auto layout = machine::layout_daemons(cell.machine, job).value();
+
+    auto chosen = choose_topology(cell.machine, job, options,
+                                  machine::default_cost_model(cell.machine));
+    ASSERT_TRUE(chosen.is_ok())
+        << cell.machine.name << " " << cell.tasks << ": "
+        << chosen.status().to_string();
+
+    // The chosen spec must build under the machine's placement rules...
+    auto topo = tbon::build_topology(cell.machine, layout, chosen.value());
+    ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
+    // ...respect the front-end connection ceiling...
+    EXPECT_LT(topo.value().front_end().children.size(),
+              cell.machine.max_tool_connections);
+    // ...and fit the comm-process slots.
+    EXPECT_LE(topo.value().num_comm_procs(),
+              tbon::comm_process_capacity(cell.machine, layout.num_daemons));
+  }
+}
+
+TEST(AutoTopology, EndToEndThroughCliAndScenario) {
+  const std::vector<std::string_view> args = {
+      "--machine", "bgl",  "--tasks", "16384",
+      "--repr",    "hier", "--topology", "auto"};
+  auto config = stat::parse_cli(args);
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  EXPECT_TRUE(config.value().options.topology_auto);
+
+  stat::StatScenario scenario(config.value().machine, config.value().job,
+                              config.value().options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  // 256 daemons cannot hang off the 256-connection front end: auto must have
+  // resolved to a deep tree.
+  EXPECT_GE(result.topology.depth, 2u);
+  EXPECT_GT(result.num_comm_procs, 0u);
+
+  // The chosen topology is a detail of *how* the tool ran; the diagnosis
+  // must match an explicit-spec run of the same job.
+  stat::CliConfig explicit_config = config.value();
+  explicit_config.options.topology_auto = false;
+  explicit_config.options.topology = tbon::TopologySpec::bgl(2);
+  stat::StatScenario explicit_scenario(explicit_config.machine,
+                                       explicit_config.job,
+                                       explicit_config.options);
+  const stat::StatRunResult explicit_result = explicit_scenario.run();
+  ASSERT_TRUE(explicit_result.status.is_ok());
+  ASSERT_EQ(result.classes.size(), explicit_result.classes.size());
+  for (std::size_t i = 0; i < result.classes.size(); ++i) {
+    EXPECT_EQ(result.classes[i].size(), explicit_result.classes[i].size());
+  }
+}
+
+}  // namespace
+}  // namespace petastat::plan
