@@ -115,4 +115,19 @@ SimTime frontend_remap_cost(const MergeCosts& costs, std::uint64_t tasks) {
                               static_cast<double>(tasks));
 }
 
+SimTime reducer_spawn_time(const LaunchCosts& costs, std::uint32_t reducers) {
+  return comm_spawn_time(costs, reducers);
+}
+
+SimTime shard_combine_cost(const MergeCosts& costs, std::uint64_t tree_nodes,
+                           std::uint64_t payload_bytes) {
+  return packet_codec_cost(costs, payload_bytes) +
+         filter_merge_cost(costs, tree_nodes, payload_bytes);
+}
+
+SimTime sharded_remap_cost(const MergeCosts& costs,
+                           std::uint64_t largest_slice_tasks) {
+  return frontend_remap_cost(costs, largest_slice_tasks);
+}
+
 }  // namespace petastat::machine

@@ -80,10 +80,13 @@ struct MergeCosts {
   /// Front-end remap of daemon-order lists to MPI rank order: 0.66 s at
   /// 208K tasks => ~3.17 us per task.
   SimTime remap_per_task = seconds(0.0000031);
-  /// Hard per-connection receive-buffer limit at the front end: the 1-deep
-  /// topology "fails to merge" at 256 daemons x full-job bit vectors.
+  /// Hard per-connection receive-buffer limit at the front end (and at each
+  /// reducer of a sharded front end, which takes over the same role): the
+  /// 1-deep topology "fails to merge" at 256 daemons x full-job bit vectors.
+  /// The connection ceiling itself lives in
+  /// MachineConfig::max_tool_connections — the single source of truth every
+  /// viability check consults.
   std::uint64_t frontend_rx_buffer_bytes = 64ull << 20;
-  std::uint32_t frontend_max_connections = 512;
 };
 
 /// All cost constants for one platform.
@@ -164,5 +167,29 @@ struct CostModel {
 /// optimized representation's finalization step).
 [[nodiscard]] SimTime frontend_remap_cost(const MergeCosts& costs,
                                           std::uint64_t tasks);
+
+// --- Sharded front end (reducer processes) ---------------------------------
+//
+// A sharded front end splits the final merge across `fe_shards` reducer
+// processes; these formulas price the pieces the split adds. They delegate
+// to the per-piece formulas above so the simulator's reduction (which
+// charges codec/merge per arrival through the same functions) and the
+// planner can never drift apart.
+
+/// Reducers are MRNet comm processes with a special role; they spawn
+/// serially from the front end exactly like any comm process.
+[[nodiscard]] SimTime reducer_spawn_time(const LaunchCosts& costs,
+                                         std::uint32_t reducers);
+
+/// Front-end CPU to accept and fold one reducer's merged shard payload
+/// during the final combine (unpack + structural merge).
+[[nodiscard]] SimTime shard_combine_cost(const MergeCosts& costs,
+                                         std::uint64_t tree_nodes,
+                                         std::uint64_t payload_bytes);
+
+/// Critical path of the distributed remap: reducers remap their slices
+/// concurrently, so the phase costs the largest slice's remap.
+[[nodiscard]] SimTime sharded_remap_cost(const MergeCosts& costs,
+                                         std::uint64_t largest_slice_tasks);
 
 }  // namespace petastat::machine

@@ -84,7 +84,10 @@ MachineConfig bgl() {
   m.daemon_shares_cpu = false;  // daemons own the I/O node
   m.supports_rsh = false;       // must use the system launcher (CIOD)
   m.supports_ssh = false;
-  m.max_tool_connections = 256;  // observed 1-deep failure point (Sec. V-A)
+  // The observed 1-deep failure point is 256 daemon connections (Sec. V-A);
+  // with the "> limit rejects" boundary semantic that means the front end
+  // survives 255.
+  m.max_tool_connections = 255;
   return m;
 }
 

@@ -96,9 +96,14 @@ struct MachineConfig {
   bool supports_rsh = true;
   bool supports_ssh = false;
 
-  /// Simultaneous tool connections the front-end node survives. The 1-deep
-  /// BG/L merge "fails at 16,384 compute nodes (256 I/O nodes)" — its front
-  /// end cannot hold 256 daemon connections under full-job bit vectors.
+  /// Simultaneous tool connections the front-end node (and each reducer of
+  /// a sharded front end) survives. Boundary semantics, shared by every
+  /// viability check (scenario, predictor, heavyweight baseline): exactly
+  /// `max_tool_connections` connections work; one more is rejected — checks
+  /// reject at `> max_tool_connections`, never at `>=`. The 1-deep BG/L
+  /// merge "fails at 16,384 compute nodes (256 I/O nodes)": its front end
+  /// cannot hold 256 daemon connections under full-job bit vectors, so the
+  /// BG/L preset survives 255.
   std::uint32_t max_tool_connections = 1024;
 
   [[nodiscard]] NodeId front_end() const { return make_node(NodeRole::kFrontEnd, 0); }

@@ -262,23 +262,25 @@ Result<PhasePrediction> PhasePredictor::predict(
   p.num_comm_procs = topo.num_comm_procs();
 
   // --- Startup -------------------------------------------------------------
+  const auto num_reducers = static_cast<std::uint32_t>(topo.reducers.size());
   p.launch = predict_launch(p.viability);
-  p.connect = machine::comm_spawn_time(costs_.launch, p.num_comm_procs) +
-              tbon::connect_time(topo, costs_.launch);
+  p.connect =
+      machine::comm_spawn_time(costs_.launch, p.num_comm_procs - num_reducers) +
+      machine::reducer_spawn_time(costs_.launch, num_reducers) +
+      tbon::connect_time(topo, costs_.launch);
   p.startup = p.launch + p.connect;
 
   // --- Sampling ------------------------------------------------------------
   p.sampling = predict_sampling();
 
   // --- Merge ---------------------------------------------------------------
-  // Front-end viability (the Sec. V-A failures the paper observed).
-  const auto fe_children =
-      static_cast<std::uint32_t>(topo.front_end().children.size());
-  if (p.viability.is_ok() && fe_children >= machine_.max_tool_connections) {
-    p.viability = resource_exhausted(
-        "front end cannot sustain " + std::to_string(fe_children) +
-        " tool connections (limit " +
-        std::to_string(machine_.max_tool_connections) + ")");
+  // Connection-limit viability (the Sec. V-A failures the paper observed):
+  // the exact check — and the exact limit, per-run override included — the
+  // simulator runs, so the two can never disagree.
+  if (p.viability.is_ok()) {
+    p.viability = tbon::connection_viability(
+        topo, options_.max_frontend_connections.value_or(
+                  machine_.max_tool_connections));
   }
 
   // Subtree daemon coverage per proc (children always index after parents).
@@ -304,17 +306,25 @@ Result<PhasePrediction> PhasePredictor::predict(
                                    : profile_.tree_nodes_for(daemons_under[i]);
   };
 
-  std::uint64_t fe_leaf_incoming = 0;
-  for (const std::uint32_t child : topo.front_end().children) {
-    if (topo.procs[child].is_leaf()) {
-      fe_leaf_incoming += static_cast<std::uint64_t>(bytes_of(child));
+  // Receive-buffer viability at every merge root: the front end, and each
+  // reducer of a sharded front end (mirrors the scenario's check).
+  std::vector<std::uint32_t> merge_roots{0};
+  merge_roots.insert(merge_roots.end(), topo.reducers.begin(),
+                     topo.reducers.end());
+  for (const std::uint32_t root : merge_roots) {
+    std::uint64_t leaf_incoming = 0;
+    for (const std::uint32_t child : topo.procs[root].children) {
+      if (topo.procs[child].is_leaf()) {
+        leaf_incoming += static_cast<std::uint64_t>(bytes_of(child));
+      }
     }
-  }
-  if (p.viability.is_ok() &&
-      fe_leaf_incoming > costs_.merge.frontend_rx_buffer_bytes) {
-    p.viability = resource_exhausted(
-        "front-end receive buffers overflow: " +
-        std::to_string(fe_leaf_incoming) + " bytes inbound");
+    if (p.viability.is_ok() &&
+        leaf_incoming > costs_.merge.frontend_rx_buffer_bytes) {
+      p.viability = resource_exhausted(
+          std::string(root == 0 ? "front-end" : "reducer") +
+          " receive buffers overflow: " + std::to_string(leaf_incoming) +
+          " bytes inbound");
+    }
   }
 
   // Level-by-level critical path of the reduction: within one level, each
@@ -338,9 +348,19 @@ Result<PhasePrediction> PhasePredictor::predict(
     for (const std::uint32_t c : parent.children) {
       const double child_bytes = bytes_of(c);
       const auto wire = static_cast<std::uint64_t>(child_bytes);
-      cpu_s += to_seconds(machine::packet_codec_cost(costs_.merge, wire));
-      cpu_s += to_seconds(machine::filter_merge_cost(
-          costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), wire));
+      if (topo.sharded() && i == 0) {
+        // Final combine at the true front end. shard_combine_cost is the
+        // codec+merge charge of the branch below by construction — the
+        // combine is cheap because only K shard payloads arrive here, not
+        // because an arrival costs less; the named formula just keeps the
+        // sharded pricing anchored in machine/cost_model.
+        cpu_s += to_seconds(machine::shard_combine_cost(
+            costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), wire));
+      } else {
+        cpu_s += to_seconds(machine::packet_codec_cost(costs_.merge, wire));
+        cpu_s += to_seconds(machine::filter_merge_cost(
+            costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), wire));
+      }
       nic_s += child_bytes / net::transfer_rate(net_, topo.procs[c].host,
                                                 parent.host);
       level.worst_latency_s = std::max(
@@ -378,7 +398,12 @@ Result<PhasePrediction> PhasePredictor::predict(
   p.merge = seconds(merge_s);
 
   if (options_.repr == stat::TaskSetRepr::kHierarchical) {
-    p.remap = machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+    if (topo.sharded()) {
+      p.remap = machine::sharded_remap_cost(
+          costs_.merge, tbon::largest_shard_task_count(topo, layout_));
+    } else {
+      p.remap = machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+    }
   }
   return p;
 }

@@ -111,6 +111,7 @@ class PhasePredictor {
   }
   [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
   [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
+  [[nodiscard]] const stat::StatOptions& options() const { return options_; }
 
  private:
   PhasePredictor(machine::MachineConfig machine, machine::JobConfig job,

@@ -1,21 +1,33 @@
 #include "plan/search.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <set>
+#include <utility>
 
 namespace petastat::plan {
 
 std::vector<tbon::TopologySpec> enumerate_specs(
-    const machine::MachineConfig& machine, std::uint32_t num_daemons) {
+    const machine::MachineConfig& machine, std::uint32_t num_daemons,
+    const std::vector<std::uint32_t>& shard_counts) {
   std::vector<tbon::TopologySpec> specs;
   // Dedup by derived widths: the balanced rule, the BG/L rule, and an
-  // explicit sweep can all land on the same tree.
-  std::set<std::vector<std::uint32_t>> seen;
-  const auto add = [&](tbon::TopologySpec spec) {
-    auto widths = tbon::derive_level_widths(machine, spec, num_daemons);
-    if (!widths.is_ok()) return;  // malformed for this scale; skip
-    if (!seen.insert(widths.value()).second) return;
-    specs.push_back(std::move(spec));
+  // explicit sweep can all land on the same tree. A sharded tree with the
+  // same widths is *not* the same candidate — its reducers own the
+  // connection checks and the distributed remap — so the (effective) shard
+  // count joins the key.
+  std::set<std::pair<std::vector<std::uint32_t>, std::uint32_t>> seen;
+  const auto add = [&](const tbon::TopologySpec& base) {
+    for (const std::uint32_t shards : shard_counts) {
+      tbon::TopologySpec spec =
+          shards > 1 ? base.with_shards(shards) : base;
+      auto widths = tbon::derive_level_widths(machine, spec, num_daemons);
+      if (!widths.is_ok()) continue;  // malformed for this scale; skip
+      const std::uint32_t effective_shards =
+          spec.fe_shards > 1 ? widths.value().front() : 1;
+      if (!seen.insert({widths.value(), effective_shards}).second) continue;
+      specs.push_back(std::move(spec));
+    }
   };
 
   // The paper's rules (Figs. 4/5).
@@ -53,8 +65,14 @@ std::vector<tbon::TopologySpec> enumerate_specs(
 Result<TopologySearchResult> search_topologies(
     const PhasePredictor& predictor) {
   TopologySearchResult result;
+  // The shard dimension: `--fe-shards auto` searches K in {1,2,4,8}; a
+  // pinned K restricts every candidate to it.
+  const std::vector<std::uint32_t> shard_counts =
+      predictor.options().fe_shards_auto
+          ? std::vector<std::uint32_t>{1, 2, 4, 8}
+          : std::vector<std::uint32_t>{predictor.options().fe_shards};
   const std::vector<tbon::TopologySpec> specs = enumerate_specs(
-      predictor.machine(), predictor.layout().num_daemons);
+      predictor.machine(), predictor.layout().num_daemons, shard_counts);
   for (const tbon::TopologySpec& spec : specs) {
     auto prediction = predictor.predict(spec);
     if (!prediction.is_ok()) continue;  // not buildable at this scale
@@ -85,6 +103,32 @@ Result<tbon::TopologySpec> choose_topology(
   auto ranked = search_topologies(predictor.value());
   if (!ranked.is_ok()) return ranked.status();
   return ranked.value().best().spec;
+}
+
+Result<tbon::TopologySpec> choose_fe_shards(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs) {
+  auto predictor = PhasePredictor::create(machine, job, options, costs);
+  if (!predictor.is_ok()) return predictor.status();
+  std::optional<tbon::TopologySpec> best;
+  SimTime best_time = 0;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
+    tbon::TopologySpec spec = options.topology.with_shards(k);
+    auto prediction = predictor.value().predict(spec);
+    if (!prediction.is_ok()) continue;  // not buildable at this K
+    if (!prediction.value().viability.is_ok()) continue;  // predicted doomed
+    const SimTime t = prediction.value().startup_plus_merge();
+    if (!best || t < best_time) {
+      best = std::move(spec);
+      best_time = t;
+    }
+  }
+  if (!best) {
+    return resource_exhausted(
+        "no viable front-end shard count in {1,2,4,8} for topology " +
+        options.topology.name() + " on " + machine.name);
+  }
+  return *best;
 }
 
 }  // namespace petastat::plan

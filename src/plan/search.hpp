@@ -31,17 +31,30 @@ struct TopologySearchResult {
 };
 
 /// Candidate specs for this machine/scale (before feasibility filtering).
+/// `shard_counts` is the front-end shard dimension: each base spec is
+/// emitted once per viable K (reducers counted against the comm-process
+/// placement limits). The default {1} keeps the space unsharded;
+/// `--fe-shards auto` searches {1, 2, 4, 8}.
 [[nodiscard]] std::vector<tbon::TopologySpec> enumerate_specs(
-    const machine::MachineConfig& machine, std::uint32_t num_daemons);
+    const machine::MachineConfig& machine, std::uint32_t num_daemons,
+    const std::vector<std::uint32_t>& shard_counts = {1});
 
-/// Prices every candidate with `predictor` and ranks the viable ones. Fails
-/// only when no candidate is viable.
+/// Prices every candidate with `predictor` and ranks the viable ones
+/// (shard dimension derived from the predictor's options). Fails only when
+/// no candidate is viable.
 [[nodiscard]] Result<TopologySearchResult> search_topologies(
     const PhasePredictor& predictor);
 
 /// One-call convenience for the `--topology auto` path: profile the
 /// workload, rank the space, return the winner.
 [[nodiscard]] Result<tbon::TopologySpec> choose_topology(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs);
+
+/// The `--fe-shards auto` path for a pinned topology: price
+/// `options.topology` at K in {1, 2, 4, 8} and return the spec with the
+/// predicted-fastest viable K. Fails when no K is viable.
+[[nodiscard]] Result<tbon::TopologySpec> choose_fe_shards(
     const machine::MachineConfig& machine, const machine::JobConfig& job,
     const stat::StatOptions& options, const machine::CostModel& costs);
 

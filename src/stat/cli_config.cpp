@@ -45,6 +45,10 @@ std::string cli_usage() {
       "  --topology flat|2deep|3deep|bgl2deep|bgl3deep|auto\n"
       "                                  auto searches the feasible spec space\n"
       "                                  for minimal predicted startup+merge\n"
+      "  --fe-shards N|auto              shard the front-end merge across N\n"
+      "                                  reducer processes (default 1 =\n"
+      "                                  unsharded); auto picks the\n"
+      "                                  predicted-fastest K in {1,2,4,8}\n"
       "  --repr dense|hier               edge-label representation\n"
       "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
       "  --samples N                     traces per task (default 10)\n"
@@ -133,6 +137,22 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         config.options.topology = tbon::TopologySpec::bgl(3);
       } else {
         return bad("unknown topology '" + std::string(value.value()) + "'");
+      }
+    } else if (flag == "--fe-shards") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      config.options.fe_shards_auto = false;
+      if (value.value() == "auto") {
+        config.options.fe_shards_auto = true;
+      } else {
+        auto n = parse_number(flag, value.value());
+        if (!n.is_ok()) return n.status();
+        if (n.value() == 0) {
+          return bad("--fe-shards 0 is invalid: use 1 for an unsharded "
+                     "front end");
+        }
+        if (n.value() > 64) return bad("--fe-shards out of range");
+        config.options.fe_shards = static_cast<std::uint32_t>(n.value());
       }
     } else if (flag == "--repr") {
       auto value = next();

@@ -33,6 +33,7 @@ struct CliConfig {
 ///   --machine atlas|bgl|petascale     --tasks N
 ///   --mode co|vn                      --threads N
 ///   --topology flat|2deep|3deep|bgl2deep|bgl3deep|auto
+///   --fe-shards N|auto                front-end merge sharding (reducers)
 ///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
 ///   --samples N                       --fs nfs|lustre
 ///   --sbrs                            --slim-binaries

@@ -18,8 +18,9 @@ HeavyweightReport run_heavyweight_debugger(
   }
 
   // One socket per task at the front end: the OS restriction bites long
-  // before STAT's per-daemon connections would.
-  if (job.num_tasks >= machine.max_tool_connections) {
+  // before STAT's per-daemon connections would. Boundary semantics match
+  // every other viability check: exactly the limit works, `> limit` fails.
+  if (job.num_tasks > machine.max_tool_connections) {
     report.status = resource_exhausted(
         "front end cannot hold " + std::to_string(job.num_tasks) +
         " per-task debugger connections (limit " +

@@ -109,14 +109,43 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   check(layout.is_ok(), "StatScenario: job does not fit the machine");
   layout_ = layout.value();
 
-  // Resolve `--topology auto` up front so the run-seed salting below (and
-  // everything seeded from it) sees the spec the run will actually use.
-  if (options_.topology_auto) {
-    auto chosen = plan::choose_topology(machine_, job_, options_, costs_);
-    if (chosen.is_ok()) {
-      options_.topology = std::move(chosen).value();
-    } else {
-      auto_status_ = chosen.status();
+  // Explicit zeros are configuration errors, not requests for a default: a
+  // front end with no connections and a merge with no shards both mean the
+  // caller typed something they did not intend.
+  if (options_.max_frontend_connections &&
+      *options_.max_frontend_connections == 0) {
+    config_status_ = invalid_argument(
+        "max_frontend_connections override must be >= 1 (leave it unset for "
+        "the machine default)");
+  } else if (options_.fe_shards == 0 && !options_.fe_shards_auto) {
+    config_status_ =
+        invalid_argument("fe_shards must be >= 1 (1 = unsharded front end)");
+  }
+
+  // Resolve `--topology auto` / `--fe-shards auto` up front so the run-seed
+  // salting below (and everything seeded from it) sees the spec the run will
+  // actually use.
+  if (config_status_.is_ok()) {
+    if (options_.topology_auto) {
+      // The search enumerates the shard dimension itself (K in {1,2,4,8}
+      // under `--fe-shards auto`, the pinned K otherwise).
+      auto chosen = plan::choose_topology(machine_, job_, options_, costs_);
+      if (chosen.is_ok()) {
+        options_.topology = std::move(chosen).value();
+      } else {
+        config_status_ = chosen.status();
+      }
+    } else if (options_.fe_shards_auto) {
+      auto chosen = plan::choose_fe_shards(machine_, job_, options_, costs_);
+      if (chosen.is_ok()) {
+        options_.topology = std::move(chosen).value();
+      } else {
+        config_status_ = chosen.status();
+      }
+    } else if (options_.fe_shards != 1) {
+      // The CLI-level knob lands on the spec; a spec already sharded by a
+      // direct API caller is left alone.
+      options_.topology.fe_shards = options_.fe_shards;
     }
   }
 
@@ -163,9 +192,9 @@ StatRunResult StatScenario::run() {
   StatRunResult result;
   result.layout = layout_;
   result.topology = options_.topology;
-  if (!auto_status_.is_ok()) {
-    // `--topology auto` found no viable spec at construction time.
-    result.status = auto_status_;
+  if (!config_status_.is_ok()) {
+    // Invalid options, or auto resolution found no viable spec.
+    result.status = config_status_;
     return result;
   }
   PhaseBreakdown& phases = result.phases;
@@ -231,10 +260,14 @@ StatRunResult StatScenario::run() {
     return result;
   }
 
-  // MRNet comm processes are spawned serially from the front end, then the
-  // whole network instantiates level by level.
+  // MRNet comm processes — reducers included — are spawned serially from
+  // the front end, then the whole network instantiates level by level.
+  const auto num_reducers =
+      static_cast<std::uint32_t>(topology.reducers.size());
   phases.connect_time =
-      machine::comm_spawn_time(costs_.launch, result.num_comm_procs) +
+      machine::comm_spawn_time(costs_.launch,
+                               result.num_comm_procs - num_reducers) +
+      machine::reducer_spawn_time(costs_.launch, num_reducers) +
       tbon::connect_time(topology, costs_.launch);
   sim_.schedule_in(phases.connect_time, []() {});
   sim_.run();
@@ -321,16 +354,14 @@ StatRunResult StatScenario::run() {
   if (options_.run_through == RunThrough::kSampling) return result;
 
   // --- Phase 3: merge ------------------------------------------------------------
-  // Front-end viability checks (Sec. V-A failures).
-  const std::uint32_t fe_children =
-      static_cast<std::uint32_t>(topology.front_end().children.size());
-  const std::uint32_t conn_limit = max_frontend_connections != 0
-                                       ? max_frontend_connections
-                                       : machine_.max_tool_connections;
-  if (fe_children >= conn_limit) {
-    phases.merge_status = resource_exhausted(
-        "front end cannot sustain " + std::to_string(fe_children) +
-        " tool connections (limit " + std::to_string(conn_limit) + ")");
+  // Front-end viability checks (Sec. V-A failures): one shared formulation
+  // with the planner, `> limit` rejects.
+  const std::uint32_t conn_limit =
+      options_.max_frontend_connections.value_or(
+          machine_.max_tool_connections);
+  if (Status conn = tbon::connection_viability(topology, conn_limit);
+      !conn.is_ok()) {
+    phases.merge_status = std::move(conn);
     result.status = phases.merge_status;
     return result;
   }
@@ -362,21 +393,30 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
 
   phases.leaf_payload_bytes = payload_wire_bytes(payloads.front(), frames, ctx);
 
-  // Receive-buffer viability at the front end: the sum of its children's
-  // payloads must fit (streaming helps internal procs, but the front end of
-  // a flat tree holds every daemon's full-job bit vectors at once).
-  std::uint64_t fe_incoming = 0;
-  for (const std::uint32_t child : topology.front_end().children) {
-    const auto& proc = topology.procs[child];
-    if (proc.is_leaf()) {
-      fe_incoming += payload_wire_bytes(payloads[proc.daemon.value()], frames, ctx);
+  // Receive-buffer viability: the sum of the leaf payloads arriving at the
+  // front end — and at each reducer, which takes over the front end's role
+  // for its shard — must fit (streaming helps internal comm procs, but the
+  // merge root of a flat subtree holds every daemon's full-job bit vectors
+  // at once).
+  std::vector<std::uint32_t> merge_roots{0};
+  merge_roots.insert(merge_roots.end(), topology.reducers.begin(),
+                     topology.reducers.end());
+  for (const std::uint32_t root : merge_roots) {
+    std::uint64_t incoming = 0;
+    for (const std::uint32_t child : topology.procs[root].children) {
+      const auto& proc = topology.procs[child];
+      if (proc.is_leaf()) {
+        incoming +=
+            payload_wire_bytes(payloads[proc.daemon.value()], frames, ctx);
+      }
     }
-  }
-  if (fe_incoming > costs_.merge.frontend_rx_buffer_bytes) {
-    phases.merge_status = resource_exhausted(
-        "front-end receive buffers overflow: " + std::to_string(fe_incoming) +
-        " bytes inbound");
-    return;
+    if (incoming > costs_.merge.frontend_rx_buffer_bytes) {
+      phases.merge_status = resource_exhausted(
+          std::string(root == 0 ? "front-end" : "reducer") +
+          " receive buffers overflow: " + std::to_string(incoming) +
+          " bytes inbound");
+      return;
+    }
   }
 
   const SimTime merge_start = sim_.now();
@@ -395,11 +435,18 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   check(merged.has_value(), "reduction did not complete");
   phases.merge_time = sim_.now() - merge_start;
 
-  // Front-end finalization: the optimized representation pays the remap from
-  // daemon order to MPI rank order (0.66 s at 208K tasks).
+  // Finalization: the optimized representation pays the remap from daemon
+  // order to MPI rank order (0.66 s at 208K tasks). With a sharded front
+  // end the reducers remap their contiguous slices concurrently, so the
+  // phase costs the largest slice instead of the whole job.
   if constexpr (std::is_same_v<Label, HierLabel>) {
-    phases.remap_time =
-        machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+    if (topology.sharded()) {
+      phases.remap_time = machine::sharded_remap_cost(
+          costs_.merge, tbon::largest_shard_task_count(topology, layout_));
+    } else {
+      phases.remap_time =
+          machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+    }
     sim_.schedule_in(phases.remap_time, []() {});
     // The two trees remap independently; overlap them across workers while
     // the modelled remap duration elapses.

@@ -67,6 +67,20 @@ struct StatOptions {
   /// Ignore `topology` and let the plan::TopologySearch pick the predicted
   /// fastest machine-feasible spec (the CLI's `--topology auto`).
   bool topology_auto = false;
+  /// Shard the front-end merge across this many reducer processes (applied
+  /// to whatever topology the run uses, including an auto-chosen one).
+  /// 1 = unsharded; 0 is INVALID_ARGUMENT.
+  std::uint32_t fe_shards = 1;
+  /// Ignore `fe_shards` and let plan::choose_fe_shards pick the
+  /// predicted-fastest viable K in {1, 2, 4, 8} (the CLI's
+  /// `--fe-shards auto`). With `--topology auto` the shard dimension joins
+  /// the spec search instead.
+  bool fe_shards_auto = false;
+  /// Override of MachineConfig::max_tool_connections for this run (the
+  /// Sec. V-A what-if knob). Unset = machine default. An explicit 0 is
+  /// INVALID_ARGUMENT at construction — a front end with no connections is
+  /// a configuration error, not a request for the default.
+  std::optional<std::uint32_t> max_frontend_connections;
   TaskSetRepr repr = TaskSetRepr::kHierarchical;
   LauncherKind launcher = LauncherKind::kLaunchMon;
   std::uint32_t num_samples = 10;
@@ -161,10 +175,6 @@ class StatScenario {
   [[nodiscard]] const app::AppModel& app() const { return *app_; }
   [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
 
-  /// Maximum simultaneous tool connections the front end survives (the
-  /// 1-deep BG/L merge failure at 256 daemons, Sec. V-A).
-  std::uint32_t max_frontend_connections = 0;  // 0 = machine default
-
  private:
   template <typename Label>
   void run_merge_phase(const tbon::TbonTopology& topology, StatRunResult& result,
@@ -174,7 +184,9 @@ class StatScenario {
   machine::MachineConfig machine_;
   machine::JobConfig job_;
   StatOptions options_;
-  Status auto_status_ = Status::ok();  // outcome of --topology auto resolution
+  /// Construction-time outcome: option validation plus `--topology auto` /
+  /// `--fe-shards auto` resolution. run() reports it without simulating.
+  Status config_status_ = Status::ok();
   machine::CostModel costs_;
   machine::DaemonLayout layout_;
 

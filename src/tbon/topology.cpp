@@ -17,6 +17,9 @@ std::string TopologySpec::name() const {
     }
     n += "]";
   }
+  if (fe_shards != 1) {
+    n += " x" + std::to_string(fe_shards) + "shard";
+  }
   return n;
 }
 
@@ -39,12 +42,33 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
   if (spec.depth == 0) {
     return invalid_argument("topology depth must be at least 1");
   }
+  if (spec.fe_shards == 0) {
+    return invalid_argument(
+        "fe_shards must be at least 1 (1 = unsharded front end)");
+  }
   if (num_daemons == 0) return invalid_argument("no daemons");
+  // The reducer level of a sharded front end rides in front of the spec's
+  // own levels; reducers are comm processes and count against the same
+  // placement slots.
+  const std::uint32_t reducers =
+      spec.fe_shards > 1 ? std::min(spec.fe_shards, num_daemons) : 0;
+  const auto with_reducers = [&](std::vector<std::uint32_t> widths)
+      -> Result<std::vector<std::uint32_t>> {
+    if (reducers == 0) return widths;
+    if (!widths.empty() && widths.front() < reducers) {
+      return invalid_argument(
+          "fe_shards (" + std::to_string(reducers) +
+          ") exceeds the first comm-process level's width (" +
+          std::to_string(widths.front()) + "): reducers would own no shard");
+    }
+    widths.insert(widths.begin(), reducers);
+    return widths;
+  };
   if (!spec.level_widths.empty()) {
     if (spec.level_widths.size() != spec.depth - 1) {
       return invalid_argument("level_widths must have depth-1 entries");
     }
-    std::uint64_t total = 0;
+    std::uint64_t total = reducers;
     for (const auto w : spec.level_widths) {
       if (w == 0) return invalid_argument("level_widths entries must be > 0");
       total += w;
@@ -55,10 +79,10 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
           " comm processes, machine has slots for " +
           std::to_string(comm_process_capacity(machine, num_daemons)));
     }
-    return spec.level_widths;
+    return with_reducers(spec.level_widths);
   }
   std::vector<std::uint32_t> widths;
-  if (spec.depth == 1) return widths;
+  if (spec.depth == 1) return with_reducers(std::move(widths));
 
   const auto nd = static_cast<double>(num_daemons);
   if (spec.bgl_rules) {
@@ -86,7 +110,7 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
   }
   // Never more procs at a level than daemons below them.
   for (auto& w : widths) w = std::min(w, num_daemons);
-  return widths;
+  return with_reducers(std::move(widths));
 }
 
 Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
@@ -125,7 +149,9 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   }
 
   TbonTopology topo;
-  topo.depth = spec.depth;
+  // Internal levels actually built: the spec's own, plus the synthetic
+  // reducer level of a sharded front end.
+  topo.depth = static_cast<std::uint32_t>(widths.size()) + 1;
 
   // Front end.
   TbonTopology::Proc fe;
@@ -165,6 +191,9 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
       topo.procs[static_cast<std::size_t>(proc.parent)].children.push_back(index);
       this_level.push_back(index);
     }
+    if (spec.fe_shards > 1 && level_no == 1) {
+      topo.reducers = this_level;  // the synthetic shard level
+    }
     prev_level_indices = std::move(this_level);
     ++level_no;
   }
@@ -186,6 +215,63 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
     topo.leaf_of_daemon[d] = index;
   }
   return topo;
+}
+
+Status connection_viability(const TbonTopology& topology,
+                            std::uint32_t limit) {
+  const auto fe_children =
+      static_cast<std::uint32_t>(topology.front_end().children.size());
+  if (fe_children > limit) {
+    return resource_exhausted(
+        "front end cannot sustain " + std::to_string(fe_children) +
+        " tool connections (limit " + std::to_string(limit) + ")");
+  }
+  for (const std::uint32_t r : topology.reducers) {
+    const auto children =
+        static_cast<std::uint32_t>(topology.procs[r].children.size());
+    if (children > limit) {
+      return resource_exhausted(
+          "reducer cannot sustain " + std::to_string(children) +
+          " shard connections (limit " + std::to_string(limit) +
+          "); raise fe_shards");
+    }
+  }
+  return Status::ok();
+}
+
+namespace {
+
+std::uint64_t tasks_under(const TbonTopology& topology,
+                          const machine::DaemonLayout& layout,
+                          std::uint32_t proc_index) {
+  const TbonTopology::Proc& proc = topology.procs[proc_index];
+  if (proc.is_leaf()) return layout.tasks_of(proc.daemon);
+  std::uint64_t total = 0;
+  for (const std::uint32_t c : proc.children) {
+    total += tasks_under(topology, layout, c);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> shard_task_counts(
+    const TbonTopology& topology, const machine::DaemonLayout& layout) {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(topology.reducers.size());
+  for (const std::uint32_t r : topology.reducers) {
+    counts.push_back(tasks_under(topology, layout, r));
+  }
+  return counts;
+}
+
+std::uint64_t largest_shard_task_count(const TbonTopology& topology,
+                                       const machine::DaemonLayout& layout) {
+  std::uint64_t largest = 0;
+  for (const std::uint32_t r : topology.reducers) {
+    largest = std::max(largest, tasks_under(topology, layout, r));
+  }
+  return largest;
 }
 
 SimTime connect_time(const TbonTopology& topology,

@@ -34,6 +34,14 @@ struct TopologySpec {
   /// BG/L 3-deep second-level size: "either 16 or 24 communication
   /// processes, depending on the job scale".
   std::uint32_t bgl_second_level = 16;
+  /// Shard the front-end merge across this many reducer processes: a
+  /// synthetic internal level directly under the front end, each reducer
+  /// owning a contiguous range of the tree's former top-level children and
+  /// forwarding one merged shard payload for the cheap final combine. Turns
+  /// the hard front-end connection/rx-buffer ceilings into a
+  /// capacity-planning knob (the Sec. V-A failure mode). 1 = unsharded;
+  /// 0 is rejected as INVALID_ARGUMENT (use 1 for "no sharding").
+  std::uint32_t fe_shards = 1;
 
   [[nodiscard]] static TopologySpec flat() { return balanced(1); }
   [[nodiscard]] static TopologySpec balanced(std::uint32_t depth) {
@@ -47,6 +55,13 @@ struct TopologySpec {
     spec.depth = depth;
     spec.bgl_rules = true;
     spec.bgl_second_level = second_level;
+    return spec;
+  }
+  /// Copy of this spec with the front-end merge split across `shards`
+  /// reducer processes.
+  [[nodiscard]] TopologySpec with_shards(std::uint32_t shards) const {
+    TopologySpec spec = *this;
+    spec.fe_shards = shards;
     return spec;
   }
 
@@ -67,9 +82,13 @@ struct TbonTopology {
   };
 
   std::vector<Proc> procs;
-  std::uint32_t depth = 1;
+  std::uint32_t depth = 1;  // internal levels incl. FE (and any reducer level)
   std::vector<std::uint32_t> leaf_of_daemon;  // daemon id -> proc index
+  /// Reducer procs of a sharded front end (the synthetic level directly
+  /// under the FE), in shard order. Empty when unsharded.
+  std::vector<std::uint32_t> reducers;
 
+  [[nodiscard]] bool sharded() const { return !reducers.empty(); }
   [[nodiscard]] const Proc& front_end() const { return procs.front(); }
   [[nodiscard]] std::uint32_t num_comm_procs() const {
     std::uint32_t n = 0;
@@ -105,10 +124,34 @@ struct TbonTopology {
 
 /// Builds the process tree for `spec` on `machine`, placing comm processes
 /// under the machine's constraints. Fails when the machine cannot host the
-/// requested tree (e.g. login-node capacity on BG/L).
+/// requested tree (e.g. login-node capacity on BG/L). A sharded spec
+/// (`fe_shards > 1`) gets its reducers as the first internal level, placed
+/// exactly like comm processes and recorded in `TbonTopology::reducers`.
 [[nodiscard]] Result<TbonTopology> build_topology(
     const machine::MachineConfig& machine, const machine::DaemonLayout& layout,
     const TopologySpec& spec);
+
+/// Connection-limit viability of a built tree against `limit` simultaneous
+/// tool connections: exactly `limit` children survive, `limit + 1` do not
+/// (rejection is `> limit`, matching MachineConfig::max_tool_connections).
+/// Checks the front end and, when sharded, every reducer — a shard that
+/// merely moves the overload one hop down is no fix. One formulation shared
+/// by the simulator (StatScenario) and the planner (PhasePredictor), so the
+/// two can never disagree on viability.
+[[nodiscard]] Status connection_viability(const TbonTopology& topology,
+                                          std::uint32_t limit);
+
+/// Tasks covered by each reducer's shard (daemon-contiguous by
+/// construction), in shard order. Empty when unsharded.
+[[nodiscard]] std::vector<std::uint64_t> shard_task_counts(
+    const TbonTopology& topology, const machine::DaemonLayout& layout);
+
+/// Largest shard slice — the critical path of the distributed remap, where
+/// reducers remap their slices concurrently (feed it to
+/// machine::sharded_remap_cost). 0 when unsharded. One helper for the
+/// simulator, the planner, and statbench, so slice pricing cannot drift.
+[[nodiscard]] std::uint64_t largest_shard_task_count(
+    const TbonTopology& topology, const machine::DaemonLayout& layout);
 
 /// MRNet instantiation time: parents accept and handshake children serially;
 /// levels connect bottom-up but parents within a level work in parallel.

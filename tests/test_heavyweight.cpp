@@ -20,13 +20,18 @@ TEST(Heavyweight, SnapshotIsLinearInTasks) {
   EXPECT_EQ(to_seconds(big.attach_time), 2 * to_seconds(small.attach_time));
 }
 
-TEST(Heavyweight, FailsAtTheConnectionLimit) {
+TEST(Heavyweight, ConnectionLimitBoundaryIsExact) {
+  // The documented boundary semantic: exactly `max_tool_connections` tasks
+  // survive; one more is rejected (`> limit` fails, never `>=`).
   machine::JobConfig job;
-  job.num_tasks = machine::atlas().max_tool_connections;
-  const auto report = run_heavyweight_debugger(machine::atlas(), job);
-  EXPECT_EQ(report.status.code(), StatusCode::kResourceExhausted);
-  job.num_tasks = machine::atlas().max_tool_connections - 1;
+  const std::uint32_t limit = machine::atlas().max_tool_connections;
+  job.num_tasks = limit - 1;
   EXPECT_TRUE(run_heavyweight_debugger(machine::atlas(), job).status.is_ok());
+  job.num_tasks = limit;
+  EXPECT_TRUE(run_heavyweight_debugger(machine::atlas(), job).status.is_ok());
+  job.num_tasks = limit + 1;
+  EXPECT_EQ(run_heavyweight_debugger(machine::atlas(), job).status.code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(Heavyweight, FailsEarlierOnBgl) {

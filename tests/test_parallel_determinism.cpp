@@ -75,6 +75,26 @@ std::vector<Cell> cells() {
     c.options.daemon_failure_probability = 0.05;
     out.push_back(c);
   }
+  {
+    // Sharded front end, flat tree: reducers merge shards on their own
+    // strands, the FE combines, reducers remap slices.
+    Cell c{"atlas_ring_hier_flat_4shards", machine::atlas(), {}, {}};
+    c.job.num_tasks = 256;
+    c.options.topology = tbon::TopologySpec::flat();
+    c.options.fe_shards = 4;
+    c.options.repr = TaskSetRepr::kHierarchical;
+    out.push_back(c);
+  }
+  {
+    // Sharded deep tree with dense labels at BG/L scale.
+    Cell c{"bgl_ring_dense_bgl2_2shards", machine::bgl(), {}, {}};
+    c.job.num_tasks = 4096;
+    c.options.topology = tbon::TopologySpec::bgl(2);
+    c.options.fe_shards = 2;
+    c.options.repr = TaskSetRepr::kDenseGlobal;
+    c.options.launcher = LauncherKind::kCiodPatched;
+    out.push_back(c);
+  }
   return out;
 }
 

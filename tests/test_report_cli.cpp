@@ -130,6 +130,22 @@ TEST(Cli, RejectsUnknownFlagsAndValues) {
   EXPECT_FALSE(parse_cli(args({"--format", "xml"})).is_ok());
 }
 
+TEST(Cli, FeShardsFlag) {
+  const auto pinned = parse_cli(args({"--fe-shards", "4"}));
+  ASSERT_TRUE(pinned.is_ok());
+  EXPECT_EQ(pinned.value().options.fe_shards, 4u);
+  EXPECT_FALSE(pinned.value().options.fe_shards_auto);
+
+  const auto autos = parse_cli(args({"--fe-shards", "auto"}));
+  ASSERT_TRUE(autos.is_ok());
+  EXPECT_TRUE(autos.value().options.fe_shards_auto);
+
+  // Zero shards is a typo, not a request for the default.
+  EXPECT_FALSE(parse_cli(args({"--fe-shards", "0"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--fe-shards", "128"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--fe-shards"})).is_ok());
+}
+
 TEST(Cli, RejectsJobsThatDoNotFit) {
   const auto config = parse_cli(args({"--machine", "atlas", "--tasks", "50000"}));
   EXPECT_EQ(config.status().code(), StatusCode::kResourceExhausted);

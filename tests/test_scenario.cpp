@@ -147,6 +147,120 @@ TEST(Scenario, FlatTopologyFailsMergeAt256DaemonsOnBgl) {
   EXPECT_FALSE(result.phases.merge_status.is_ok());
 }
 
+TEST(Scenario, ConnectionLimitBoundaryIsExact) {
+  // Exactly the limit survives; one more fails (the documented `> limit`
+  // semantic, via the per-run override knob). 256 Atlas tasks = 32 daemons
+  // hanging directly off a flat front end.
+  StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  for (const std::uint32_t limit : {33u, 32u}) {
+    options.max_frontend_connections = limit;
+    const auto result =
+        run(machine::atlas(), 256, machine::BglMode::kCoprocessor, options);
+    EXPECT_TRUE(result.status.is_ok()) << "limit " << limit;
+  }
+  options.max_frontend_connections = 31;
+  const auto result =
+      run(machine::atlas(), 256, machine::BglMode::kCoprocessor, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(result.phases.merge_status.is_ok());
+}
+
+TEST(Scenario, ExplicitZeroConnectionOverrideIsInvalid) {
+  // An explicit 0 is a configuration error, not a request for the machine
+  // default — the old silent-fallback ternary hid exactly this typo.
+  StatOptions options;
+  options.max_frontend_connections = 0;
+  const auto result =
+      run(machine::atlas(), 256, machine::BglMode::kCoprocessor, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  // The run never reaches a simulated phase.
+  EXPECT_EQ(result.phases.startup_total, 0u);
+}
+
+TEST(Scenario, ZeroShardsIsInvalid) {
+  StatOptions options;
+  options.fe_shards = 0;
+  const auto result =
+      run(machine::atlas(), 256, machine::BglMode::kCoprocessor, options);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+// The sharding correctness gate: a sharded run's merged trees and classes
+// are bit-identical to the unsharded run's (the merge is canonical, so the
+// shard grouping cannot show through).
+TEST(Scenario, ShardedMergeIsBitIdenticalToUnsharded) {
+  for (const TaskSetRepr repr :
+       {TaskSetRepr::kDenseGlobal, TaskSetRepr::kHierarchical}) {
+    StatOptions unsharded;
+    unsharded.topology = tbon::TopologySpec::flat();
+    unsharded.repr = repr;
+    StatOptions sharded = unsharded;
+    sharded.fe_shards = 4;
+    const auto a =
+        run(machine::atlas(), 256, machine::BglMode::kCoprocessor, unsharded);
+    const auto b =
+        run(machine::atlas(), 256, machine::BglMode::kCoprocessor, sharded);
+    ASSERT_TRUE(a.status.is_ok());
+    ASSERT_TRUE(b.status.is_ok()) << b.status.to_string();
+    EXPECT_EQ(b.topology.fe_shards, 4u);
+    EXPECT_EQ(b.num_comm_procs, 4u);
+    EXPECT_EQ(a.tree_2d, b.tree_2d);
+    EXPECT_EQ(a.tree_3d, b.tree_3d);
+    ASSERT_EQ(a.classes.size(), b.classes.size());
+    for (std::size_t i = 0; i < a.classes.size(); ++i) {
+      EXPECT_EQ(a.classes[i].path, b.classes[i].path);
+      EXPECT_TRUE(a.classes[i].tasks == b.classes[i].tasks);
+    }
+  }
+}
+
+TEST(Scenario, ShardedRemapIsDistributed) {
+  // Reducers remap their contiguous slices concurrently: the hier remap
+  // phase costs ~1/K of the unsharded remap.
+  StatOptions unsharded;
+  unsharded.topology = tbon::TopologySpec::flat();
+  StatOptions sharded = unsharded;
+  sharded.fe_shards = 4;
+  const auto a =
+      run(machine::atlas(), 256, machine::BglMode::kCoprocessor, unsharded);
+  const auto b =
+      run(machine::atlas(), 256, machine::BglMode::kCoprocessor, sharded);
+  ASSERT_TRUE(a.status.is_ok());
+  ASSERT_TRUE(b.status.is_ok());
+  EXPECT_EQ(a.phases.remap_time, 4 * b.phases.remap_time);
+}
+
+// The acceptance scenario: the Sec. V-A configuration that dies unsharded
+// (1-deep, 256 daemons over BG/L's 255-connection front end) completes with
+// `--fe-shards auto`, producing the same diagnosis as a viable deep tree.
+TEST(Scenario, FeShardsAutoRescuesSecVAFailure) {
+  StatOptions flat;
+  flat.topology = tbon::TopologySpec::flat();
+  flat.launcher = LauncherKind::kCiodPatched;
+  const auto dead =
+      run(machine::bgl(), 16384, machine::BglMode::kCoprocessor, flat);
+  ASSERT_EQ(dead.status.code(), StatusCode::kResourceExhausted);
+
+  StatOptions rescued = flat;
+  rescued.fe_shards_auto = true;
+  const auto alive =
+      run(machine::bgl(), 16384, machine::BglMode::kCoprocessor, rescued);
+  ASSERT_TRUE(alive.status.is_ok()) << alive.status.to_string();
+  EXPECT_GE(alive.topology.fe_shards, 2u);
+
+  StatOptions deep = flat;
+  deep.topology = tbon::TopologySpec::bgl(2);
+  const auto reference =
+      run(machine::bgl(), 16384, machine::BglMode::kCoprocessor, deep);
+  ASSERT_TRUE(reference.status.is_ok());
+  EXPECT_EQ(alive.tree_3d, reference.tree_3d);
+  ASSERT_EQ(alive.classes.size(), reference.classes.size());
+  for (std::size_t i = 0; i < alive.classes.size(); ++i) {
+    EXPECT_TRUE(alive.classes[i].tasks == reference.classes[i].tasks);
+  }
+}
+
 TEST(Scenario, RunThroughStopsEarly) {
   StatOptions options;
   options.run_through = RunThrough::kStartup;

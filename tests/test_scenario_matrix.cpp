@@ -293,6 +293,50 @@ TEST_P(ScenarioMatrix, CellInvariantsHold) {
 INSTANTIATE_TEST_SUITE_P(Pruned, ScenarioMatrix,
                          ::testing::ValuesIn(valid_cases()), param_name);
 
+// --- Sharded front end: bit-identity against the unsharded cell -------------
+// A sampled sub-matrix (both machines and modes, both reprs, flat and deep
+// topologies, two app models) re-runs each cell with the merge split across
+// 4 reducers and asserts the merged trees and equivalence classes are
+// bit-identical to the memoized unsharded run. The shard grouping must never
+// show through the canonical merge.
+std::vector<MatrixCase> sharded_sample_cases() {
+  std::vector<MatrixCase> cases = valid_cases();
+  std::erase_if(cases, [](const MatrixCase& c) {
+    return c.app != AppKind::kRingHang && c.app != AppKind::kStatBench;
+  });
+  return cases;
+}
+
+class ScenarioMatrixSharded : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ScenarioMatrixSharded, MatchesUnshardedBitForBit) {
+  const MatrixCase& c = GetParam();
+  const StatRunResult& unsharded = run_cached(c);
+  ASSERT_TRUE(unsharded.status.is_ok()) << unsharded.status.to_string();
+
+  StatOptions options = options_for(c);
+  options.fe_shards = 4;
+  StatScenario scenario(machine_for(c), job_for(c), options);
+  const StatRunResult sharded = scenario.run();
+  ASSERT_TRUE(sharded.status.is_ok()) << sharded.status.to_string();
+  EXPECT_EQ(sharded.topology.fe_shards, 4u);
+  // Reducers are comm processes: even a flat cell now carries them.
+  EXPECT_GE(sharded.num_comm_procs, 4u);
+
+  EXPECT_EQ(unsharded.tree_2d, sharded.tree_2d);
+  EXPECT_EQ(unsharded.tree_3d, sharded.tree_3d);
+  ASSERT_EQ(unsharded.classes.size(), sharded.classes.size());
+  for (std::size_t i = 0; i < unsharded.classes.size(); ++i) {
+    EXPECT_EQ(unsharded.classes[i].path, sharded.classes[i].path);
+    EXPECT_TRUE(unsharded.classes[i].tasks == sharded.classes[i].tasks);
+  }
+  EXPECT_EQ(class_signature(unsharded), class_signature(sharded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixSharded,
+                         ::testing::ValuesIn(sharded_sample_cases()),
+                         param_name);
+
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
   EXPECT_EQ(all_cases().size(), 360u);
   EXPECT_GE(valid_cases().size(), 24u);

@@ -247,6 +247,117 @@ TEST(Topology, DepthBoundsChecked) {
   EXPECT_FALSE(build_topology(m, layout, spec).is_ok());
 }
 
+// --------------------------------------------------------------------------
+// Sharded front end: reducers as a synthetic first internal level.
+
+TEST(Topology, ShardedFlatInsertsReducerLevel) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons
+  const auto topo =
+      build_topology(m, layout, TopologySpec::flat().with_shards(4));
+  ASSERT_TRUE(topo.is_ok());
+  const TbonTopology& t = topo.value();
+  EXPECT_TRUE(t.sharded());
+  ASSERT_EQ(t.reducers.size(), 4u);
+  EXPECT_EQ(t.front_end().children.size(), 4u);
+  EXPECT_EQ(t.num_comm_procs(), 4u);  // reducers are comm processes
+  EXPECT_EQ(t.depth, 2u);             // FE + reducer level
+  check_tree_invariants(t, 32);
+  // Each reducer owns a contiguous daemon range, together covering all 32.
+  std::uint32_t next_daemon = 0;
+  for (const std::uint32_t r : t.reducers) {
+    EXPECT_EQ(t.procs[r].level, 1u);
+    for (const std::uint32_t c : t.procs[r].children) {
+      ASSERT_TRUE(t.procs[c].is_leaf());
+      EXPECT_EQ(t.procs[c].daemon.value(), next_daemon);
+      ++next_daemon;
+    }
+  }
+  EXPECT_EQ(next_daemon, 32u);
+}
+
+TEST(Topology, ShardedDeepTreePutsReducersAboveCommLevel) {
+  const auto m = machine::bgl();
+  const auto layout = layout_of(m, 4096);  // 64 daemons
+  const auto topo =
+      build_topology(m, layout, TopologySpec::bgl(2).with_shards(4));
+  ASSERT_TRUE(topo.is_ok());
+  const TbonTopology& t = topo.value();
+  ASSERT_EQ(t.reducers.size(), 4u);
+  EXPECT_EQ(t.front_end().children.size(), 4u);
+  EXPECT_EQ(t.depth, 3u);  // FE + reducers + the BG/L comm level
+  // Reducer children are the spec's own comm processes, not leaves.
+  for (const std::uint32_t r : t.reducers) {
+    for (const std::uint32_t c : t.procs[r].children) {
+      EXPECT_FALSE(t.procs[c].is_leaf());
+    }
+  }
+  check_tree_invariants(t, 64);
+}
+
+TEST(Topology, ShardTaskCountsCoverTheJob) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);
+  const auto topo =
+      build_topology(m, layout, TopologySpec::flat().with_shards(4)).value();
+  const std::vector<std::uint64_t> slices = shard_task_counts(topo, layout);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(std::accumulate(slices.begin(), slices.end(), std::uint64_t{0}),
+            256u);
+  // Balanced contiguous split: 8 daemons x 8 tasks each.
+  for (const std::uint64_t s : slices) EXPECT_EQ(s, 64u);
+  // Unsharded trees have no slices.
+  const auto flat =
+      build_topology(m, layout, TopologySpec::flat()).value();
+  EXPECT_TRUE(shard_task_counts(flat, layout).empty());
+}
+
+TEST(Topology, ZeroShardsRejectedUpFront) {
+  const auto m = machine::atlas();
+  TopologySpec spec = TopologySpec::flat().with_shards(0);
+  const auto widths = derive_level_widths(m, spec, 32);
+  EXPECT_EQ(widths.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(build_topology(m, layout_of(m, 256), spec).is_ok());
+}
+
+TEST(Topology, MoreShardsThanFirstLevelWidthRejected) {
+  // bgl(2) at 64 daemons derives an 8-wide comm level; 16 reducers above it
+  // would own no shard.
+  const auto m = machine::bgl();
+  const auto result = build_topology(m, layout_of(m, 4096),
+                                     TopologySpec::bgl(2).with_shards(16));
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Topology, ReducersCountAgainstCommSlots) {
+  // BG/L login capacity is 14 x 24 = 336: an explicit 334-wide level plus 4
+  // reducers does not fit.
+  const auto m = machine::bgl();
+  TopologySpec spec;
+  spec.depth = 2;
+  spec.level_widths = {334};
+  spec.fe_shards = 4;
+  const auto widths = derive_level_widths(m, spec, 1024);
+  EXPECT_EQ(widths.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Topology, ConnectionViabilityBoundaryIsExact) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons
+  const auto flat = build_topology(m, layout, TopologySpec::flat()).value();
+  EXPECT_TRUE(connection_viability(flat, 33).is_ok());
+  EXPECT_TRUE(connection_viability(flat, 32).is_ok());  // exactly the limit
+  EXPECT_EQ(connection_viability(flat, 31).code(),
+            StatusCode::kResourceExhausted);
+  // Sharding relieves the front end, but each reducer must survive its own
+  // shard: 4 reducers x 8 daemons.
+  const auto sharded =
+      build_topology(m, layout, TopologySpec::flat().with_shards(4)).value();
+  EXPECT_TRUE(connection_viability(sharded, 8).is_ok());
+  EXPECT_EQ(connection_viability(sharded, 7).code(),
+            StatusCode::kResourceExhausted);
+}
+
 TEST(Topology, ConnectTimeGrowsWithFanout) {
   const auto m = machine::atlas();
   const machine::LaunchCosts costs;
@@ -371,6 +482,9 @@ TEST(TopologySpecNames, AreDescriptive) {
   EXPECT_EQ(TopologySpec::flat().name(), "1-deep");
   EXPECT_EQ(TopologySpec::balanced(2).name(), "2-deep");
   EXPECT_EQ(TopologySpec::bgl(3, 24).name(), "3-deep(24)");
+  EXPECT_EQ(TopologySpec::flat().with_shards(4).name(), "1-deep x4shard");
+  EXPECT_EQ(TopologySpec::balanced(2).with_shards(2).name(),
+            "2-deep x2shard");
 }
 
 }  // namespace

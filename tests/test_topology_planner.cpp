@@ -119,7 +119,8 @@ TEST(PhasePredictor, HierarchicalReprPredictsRemap) {
 
 TEST(PhasePredictor, FlatOnBglAtScaleHitsConnectionLimit) {
   // The Sec. V-A failure: 16,384 compute nodes = 256 daemons against the
-  // BG/L front end's 256-connection ceiling.
+  // BG/L front end, which survives 255 connections (the observed failure
+  // point is 256).
   auto predictor = predictor_for(machine::bgl(), 16384,
                                  dense_options(stat::LauncherKind::kCiodPatched));
   ASSERT_TRUE(predictor.is_ok());
@@ -129,6 +130,93 @@ TEST(PhasePredictor, FlatOnBglAtScaleHitsConnectionLimit) {
   const auto deep = predictor.value().predict(tbon::TopologySpec::bgl(2));
   ASSERT_TRUE(deep.is_ok());
   EXPECT_TRUE(deep.value().viability.is_ok());
+}
+
+TEST(PhasePredictor, ConnectionBoundaryIsExact) {
+  // 16,320 BG/L compute nodes = 255 daemons: exactly the 255-connection
+  // limit, so the flat tree is predicted viable; one daemon more tips it.
+  const auto at = [](std::uint32_t tasks) {
+    auto predictor = predictor_for(machine::bgl(), tasks,
+                                   dense_options(stat::LauncherKind::kCiodPatched));
+    return predictor.value().predict(tbon::TopologySpec::flat())
+        .value().viability;
+  };
+  EXPECT_TRUE(at(255 * 64).is_ok());
+  EXPECT_EQ(at(256 * 64).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(PhasePredictor, HonorsThePerRunConnectionOverride) {
+  // The simulator and the planner must agree on the limit *including* the
+  // per-run override — otherwise auto modes pick specs the run then rejects.
+  stat::StatOptions options = dense_options(stat::LauncherKind::kLaunchMon);
+  options.max_frontend_connections = 31;  // one under Atlas's 32 daemons
+  auto predictor = predictor_for(machine::atlas(), 256, options);
+  ASSERT_TRUE(predictor.is_ok());
+  const auto flat = predictor.value().predict(tbon::TopologySpec::flat());
+  ASSERT_TRUE(flat.is_ok());
+  EXPECT_EQ(flat.value().viability.code(), StatusCode::kResourceExhausted);
+
+  // End to end: --topology auto under the override completes, on a spec that
+  // respects the overridden limit.
+  options.topology_auto = true;
+  machine::JobConfig job{.num_tasks = 256};
+  stat::StatScenario scenario(machine::atlas(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_GE(result.topology.depth + (result.topology.fe_shards > 1 ? 1 : 0),
+            2u);
+}
+
+TEST(PhasePredictor, ShardedSpecRelievesTheConnectionLimit) {
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  auto predictor = predictor_for(machine::bgl(), 16384, options);
+  ASSERT_TRUE(predictor.is_ok());
+  const auto sharded =
+      predictor.value().predict(tbon::TopologySpec::flat().with_shards(4));
+  ASSERT_TRUE(sharded.is_ok()) << sharded.status().to_string();
+  EXPECT_TRUE(sharded.value().viability.is_ok())
+      << sharded.value().viability.to_string();
+  EXPECT_EQ(sharded.value().num_comm_procs, 4u);
+  // The distributed remap prices the largest slice, not the whole job.
+  const auto deep = predictor.value().predict(tbon::TopologySpec::bgl(2));
+  ASSERT_TRUE(deep.is_ok());
+  EXPECT_LT(sharded.value().remap, deep.value().remap);
+}
+
+TEST(ChooseFeShards, PicksAViableKForTheSecVAConfig) {
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.topology = tbon::TopologySpec::flat();
+  machine::JobConfig job;
+  job.num_tasks = 16384;
+  auto chosen = choose_fe_shards(machine::bgl(), job, options,
+                                 machine::default_cost_model(machine::bgl()));
+  ASSERT_TRUE(chosen.is_ok()) << chosen.status().to_string();
+  EXPECT_GE(chosen.value().fe_shards, 2u);
+  EXPECT_EQ(chosen.value().depth, 1u);  // still the flat spec, sharded
+}
+
+TEST(TopologySearch, ShardDimensionJoinsTheSpaceUnderAuto) {
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.fe_shards_auto = true;
+  auto predictor = predictor_for(machine::bgl(), 16384, options);
+  ASSERT_TRUE(predictor.is_ok());
+  auto search = search_topologies(predictor.value());
+  ASSERT_TRUE(search.is_ok());
+  bool saw_sharded = false;
+  for (const RankedTopology& ranked : search.value().viable) {
+    EXPECT_TRUE(ranked.prediction.viability.is_ok());
+    if (ranked.spec.fe_shards > 1) saw_sharded = true;
+  }
+  EXPECT_TRUE(saw_sharded);
+  // Without the auto flag the space stays unsharded (PR-3 behaviour).
+  auto pinned = predictor_for(machine::bgl(), 16384,
+                              dense_options(stat::LauncherKind::kCiodPatched));
+  auto pinned_search = search_topologies(pinned.value());
+  ASSERT_TRUE(pinned_search.is_ok());
+  for (const RankedTopology& ranked : pinned_search.value().viable) {
+    EXPECT_EQ(ranked.spec.fe_shards, 1u);
+  }
 }
 
 TEST(PhasePredictor, RshLauncherViabilityMatchesMachine) {
@@ -281,9 +369,10 @@ TEST(AutoTopology, NeverViolatesPlacementLimitsAcrossMatrixCells) {
     // The chosen spec must build under the machine's placement rules...
     auto topo = tbon::build_topology(cell.machine, layout, chosen.value());
     ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
-    // ...respect the front-end connection ceiling...
-    EXPECT_LT(topo.value().front_end().children.size(),
-              cell.machine.max_tool_connections);
+    // ...respect the connection ceiling (exactly the limit survives)...
+    EXPECT_TRUE(tbon::connection_viability(topo.value(),
+                                           cell.machine.max_tool_connections)
+                    .is_ok());
     // ...and fit the comm-process slots.
     EXPECT_LE(topo.value().num_comm_procs(),
               tbon::comm_process_capacity(cell.machine, layout.num_daemons));
