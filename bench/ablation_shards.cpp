@@ -4,15 +4,23 @@
 // tree's daemon connections under full-job bit vectors — becomes a
 // capacity-planning knob with `--fe-shards K`: reducers shard the final
 // merge, each owning a contiguous daemon range, and the true front end only
-// combines K merged payloads. This bench records merge+remap time against
-// K in {1, 2, 4, 8} at the Fig. 4 (Atlas) and Fig. 5 (BG/L) merge scales,
-// for both label representations, and checks:
+// combines the merged shard payloads (through ceil(K/8)-ary combiner levels
+// — the reducer tree — once K exceeds the combine fan-in). This bench
+// records merge+remap time against K in {1, 2, 4, 8, 16, 32, 64} at the
+// Fig. 4 (Atlas) and Fig. 5 (BG/L) merge scales and on the petascale
+// preset, for both label representations, and checks:
 //   * the BG/L 1-deep configuration that dies unsharded (256 daemons over
 //     the 255-connection front end) completes at every K >= 2;
+//   * the petascale 1-deep configuration that dies unsharded (2,048 daemons
+//     over the 1,024-connection front end) completes at K = 64 with the
+//     reducer tree engaged and every merge root within the ceiling;
 //   * sharded runs produce the same equivalence classes as a viable
 //     reference topology (the correctness gate, sampled here end to end);
 //   * the hierarchical remap is genuinely distributed: the remap phase
-//     shrinks ~linearly with K (reducers remap slices concurrently).
+//     shrinks ~linearly with K (reducers remap slices concurrently), all
+//     the way to K = 64;
+//   * reducer placement prices both ways: pack connects faster (spawn
+//     locality), spread merges faster (per-host NIC contention).
 #include <string>
 #include <vector>
 
@@ -27,22 +35,27 @@ namespace {
 struct ShardPoint {
   double merge_remap_s = -1.0;  // < 0 = failed
   double remap_s = 0.0;
+  double connect_s = 0.0;
+  double merge_s = 0.0;
   std::string note;
   stat::StatRunResult result;
 };
 
 ShardPoint run_sharded(const machine::MachineConfig& machine,
                        std::uint32_t tasks, stat::LauncherKind launcher,
-                       stat::TaskSetRepr repr, std::uint32_t shards) {
+                       stat::TaskSetRepr repr, std::uint32_t shards,
+                       machine::BglMode mode = machine::BglMode::kCoprocessor,
+                       tbon::ReducerPlacement placement =
+                           tbon::ReducerPlacement::kCommLike) {
   stat::StatOptions options;
   options.topology = tbon::TopologySpec::flat();
   options.fe_shards = shards;
+  options.reducer_placement = placement;
   options.repr = repr;
   options.launcher = launcher;
 
   ShardPoint point;
-  point.result =
-      run_scenario(machine, tasks, machine::BglMode::kCoprocessor, options);
+  point.result = run_scenario(machine, tasks, mode, options);
   if (!point.result.status.is_ok()) {
     point.note = status_code_name(point.result.status.code());
     return point;
@@ -50,6 +63,8 @@ ShardPoint run_sharded(const machine::MachineConfig& machine,
   point.merge_remap_s = to_seconds(point.result.phases.merge_time +
                                    point.result.phases.remap_time);
   point.remap_s = to_seconds(point.result.phases.remap_time);
+  point.connect_s = to_seconds(point.result.phases.connect_time);
+  point.merge_s = to_seconds(point.result.phases.merge_time);
   return point;
 }
 
@@ -70,13 +85,13 @@ int main(int argc, char** argv) {
         "Sharded front-end merge: merge+remap time vs fe_shards "
         "(1-deep tree at the Fig. 4/5 merge scales)");
 
-  const std::vector<std::uint32_t> ks = {1, 2, 4, 8};
+  const std::vector<std::uint32_t> ks = {1, 2, 4, 8, 16, 32, 64};
 
   // --- Atlas, Fig. 4 scale (4,096 tasks = 512 daemons) ----------------------
   Series atlas_dense("dense");
   Series atlas_hier("hier");
   Series atlas_remap("hier-remap");
-  double atlas_remap_k1 = 0.0, atlas_remap_k8 = 0.0;
+  double atlas_remap_k1 = 0.0, atlas_remap_k8 = 0.0, atlas_remap_k64 = 0.0;
   for (const std::uint32_t k : ks) {
     const ShardPoint dense =
         run_sharded(machine::atlas(), 4096, stat::LauncherKind::kLaunchMon,
@@ -90,6 +105,7 @@ int main(int argc, char** argv) {
                     hier.note);
     if (k == 1) atlas_remap_k1 = hier.remap_s;
     if (k == 8) atlas_remap_k8 = hier.remap_s;
+    if (k == 64) atlas_remap_k64 = hier.remap_s;
   }
   print_table("atlas-fe-shards", {atlas_dense, atlas_hier, atlas_remap});
 
@@ -121,6 +137,70 @@ int main(int argc, char** argv) {
     }
   }
   print_table("bgl-fe-shards", {bgl_dense, bgl_hier});
+
+  // --- Petascale, VN mode (131,072 tasks = 256 daemons) ---------------------
+  // The forward-looking preset: K > 8 folds through the reducer tree.
+  Series peta_hier("hier");
+  for (const std::uint32_t k : ks) {
+    const ShardPoint hier = run_sharded(
+        machine::petascale(), 131072, stat::LauncherKind::kCiodPatched,
+        stat::TaskSetRepr::kHierarchical, k, machine::BglMode::kVirtualNode);
+    peta_hier.add(k, hier.merge_remap_s, hier.note);
+  }
+  print_table("petascale-fe-shards", {peta_hier});
+
+  // --- Petascale placement: pack vs spread at K in {16, 32, 64} -------------
+  // Dense labels make the NIC term visible: packing ~24 reducers per login
+  // NIC serializes their shard drains; spreading over all 32 logins frees
+  // them but pays a remote-shell handshake per host in the spawn burst.
+  Series place_pack("dense-pack");
+  Series place_spread("dense-spread");
+  bool placement_trade_holds = true;
+  for (const std::uint32_t k : {16u, 32u, 64u}) {
+    const ShardPoint pack = run_sharded(
+        machine::petascale(), 131072, stat::LauncherKind::kCiodPatched,
+        stat::TaskSetRepr::kDenseGlobal, k, machine::BglMode::kVirtualNode,
+        tbon::ReducerPlacement::kPack);
+    const ShardPoint spread = run_sharded(
+        machine::petascale(), 131072, stat::LauncherKind::kCiodPatched,
+        stat::TaskSetRepr::kDenseGlobal, k, machine::BglMode::kVirtualNode,
+        tbon::ReducerPlacement::kSpread);
+    place_pack.add(k, pack.merge_s, pack.note);
+    place_spread.add(k, spread.merge_s, spread.note);
+    placement_trade_holds = placement_trade_holds &&
+                            pack.merge_remap_s >= 0 &&
+                            spread.merge_remap_s >= 0 &&
+                            pack.connect_s < spread.connect_s &&
+                            spread.merge_s < pack.merge_s;
+  }
+  print_table("petascale-placement-merge", {place_pack, place_spread});
+
+  // --- Petascale, CO mode: the Sec. V-A wall moved out to 2,048 daemons -----
+  // Unsharded, the flat merge asks the petascale front end for 2,048
+  // connections against its 1,024 ceiling; K = 64 routes the same merge
+  // through the reducer tree.
+  const ShardPoint peta_unsharded = run_sharded(
+      machine::petascale(), 131072, stat::LauncherKind::kCiodPatched,
+      stat::TaskSetRepr::kHierarchical, 1);
+  const ShardPoint peta_tree = run_sharded(
+      machine::petascale(), 131072, stat::LauncherKind::kCiodPatched,
+      stat::TaskSetRepr::kHierarchical, 64);
+  stat::StatOptions peta_ref_options;
+  peta_ref_options.topology = tbon::TopologySpec::bgl(2);
+  peta_ref_options.repr = stat::TaskSetRepr::kHierarchical;
+  peta_ref_options.launcher = stat::LauncherKind::kCiodPatched;
+  const stat::StatRunResult peta_reference =
+      run_scenario(machine::petascale(), 131072,
+                   machine::BglMode::kCoprocessor, peta_ref_options);
+
+  // Reducer-tree shape at K = 64, checked on the built topology itself.
+  machine::JobConfig peta_job;
+  peta_job.num_tasks = 131072;
+  const auto peta_layout =
+      machine::layout_daemons(machine::petascale(), peta_job).value();
+  const auto peta_topo = tbon::build_topology(
+      machine::petascale(), peta_layout,
+      tbon::TopologySpec::flat().with_shards(64));
 
   // --- Correctness: sharded diagnosis matches a viable deep tree ------------
   stat::StatOptions deep;
@@ -162,5 +242,31 @@ int main(int argc, char** argv) {
           atlas_remap_k1 < 8.5 * atlas_remap_k8);
   shape_check("--fe-shards auto rescues the Sec. V-A configuration",
               rescued.status.is_ok() && rescued.topology.fe_shards >= 2);
+  shape_check(
+      "the remap keeps shrinking through the reducer tree: "
+      "remap(K=64) ~= remap(K=1)/64",
+      atlas_remap_k64 > 0 && atlas_remap_k1 > 60.0 * atlas_remap_k64 &&
+          atlas_remap_k1 < 68.0 * atlas_remap_k64);
+  shape_check(
+      "petascale 1-deep unsharded dies at 2,048 daemons (the Sec. V-A wall, "
+      "moved out); --fe-shards 64 completes",
+      peta_unsharded.merge_remap_s < 0 && peta_tree.merge_remap_s >= 0);
+  shape_check(
+      "K=64 engages the reducer tree: 8 combiners between the FE and the 64 "
+      "reducers, every merge root within the connection ceiling",
+      peta_topo.is_ok() && peta_topo.value().combiners.size() == 8 &&
+          peta_topo.value().reducers.size() == 64 &&
+          tbon::connection_viability(
+              peta_topo.value(),
+              machine::petascale().max_tool_connections).is_ok());
+  shape_check(
+      "petascale K=64 diagnosis bit-identical to the 2-deep reference "
+      "(classes)",
+      peta_reference.status.is_ok() && peta_tree.result.status.is_ok() &&
+          class_sizes(peta_reference) == class_sizes(peta_tree.result));
+  shape_check(
+      "placement prices both ways at K in {16,32,64}: pack connects faster "
+      "(spawn locality), spread merges faster (per-host NIC contention)",
+      placement_trade_holds);
   return bench::finish(argc, argv);
 }

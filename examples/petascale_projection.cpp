@@ -7,10 +7,15 @@
 //
 // This example sweeps a hypothetical 1,048,576-core machine with both
 // representations and reports per-edge label sizes, aggregate data volume
-// through the tool tree, and merge times.
+// through the tool tree, and merge times — then shows the reducer tree
+// (`--fe-shards K` with K > 8) carrying a flat merge past the front-end
+// connection ceiling at 2,048 daemons, with the placement trade (pack vs
+// spread) priced both ways.
 //
-//   $ ./petascale_projection
+//   $ ./petascale_projection          # full sweep (~1 min simulated work)
+//   $ ./petascale_projection --quick  # smoke subset (CTest entry)
 #include <cstdio>
+#include <cstring>
 
 #include "common/strings.hpp"
 #include "stat/scenario.hpp"
@@ -58,15 +63,62 @@ void run_at(std::uint32_t tasks) {
   }
 }
 
+// The reducer tree at the petascale connection wall: 131,072 tasks in CO
+// mode occupy every compute node, so all 2,048 I/O-node daemons report —
+// double what the front end's 1,024-connection ceiling survives. K = 64
+// reducers under an 8-wide combiner level route the same merge within every
+// ceiling, and the placement knob prices spawn locality against per-host
+// NIC contention.
+void run_reducer_tree_demo() {
+  std::printf("\n--- reducer tree: flat merge at 2,048 daemons ---\n");
+  const auto machine = machine::petascale();
+  machine::JobConfig job;
+  job.num_tasks = 131072;
+  job.mode = machine::BglMode::kCoprocessor;
+
+  const auto run_with = [&](std::uint32_t shards,
+                            tbon::ReducerPlacement placement) {
+    stat::StatOptions options;
+    options.topology = tbon::TopologySpec::flat();
+    options.fe_shards = shards;
+    options.reducer_placement = placement;
+    options.repr = stat::TaskSetRepr::kHierarchical;
+    options.launcher = stat::LauncherKind::kCiodPatched;
+    stat::StatScenario scenario(machine, job, options);
+    const auto result = scenario.run();
+    if (!result.status.is_ok()) {
+      std::printf("  %-24s FAILED: %s\n",
+                  options.topology.with_shards(shards)
+                      .with_placement(placement).name().c_str(),
+                  result.status.to_string().c_str());
+      return;
+    }
+    std::printf(
+        "  %-24s %u comm procs, connect %-10s merge %-10s (+%s remap)\n",
+        result.topology.name().c_str(), result.num_comm_procs,
+        format_duration(result.phases.connect_time).c_str(),
+        format_duration(result.phases.merge_time).c_str(),
+        format_duration(result.phases.remap_time).c_str());
+  };
+
+  run_with(1, tbon::ReducerPlacement::kCommLike);   // dies: 2048 > 1024
+  run_with(64, tbon::ReducerPlacement::kPack);      // cheap spawn burst
+  run_with(64, tbon::ReducerPlacement::kSpread);    // one NIC per helper
+}
+
 }  // namespace
 
-int main() {
-  std::printf("petascale projection: STAT on a simulated 1M-core machine\n");
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  std::printf("petastat petascale projection: STAT on a simulated 1M-core machine\n");
   std::printf("(131,072 nodes x 8 cores, 2,048 I/O nodes, VN-style mode)\n");
 
   for (const std::uint32_t tasks : {131072u, 262144u, 524288u, 1048576u}) {
     run_at(tasks);
+    if (quick) break;  // smoke subset: the first scale exercises the path
   }
+
+  run_reducer_tree_demo();
 
   std::printf(
       "\nconclusion: at 1,048,576 tasks the dense representation needs a "

@@ -115,8 +115,20 @@ SimTime frontend_remap_cost(const MergeCosts& costs, std::uint64_t tasks) {
                               static_cast<double>(tasks));
 }
 
-SimTime reducer_spawn_time(const LaunchCosts& costs, std::uint32_t reducers) {
-  return comm_spawn_time(costs, reducers);
+SimTime placed_spawn_time(const LaunchCosts& costs, std::uint32_t procs,
+                          std::uint32_t distinct_hosts) {
+  if (procs == 0) return 0;
+  check(distinct_hosts >= 1 && distinct_hosts <= procs,
+        "placed_spawn_time: hosts must be in [1, procs]");
+  return static_cast<SimTime>(
+      static_cast<double>(costs.remote_shell_per_daemon) * distinct_hosts +
+      static_cast<double>(costs.colocated_spawn_per_proc) *
+          (procs - distinct_hosts));
+}
+
+SimTime reducer_spawn_time(const LaunchCosts& costs, std::uint32_t procs,
+                           std::uint32_t distinct_hosts) {
+  return placed_spawn_time(costs, procs, distinct_hosts);
 }
 
 SimTime shard_combine_cost(const MergeCosts& costs, std::uint64_t tree_nodes,

@@ -47,6 +47,13 @@ struct LaunchCosts {
   /// children serially; children connect in parallel across parents.
   SimTime mrnet_connect_per_child = seconds(0.0015);
   SimTime mrnet_connect_base = seconds(0.35);
+
+  /// Spawning another helper process on a host the burst has already
+  /// handshaked: a local fork+exec behind the existing remote shell, an
+  /// order of magnitude cheaper than a fresh per-host handshake
+  /// (remote_shell_per_daemon). This is the spawn-locality half of the
+  /// reducer-placement trade (see placed_spawn_time).
+  SimTime colocated_spawn_per_proc = seconds(0.021);
 };
 
 /// Stack-sampling constants (Sec. VI).
@@ -168,18 +175,35 @@ struct CostModel {
 [[nodiscard]] SimTime frontend_remap_cost(const MergeCosts& costs,
                                           std::uint64_t tasks);
 
-// --- Sharded front end (reducer processes) ---------------------------------
+// --- Sharded front end (reducer tree) --------------------------------------
 //
 // A sharded front end splits the final merge across `fe_shards` reducer
-// processes; these formulas price the pieces the split adds. They delegate
-// to the per-piece formulas above so the simulator's reduction (which
-// charges codec/merge per arrival through the same functions) and the
-// planner can never drift apart.
+// processes (plus, for K > tbon::kShardCombineFanIn, the combiner levels of
+// the reducer tree above them); these formulas price the pieces the split
+// adds. They delegate to the per-piece formulas above so the simulator's
+// reduction (which charges codec/merge per arrival through the same
+// functions) and the planner can never drift apart.
 
-/// Reducers are MRNet comm processes with a special role; they spawn
-/// serially from the front end exactly like any comm process.
+/// Placement-aware serial spawn of a burst of `procs` helper processes
+/// landing on `distinct_hosts` hosts: one remote-shell handshake per host,
+/// then cheap local forks for every colocated extra. This is the
+/// spawn-locality side of the reducer-placement trade — packing helpers onto
+/// few hosts makes this formula small and the merge-time per-host NIC
+/// contention (net::transfer_rate serialized per host) large; spreading does
+/// the reverse. One formulation for the simulator (StatScenario's connect
+/// phase) and the planner.
+[[nodiscard]] SimTime placed_spawn_time(const LaunchCosts& costs,
+                                        std::uint32_t procs,
+                                        std::uint32_t distinct_hosts);
+
+/// Spawn burst of the shard machinery (reducers + combiners): reducers are
+/// MRNet comm processes with a special role, spawned serially from the front
+/// end; colocated helpers fork locally after the first per-host handshake.
+/// Feed it tbon::TbonTopology::num_shard_procs() and
+/// tbon::shard_spawn_hosts().
 [[nodiscard]] SimTime reducer_spawn_time(const LaunchCosts& costs,
-                                         std::uint32_t reducers);
+                                         std::uint32_t procs,
+                                         std::uint32_t distinct_hosts);
 
 /// Front-end CPU to accept and fold one reducer's merged shard payload
 /// during the final combine (unpack + structural merge).

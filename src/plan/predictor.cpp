@@ -165,7 +165,15 @@ PhasePredictor::PhasePredictor(machine::MachineConfig machine,
       costs_(costs),
       layout_(layout),
       net_(net::default_network_params(machine_)),
-      profile_(profile_workload(machine_, job_, layout_, options_)) {}
+      profile_(profile_workload(machine_, job_, layout_, options_)) {
+  // Fold the per-run connection override into the config (mirrors
+  // StatScenario): the reducer-tree fan-in clamp in tbon::derive_levels and
+  // every viability check must see the same limit, or the planner would
+  // price trees the run then builds differently.
+  if (options_.max_frontend_connections) {
+    machine_.max_tool_connections = *options_.max_frontend_connections;
+  }
+}
 
 Result<PhasePredictor> PhasePredictor::create(machine::MachineConfig machine,
                                               machine::JobConfig job,
@@ -262,11 +270,15 @@ Result<PhasePrediction> PhasePredictor::predict(
   p.num_comm_procs = topo.num_comm_procs();
 
   // --- Startup -------------------------------------------------------------
-  const auto num_reducers = static_cast<std::uint32_t>(topo.reducers.size());
+  // The shard machinery's spawn is placement-aware: one remote-shell
+  // handshake per distinct host, local forks for colocated helpers — the
+  // exact formula (and host count) the scenario's connect phase charges.
+  const std::uint32_t shard_procs = topo.num_shard_procs();
   p.launch = predict_launch(p.viability);
   p.connect =
-      machine::comm_spawn_time(costs_.launch, p.num_comm_procs - num_reducers) +
-      machine::reducer_spawn_time(costs_.launch, num_reducers) +
+      machine::comm_spawn_time(costs_.launch, p.num_comm_procs - shard_procs) +
+      machine::reducer_spawn_time(costs_.launch, shard_procs,
+                                  tbon::shard_spawn_hosts(topo)) +
       tbon::connect_time(topo, costs_.launch);
   p.startup = p.launch + p.connect;
 

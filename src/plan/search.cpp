@@ -7,6 +7,23 @@
 
 namespace petastat::plan {
 
+namespace {
+
+/// The placement dimension for one shard count: pack vs spread for K > 1
+/// (kCommLike coincides with pack on compute-allocation machines and with
+/// spread on login tiers, so the pair covers the space without duplicate
+/// candidates); comm-like alone when unsharded. One definition for
+/// enumerate_specs and choose_fe_shards, so the two auto paths can never
+/// search different placement spaces.
+std::vector<tbon::ReducerPlacement> placements_for(std::uint32_t shards) {
+  if (shards > 1) {
+    return {tbon::ReducerPlacement::kPack, tbon::ReducerPlacement::kSpread};
+  }
+  return {tbon::ReducerPlacement::kCommLike};
+}
+
+}  // namespace
+
 std::vector<tbon::TopologySpec> enumerate_specs(
     const machine::MachineConfig& machine, std::uint32_t num_daemons,
     const std::vector<std::uint32_t>& shard_counts) {
@@ -15,18 +32,28 @@ std::vector<tbon::TopologySpec> enumerate_specs(
   // explicit sweep can all land on the same tree. A sharded tree with the
   // same widths is *not* the same candidate — its reducers own the
   // connection checks and the distributed remap — so the (effective) shard
-  // count joins the key.
-  std::set<std::pair<std::vector<std::uint32_t>, std::uint32_t>> seen;
+  // count joins the key, and so does the placement: pack and spread put the
+  // same procs on different hosts, which is exactly the spawn-locality vs
+  // NIC-contention trade the search exists to price.
+  std::set<std::tuple<std::vector<std::uint32_t>, std::uint32_t,
+                      tbon::ReducerPlacement>>
+      seen;
   const auto add = [&](const tbon::TopologySpec& base) {
     for (const std::uint32_t shards : shard_counts) {
-      tbon::TopologySpec spec =
-          shards > 1 ? base.with_shards(shards) : base;
-      auto widths = tbon::derive_level_widths(machine, spec, num_daemons);
-      if (!widths.is_ok()) continue;  // malformed for this scale; skip
-      const std::uint32_t effective_shards =
-          spec.fe_shards > 1 ? widths.value().front() : 1;
-      if (!seen.insert({widths.value(), effective_shards}).second) continue;
-      specs.push_back(std::move(spec));
+      for (const tbon::ReducerPlacement placement : placements_for(shards)) {
+        tbon::TopologySpec spec =
+            shards > 1 ? base.with_shards(shards).with_placement(placement)
+                       : base;
+        auto levels = tbon::derive_levels(machine, spec, num_daemons);
+        if (!levels.is_ok()) continue;  // malformed for this scale; skip
+        const std::uint32_t effective_shards =
+            std::max(1u, levels.value().num_reducers());
+        if (!seen.insert({levels.value().widths, effective_shards, placement})
+                 .second) {
+          continue;
+        }
+        specs.push_back(std::move(spec));
+      }
     }
   };
 
@@ -65,11 +92,13 @@ std::vector<tbon::TopologySpec> enumerate_specs(
 Result<TopologySearchResult> search_topologies(
     const PhasePredictor& predictor) {
   TopologySearchResult result;
-  // The shard dimension: `--fe-shards auto` searches K in {1,2,4,8}; a
-  // pinned K restricts every candidate to it.
+  // The shard dimension: `--fe-shards auto` searches K in {1,...,64} —
+  // K > 8 engages the reducer tree — and a pinned K restricts every
+  // candidate to it; the placement dimension rides along inside
+  // enumerate_specs for every K > 1.
   const std::vector<std::uint32_t> shard_counts =
       predictor.options().fe_shards_auto
-          ? std::vector<std::uint32_t>{1, 2, 4, 8}
+          ? std::vector<std::uint32_t>{1, 2, 4, 8, 16, 32, 64}
           : std::vector<std::uint32_t>{predictor.options().fe_shards};
   const std::vector<tbon::TopologySpec> specs = enumerate_specs(
       predictor.machine(), predictor.layout().num_daemons, shard_counts);
@@ -112,20 +141,23 @@ Result<tbon::TopologySpec> choose_fe_shards(
   if (!predictor.is_ok()) return predictor.status();
   std::optional<tbon::TopologySpec> best;
   SimTime best_time = 0;
-  for (const std::uint32_t k : {1u, 2u, 4u, 8u}) {
-    tbon::TopologySpec spec = options.topology.with_shards(k);
-    auto prediction = predictor.value().predict(spec);
-    if (!prediction.is_ok()) continue;  // not buildable at this K
-    if (!prediction.value().viability.is_ok()) continue;  // predicted doomed
-    const SimTime t = prediction.value().startup_plus_merge();
-    if (!best || t < best_time) {
-      best = std::move(spec);
-      best_time = t;
+  for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    for (const tbon::ReducerPlacement placement : placements_for(k)) {
+      tbon::TopologySpec spec =
+          options.topology.with_shards(k).with_placement(placement);
+      auto prediction = predictor.value().predict(spec);
+      if (!prediction.is_ok()) continue;  // not buildable at this K
+      if (!prediction.value().viability.is_ok()) continue;  // predicted doomed
+      const SimTime t = prediction.value().startup_plus_merge();
+      if (!best || t < best_time) {
+        best = std::move(spec);
+        best_time = t;
+      }
     }
   }
   if (!best) {
     return resource_exhausted(
-        "no viable front-end shard count in {1,2,4,8} for topology " +
+        "no viable front-end shard count in {1,...,64} for topology " +
         options.topology.name() + " on " + machine.name);
   }
   return *best;

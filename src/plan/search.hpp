@@ -32,9 +32,11 @@ struct TopologySearchResult {
 
 /// Candidate specs for this machine/scale (before feasibility filtering).
 /// `shard_counts` is the front-end shard dimension: each base spec is
-/// emitted once per viable K (reducers counted against the comm-process
-/// placement limits). The default {1} keeps the space unsharded;
-/// `--fe-shards auto` searches {1, 2, 4, 8}.
+/// emitted once per viable K (reducers — and the combiner levels of a
+/// K > 8 reducer tree — counted against the comm-process placement limits)
+/// and, for K > 1, once per reducer placement (pack vs spread). The default
+/// {1} keeps the space unsharded; `--fe-shards auto` searches
+/// {1, 2, 4, 8, 16, 32, 64}.
 [[nodiscard]] std::vector<tbon::TopologySpec> enumerate_specs(
     const machine::MachineConfig& machine, std::uint32_t num_daemons,
     const std::vector<std::uint32_t>& shard_counts = {1});
@@ -52,8 +54,9 @@ struct TopologySearchResult {
     const stat::StatOptions& options, const machine::CostModel& costs);
 
 /// The `--fe-shards auto` path for a pinned topology: price
-/// `options.topology` at K in {1, 2, 4, 8} and return the spec with the
-/// predicted-fastest viable K. Fails when no K is viable.
+/// `options.topology` at K in {1, 2, 4, 8, 16, 32, 64} × {pack, spread}
+/// (K > 8 through the reducer tree) and return the spec with the
+/// predicted-fastest viable (K, placement). Fails when no K is viable.
 [[nodiscard]] Result<tbon::TopologySpec> choose_fe_shards(
     const machine::MachineConfig& machine, const machine::JobConfig& job,
     const stat::StatOptions& options, const machine::CostModel& costs);

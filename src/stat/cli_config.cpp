@@ -47,8 +47,14 @@ std::string cli_usage() {
       "                                  for minimal predicted startup+merge\n"
       "  --fe-shards N|auto              shard the front-end merge across N\n"
       "                                  reducer processes (default 1 =\n"
-      "                                  unsharded); auto picks the\n"
-      "                                  predicted-fastest K in {1,2,4,8}\n"
+      "                                  unsharded; N > 8 builds a reducer\n"
+      "                                  tree); auto picks the predicted-\n"
+      "                                  fastest K in {1,2,4,8,16,32,64}\n"
+      "  --reducer-placement comm|pack|spread\n"
+      "                                  host policy for reducers/combiners\n"
+      "                                  (default comm = the machine's comm-\n"
+      "                                  process rule; auto modes rank pack\n"
+      "                                  vs spread themselves)\n"
       "  --repr dense|hier               edge-label representation\n"
       "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
       "  --samples N                     traces per task (default 10)\n"
@@ -153,6 +159,18 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         }
         if (n.value() > 64) return bad("--fe-shards out of range");
         config.options.fe_shards = static_cast<std::uint32_t>(n.value());
+      }
+    } else if (flag == "--reducer-placement") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "comm") {
+        config.options.reducer_placement = tbon::ReducerPlacement::kCommLike;
+      } else if (value.value() == "pack") {
+        config.options.reducer_placement = tbon::ReducerPlacement::kPack;
+      } else if (value.value() == "spread") {
+        config.options.reducer_placement = tbon::ReducerPlacement::kSpread;
+      } else {
+        return bad("--reducer-placement expects comm|pack|spread");
       }
     } else if (flag == "--repr") {
       auto value = next();

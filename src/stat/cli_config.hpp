@@ -33,7 +33,9 @@ struct CliConfig {
 ///   --machine atlas|bgl|petascale     --tasks N
 ///   --mode co|vn                      --threads N
 ///   --topology flat|2deep|3deep|bgl2deep|bgl3deep|auto
-///   --fe-shards N|auto                front-end merge sharding (reducers)
+///   --fe-shards N|auto                front-end merge sharding (reducers;
+///                                     N > 8 builds a reducer tree)
+///   --reducer-placement comm|pack|spread  shard-machinery host policy
 ///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
 ///   --samples N                       --fs nfs|lustre
 ///   --sbrs                            --slim-binaries

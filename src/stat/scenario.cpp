@@ -122,6 +122,15 @@ StatScenario::StatScenario(machine::MachineConfig machine,
         invalid_argument("fe_shards must be >= 1 (1 = unsharded front end)");
   }
 
+  // The per-run connection override *is* the machine's ceiling for this run:
+  // folding it into the config here means every consumer — the reducer-tree
+  // fan-in clamp in tbon::derive_levels, connection_viability, and the
+  // planner the auto modes consult below — sees one consistent limit, so
+  // the tree that gets checked is the tree that limit would demand.
+  if (config_status_.is_ok() && options_.max_frontend_connections) {
+    machine_.max_tool_connections = *options_.max_frontend_connections;
+  }
+
   // Resolve `--topology auto` / `--fe-shards auto` up front so the run-seed
   // salting below (and everything seeded from it) sees the spec the run will
   // actually use.
@@ -142,10 +151,15 @@ StatScenario::StatScenario(machine::MachineConfig machine,
       } else {
         config_status_ = chosen.status();
       }
-    } else if (options_.fe_shards != 1) {
-      // The CLI-level knob lands on the spec; a spec already sharded by a
-      // direct API caller is left alone.
-      options_.topology.fe_shards = options_.fe_shards;
+    } else {
+      // The CLI-level knobs land on the spec; a spec already sharded/placed
+      // by a direct API caller is left alone.
+      if (options_.fe_shards != 1) {
+        options_.topology.fe_shards = options_.fe_shards;
+      }
+      if (options_.reducer_placement != tbon::ReducerPlacement::kCommLike) {
+        options_.topology.reducer_placement = options_.reducer_placement;
+      }
     }
   }
 
@@ -260,14 +274,17 @@ StatRunResult StatScenario::run() {
     return result;
   }
 
-  // MRNet comm processes — reducers included — are spawned serially from
-  // the front end, then the whole network instantiates level by level.
-  const auto num_reducers =
-      static_cast<std::uint32_t>(topology.reducers.size());
+  // MRNet comm processes — the shard machinery included — are spawned
+  // serially from the front end, then the whole network instantiates level
+  // by level. Reducers/combiners price their spawn by distinct host
+  // (placement-aware: colocated helpers fork locally after the first
+  // per-host handshake).
+  const std::uint32_t shard_procs = topology.num_shard_procs();
   phases.connect_time =
       machine::comm_spawn_time(costs_.launch,
-                               result.num_comm_procs - num_reducers) +
-      machine::reducer_spawn_time(costs_.launch, num_reducers) +
+                               result.num_comm_procs - shard_procs) +
+      machine::reducer_spawn_time(costs_.launch, shard_procs,
+                                  tbon::shard_spawn_hosts(topology)) +
       tbon::connect_time(topology, costs_.launch);
   sim_.schedule_in(phases.connect_time, []() {});
   sim_.run();

@@ -72,10 +72,16 @@ struct StatOptions {
   /// 1 = unsharded; 0 is INVALID_ARGUMENT.
   std::uint32_t fe_shards = 1;
   /// Ignore `fe_shards` and let plan::choose_fe_shards pick the
-  /// predicted-fastest viable K in {1, 2, 4, 8} (the CLI's
-  /// `--fe-shards auto`). With `--topology auto` the shard dimension joins
-  /// the spec search instead.
+  /// predicted-fastest viable (K, placement) with K in {1, 2, 4, 8, 16, 32,
+  /// 64} (the CLI's `--fe-shards auto`; K > 8 engages the reducer tree).
+  /// With `--topology auto` the shard dimension joins the spec search
+  /// instead.
   bool fe_shards_auto = false;
+  /// Host-assignment policy for the shard machinery (the CLI's
+  /// `--reducer-placement comm|pack|spread`), applied to whatever topology
+  /// the run uses. The auto modes rank pack against spread themselves and
+  /// override this.
+  tbon::ReducerPlacement reducer_placement = tbon::ReducerPlacement::kCommLike;
   /// Override of MachineConfig::max_tool_connections for this run (the
   /// Sec. V-A what-if knob). Unset = machine default. An explicit 0 is
   /// INVALID_ARGUMENT at construction — a front end with no connections is

@@ -19,6 +19,9 @@ std::string TopologySpec::name() const {
   }
   if (fe_shards != 1) {
     n += " x" + std::to_string(fe_shards) + "shard";
+    if (reducer_placement != ReducerPlacement::kCommLike) {
+      n += std::string("/") + reducer_placement_name(reducer_placement);
+    }
   }
   return n;
 }
@@ -36,9 +39,9 @@ std::uint64_t comm_process_capacity(const machine::MachineConfig& machine,
          machine.max_comm_procs_per_login;
 }
 
-Result<std::vector<std::uint32_t>> derive_level_widths(
-    const machine::MachineConfig& machine, const TopologySpec& spec,
-    std::uint32_t num_daemons) {
+Result<DerivedLevels> derive_levels(const machine::MachineConfig& machine,
+                                    const TopologySpec& spec,
+                                    std::uint32_t num_daemons) {
   if (spec.depth == 0) {
     return invalid_argument("topology depth must be at least 1");
   }
@@ -47,28 +50,42 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
         "fe_shards must be at least 1 (1 = unsharded front end)");
   }
   if (num_daemons == 0) return invalid_argument("no daemons");
-  // The reducer level of a sharded front end rides in front of the spec's
-  // own levels; reducers are comm processes and count against the same
-  // placement slots.
+  // The shard machinery of a sharded front end rides in front of the spec's
+  // own levels: the reducer level, topped — once K exceeds the combine
+  // fan-in — by the combiner levels of the reducer tree. All of it is comm
+  // processes counting against the same placement slots.
   const std::uint32_t reducers =
       spec.fe_shards > 1 ? std::min(spec.fe_shards, num_daemons) : 0;
-  const auto with_reducers = [&](std::vector<std::uint32_t> widths)
-      -> Result<std::vector<std::uint32_t>> {
-    if (reducers == 0) return widths;
-    if (!widths.empty() && widths.front() < reducers) {
+  std::vector<std::uint32_t> shard_widths;
+  if (reducers > 0) {
+    const std::uint32_t fanin = std::max(
+        2u, std::min(kShardCombineFanIn, machine.max_tool_connections));
+    shard_widths.push_back(reducers);
+    for (std::uint32_t w = reducers; w > fanin;) {
+      w = (w + fanin - 1) / fanin;  // ceil: every reducer keeps a parent
+      shard_widths.insert(shard_widths.begin(), w);
+    }
+  }
+  const auto with_shard_levels = [&](std::vector<std::uint32_t> widths)
+      -> Result<DerivedLevels> {
+    if (reducers != 0 && !widths.empty() && widths.front() < reducers) {
       return invalid_argument(
           "fe_shards (" + std::to_string(reducers) +
           ") exceeds the first comm-process level's width (" +
           std::to_string(widths.front()) + "): reducers would own no shard");
     }
-    widths.insert(widths.begin(), reducers);
-    return widths;
+    DerivedLevels levels;
+    levels.shard_levels = static_cast<std::uint32_t>(shard_widths.size());
+    levels.widths = std::move(shard_widths);
+    levels.widths.insert(levels.widths.end(), widths.begin(), widths.end());
+    return levels;
   };
   if (!spec.level_widths.empty()) {
     if (spec.level_widths.size() != spec.depth - 1) {
       return invalid_argument("level_widths must have depth-1 entries");
     }
-    std::uint64_t total = reducers;
+    std::uint64_t total = 0;
+    for (const auto w : shard_widths) total += w;
     for (const auto w : spec.level_widths) {
       if (w == 0) return invalid_argument("level_widths entries must be > 0");
       total += w;
@@ -79,10 +96,10 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
           " comm processes, machine has slots for " +
           std::to_string(comm_process_capacity(machine, num_daemons)));
     }
-    return with_reducers(spec.level_widths);
+    return with_shard_levels(spec.level_widths);
   }
   std::vector<std::uint32_t> widths;
-  if (spec.depth == 1) return with_reducers(std::move(widths));
+  if (spec.depth == 1) return with_shard_levels(std::move(widths));
 
   const auto nd = static_cast<double>(num_daemons);
   if (spec.bgl_rules) {
@@ -110,7 +127,15 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
   }
   // Never more procs at a level than daemons below them.
   for (auto& w : widths) w = std::min(w, num_daemons);
-  return with_reducers(std::move(widths));
+  return with_shard_levels(std::move(widths));
+}
+
+Result<std::vector<std::uint32_t>> derive_level_widths(
+    const machine::MachineConfig& machine, const TopologySpec& spec,
+    std::uint32_t num_daemons) {
+  auto levels = derive_levels(machine, spec, num_daemons);
+  if (!levels.is_ok()) return levels.status();
+  return std::move(levels).value().widths;
 }
 
 Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
@@ -121,9 +146,10 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   }
   if (layout.num_daemons == 0) return invalid_argument("no daemons");
 
-  auto widths_result = derive_level_widths(machine, spec, layout.num_daemons);
-  if (!widths_result.is_ok()) return widths_result.status();
-  const std::vector<std::uint32_t>& widths = widths_result.value();
+  auto levels_result = derive_levels(machine, spec, layout.num_daemons);
+  if (!levels_result.is_ok()) return levels_result.status();
+  const std::vector<std::uint32_t>& widths = levels_result.value().widths;
+  const std::uint32_t shard_levels = levels_result.value().shard_levels;
 
   // Monotone widths: each level must be at least as wide as its parent level
   // (a narrower child level would orphan parents).
@@ -160,27 +186,64 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   fe.level = 0;
   topo.procs.push_back(fe);
 
-  // Comm-process levels.
+  // Comm-process levels. Shard-machinery levels (combiners + reducers) come
+  // first and honor spec.reducer_placement; the spec's own levels always use
+  // the machine's comm-process rule. Placement counters:
+  //   comm_seq     core-packing / round-robin position of packed procs,
+  //   spread_nodes whole compute nodes consumed by kSpread shard procs
+  //                (packed procs start after them),
+  //   shard_seq    shard procs placed so far (kPack's login fill order).
   std::vector<std::uint32_t> prev_level_indices{0};
   std::uint32_t comm_seq = 0;
+  std::uint32_t spread_nodes = 0;
+  std::uint32_t shard_seq = 0;
+  std::vector<std::uint32_t> login_load(machine.login_nodes, 0);
   std::uint32_t level_no = 1;
   for (const auto width : widths) {
+    const bool shard_level = level_no <= shard_levels;
+    const ReducerPlacement placement = shard_level
+                                           ? spec.reducer_placement
+                                           : ReducerPlacement::kCommLike;
     std::vector<std::uint32_t> this_level;
     this_level.reserve(width);
     for (std::uint32_t i = 0; i < width; ++i) {
       TbonTopology::Proc proc;
       if (machine.comm_procs_on_compute_allocation) {
-        // Atlas: separate compute allocation, one comm process per core.
+        // Cluster: separate compute allocation. Packed procs take one core
+        // each; spread shard procs take a whole node each.
         const std::uint32_t node_index =
-            layout.num_daemons + comm_seq / machine.cores_per_compute_node;
+            placement == ReducerPlacement::kSpread
+                ? layout.num_daemons + spread_nodes
+                : layout.num_daemons + spread_nodes +
+                      comm_seq / machine.cores_per_compute_node;
         if (node_index >= machine.compute_nodes) {
           return resource_exhausted("comm-process allocation exceeds cluster");
         }
         proc.host = machine.compute_node(node_index);
+        if (placement == ReducerPlacement::kSpread) {
+          ++spread_nodes;
+        } else {
+          ++comm_seq;
+        }
       } else {
-        proc.host = machine.login_node(comm_seq % machine.login_nodes);
+        // Login tier. kPack fills each host's helper slots first; everything
+        // else takes the least-loaded login (lowest index on ties), which is
+        // exactly the historical round-robin while loads are even — they
+        // always are without kPack in the mix — and skips hosts kPack has
+        // already filled, so the per-host slot limit holds for every
+        // placement mix, not just in aggregate.
+        std::uint32_t login = 0;
+        if (placement == ReducerPlacement::kPack) {
+          login = shard_seq / machine.max_comm_procs_per_login;
+        } else {
+          for (std::uint32_t l = 1; l < machine.login_nodes; ++l) {
+            if (login_load[l] < login_load[login]) login = l;
+          }
+        }
+        proc.host = machine.login_node(login);
+        ++login_load[login];
       }
-      ++comm_seq;
+      if (shard_level) ++shard_seq;
       // Parent: spread evenly over the previous level.
       const auto parent_slot = static_cast<std::uint32_t>(
           static_cast<std::uint64_t>(i) * prev_level_indices.size() / width);
@@ -191,8 +254,13 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
       topo.procs[static_cast<std::size_t>(proc.parent)].children.push_back(index);
       this_level.push_back(index);
     }
-    if (spec.fe_shards > 1 && level_no == 1) {
-      topo.reducers = this_level;  // the synthetic shard level
+    if (shard_level) {
+      if (level_no == shard_levels) {
+        topo.reducers = this_level;  // the shard level proper
+      } else {
+        topo.combiners.insert(topo.combiners.end(), this_level.begin(),
+                              this_level.end());
+      }
     }
     prev_level_indices = std::move(this_level);
     ++level_no;
@@ -226,6 +294,15 @@ Status connection_viability(const TbonTopology& topology,
         "front end cannot sustain " + std::to_string(fe_children) +
         " tool connections (limit " + std::to_string(limit) + ")");
   }
+  for (const std::uint32_t c : topology.combiners) {
+    const auto children =
+        static_cast<std::uint32_t>(topology.procs[c].children.size());
+    if (children > limit) {
+      return resource_exhausted(
+          "combiner cannot sustain " + std::to_string(children) +
+          " shard connections (limit " + std::to_string(limit) + ")");
+    }
+  }
   for (const std::uint32_t r : topology.reducers) {
     const auto children =
         static_cast<std::uint32_t>(topology.procs[r].children.size());
@@ -237,6 +314,20 @@ Status connection_viability(const TbonTopology& topology,
     }
   }
   return Status::ok();
+}
+
+std::uint32_t shard_spawn_hosts(const TbonTopology& topology) {
+  std::vector<NodeId> hosts;
+  hosts.reserve(topology.reducers.size() + topology.combiners.size());
+  for (const std::uint32_t r : topology.reducers) {
+    hosts.push_back(topology.procs[r].host);
+  }
+  for (const std::uint32_t c : topology.combiners) {
+    hosts.push_back(topology.procs[c].host);
+  }
+  std::sort(hosts.begin(), hosts.end());
+  hosts.erase(std::unique(hosts.begin(), hosts.end()), hosts.end());
+  return static_cast<std::uint32_t>(hosts.size());
 }
 
 namespace {

@@ -24,6 +24,42 @@
 
 namespace petastat::tbon {
 
+/// Where the shard machinery (reducers and combiners) of a sharded front end
+/// lands. The trade is spawn locality against NIC contention: packing many
+/// helpers onto few hosts makes the serial spawn burst cheap (one remote
+/// shell handshake per host, local forks after that) but leaves them sharing
+/// each host's NIC during the merge; spreading buys each helper its own NIC
+/// at the price of one handshake per host. plan::TopologySearch prices both
+/// through the shared machine/cost_model + net::transfer_rate formulas.
+enum class ReducerPlacement : std::uint8_t {
+  /// Inherit the machine's comm-process rule (the pre-placement behaviour):
+  /// round-robin over the login tier on BG/L-style machines, core-packing on
+  /// the spare compute allocation on clusters.
+  kCommLike = 0,
+  /// Fill each host's helper slots before touching the next one.
+  kPack,
+  /// One helper per host while hosts last (round-robin once they run out).
+  kSpread,
+};
+
+[[nodiscard]] constexpr const char* reducer_placement_name(ReducerPlacement p) {
+  switch (p) {
+    case ReducerPlacement::kCommLike: return "comm";
+    case ReducerPlacement::kPack: return "pack";
+    case ReducerPlacement::kSpread: return "spread";
+  }
+  return "?";
+}
+
+/// Widest stream of shard payloads any single combine point (the front end
+/// or an intermediate combiner) accepts before build_topology interposes a
+/// combiner level: with K > 8 reducers the final combine stops being "cheap"
+/// — and on small-limit front ends stops being possible — so the K shard
+/// payloads fold through ceil(K/8)-ary combiner levels instead. The
+/// machine's MachineConfig::max_tool_connections additionally bounds the
+/// fan-in when it is smaller than 8.
+inline constexpr std::uint32_t kShardCombineFanIn = 8;
+
 struct TopologySpec {
   std::uint32_t depth = 1;  // 1 = flat, 2/3 = comm-process layers
   /// Total comm processes per internal level, front end's children first.
@@ -35,13 +71,23 @@ struct TopologySpec {
   /// processes, depending on the job scale".
   std::uint32_t bgl_second_level = 16;
   /// Shard the front-end merge across this many reducer processes: a
-  /// synthetic internal level directly under the front end, each reducer
-  /// owning a contiguous range of the tree's former top-level children and
-  /// forwarding one merged shard payload for the cheap final combine. Turns
-  /// the hard front-end connection/rx-buffer ceilings into a
-  /// capacity-planning knob (the Sec. V-A failure mode). 1 = unsharded;
-  /// 0 is rejected as INVALID_ARGUMENT (use 1 for "no sharding").
+  /// synthetic internal level under the front end, each reducer owning a
+  /// contiguous range of the tree's former top-level children and forwarding
+  /// one merged shard payload for the cheap final combine. Turns the hard
+  /// front-end connection/rx-buffer ceilings into a capacity-planning knob
+  /// (the Sec. V-A failure mode). With K <= kShardCombineFanIn the reducers
+  /// connect straight to the front end (the original sharded layout,
+  /// reproduced byte for byte); a larger K grows a *reducer tree* —
+  /// intermediate combiner levels, fan-in bounded by kShardCombineFanIn and
+  /// the machine's connection limit, between the front end and the reducers
+  /// — so the petascale preset can run K in {16, 32, 64} without any merge
+  /// root exceeding its ceiling. 1 = unsharded; 0 is rejected as
+  /// INVALID_ARGUMENT (use 1 for "no sharding").
   std::uint32_t fe_shards = 1;
+  /// Host-assignment policy for the shard machinery (reducers + combiners).
+  /// Ignored when fe_shards == 1. kCommLike keeps the historical layouts;
+  /// the planner's placement dimension prices kPack against kSpread.
+  ReducerPlacement reducer_placement = ReducerPlacement::kCommLike;
 
   [[nodiscard]] static TopologySpec flat() { return balanced(1); }
   [[nodiscard]] static TopologySpec balanced(std::uint32_t depth) {
@@ -64,6 +110,12 @@ struct TopologySpec {
     spec.fe_shards = shards;
     return spec;
   }
+  /// Copy of this spec with the shard machinery placed per `placement`.
+  [[nodiscard]] TopologySpec with_placement(ReducerPlacement placement) const {
+    TopologySpec spec = *this;
+    spec.reducer_placement = placement;
+    return spec;
+  }
 
   [[nodiscard]] std::string name() const;
 };
@@ -82,13 +134,22 @@ struct TbonTopology {
   };
 
   std::vector<Proc> procs;
-  std::uint32_t depth = 1;  // internal levels incl. FE (and any reducer level)
+  std::uint32_t depth = 1;  // internal levels incl. FE (and any shard levels)
   std::vector<std::uint32_t> leaf_of_daemon;  // daemon id -> proc index
-  /// Reducer procs of a sharded front end (the synthetic level directly
-  /// under the FE), in shard order. Empty when unsharded.
+  /// Reducer procs of a sharded front end (the synthetic shard level), in
+  /// shard order. Empty when unsharded. With K <= kShardCombineFanIn they
+  /// sit directly under the FE; with a reducer tree they sit below the
+  /// combiner levels instead.
   std::vector<std::uint32_t> reducers;
+  /// Intermediate combiner procs of a reducer tree (every level between the
+  /// FE and the reducers), top level first. Empty for K <= kShardCombineFanIn.
+  std::vector<std::uint32_t> combiners;
 
   [[nodiscard]] bool sharded() const { return !reducers.empty(); }
+  /// The shard machinery a sharded front end spawns: reducers + combiners.
+  [[nodiscard]] std::uint32_t num_shard_procs() const {
+    return static_cast<std::uint32_t>(reducers.size() + combiners.size());
+  }
   [[nodiscard]] const Proc& front_end() const { return procs.front(); }
   [[nodiscard]] std::uint32_t num_comm_procs() const {
     std::uint32_t n = 0;
@@ -112,12 +173,31 @@ struct TbonTopology {
 [[nodiscard]] std::uint64_t comm_process_capacity(
     const machine::MachineConfig& machine, std::uint32_t num_daemons);
 
+/// Derived internal-level plan for a spec: all comm-process widths (front
+/// end's children first) plus how many of the leading levels are shard
+/// machinery — the combiner levels of a reducer tree followed by the reducer
+/// level itself (0 when unsharded).
+struct DerivedLevels {
+  std::vector<std::uint32_t> widths;
+  std::uint32_t shard_levels = 0;
+
+  [[nodiscard]] std::uint32_t num_reducers() const {
+    return shard_levels == 0 ? 0 : widths[shard_levels - 1];
+  }
+};
+
 /// Comm-process counts per internal level (front end's children first) for
 /// `spec` with `num_daemons` daemons: explicit level_widths validated, or
-/// derived from the balanced/BG/L fanout rule. Malformed specs (zero depth,
-/// zero-width levels, wrong entry count, explicit widths beyond the comm
-/// slots of `machine`) come back as INVALID_ARGUMENT here, before any
-/// process tree is built. Shared by build_topology and plan::TopologySearch.
+/// derived from the balanced/BG/L fanout rule; a sharded spec's combiner and
+/// reducer levels ride in front. Malformed specs (zero depth, zero-width
+/// levels, wrong entry count, explicit widths beyond the comm slots of
+/// `machine`) come back as INVALID_ARGUMENT here, before any process tree is
+/// built. Shared by build_topology and plan::TopologySearch.
+[[nodiscard]] Result<DerivedLevels> derive_levels(
+    const machine::MachineConfig& machine, const TopologySpec& spec,
+    std::uint32_t num_daemons);
+
+/// derive_levels, widths only (the historical signature).
 [[nodiscard]] Result<std::vector<std::uint32_t>> derive_level_widths(
     const machine::MachineConfig& machine, const TopologySpec& spec,
     std::uint32_t num_daemons);
@@ -125,8 +205,10 @@ struct TbonTopology {
 /// Builds the process tree for `spec` on `machine`, placing comm processes
 /// under the machine's constraints. Fails when the machine cannot host the
 /// requested tree (e.g. login-node capacity on BG/L). A sharded spec
-/// (`fe_shards > 1`) gets its reducers as the first internal level, placed
-/// exactly like comm processes and recorded in `TbonTopology::reducers`.
+/// (`fe_shards > 1`) gets its reducers — and, for K > kShardCombineFanIn,
+/// the combiner levels of the reducer tree above them — as the leading
+/// internal levels, placed per `spec.reducer_placement` and recorded in
+/// `TbonTopology::reducers` / `combiners`.
 [[nodiscard]] Result<TbonTopology> build_topology(
     const machine::MachineConfig& machine, const machine::DaemonLayout& layout,
     const TopologySpec& spec);
@@ -134,12 +216,19 @@ struct TbonTopology {
 /// Connection-limit viability of a built tree against `limit` simultaneous
 /// tool connections: exactly `limit` children survive, `limit + 1` do not
 /// (rejection is `> limit`, matching MachineConfig::max_tool_connections).
-/// Checks the front end and, when sharded, every reducer — a shard that
-/// merely moves the overload one hop down is no fix. One formulation shared
-/// by the simulator (StatScenario) and the planner (PhasePredictor), so the
-/// two can never disagree on viability.
+/// Checks every merge root — the front end and, when sharded, each combiner
+/// and each reducer: a shard that merely moves the overload one hop down is
+/// no fix. One formulation shared by the simulator (StatScenario) and the
+/// planner (PhasePredictor), so the two can never disagree on viability.
 [[nodiscard]] Status connection_viability(const TbonTopology& topology,
                                           std::uint32_t limit);
+
+/// Distinct hosts carrying the shard machinery (reducers + combiners) — the
+/// remote-shell handshake count of the spawn burst. Feed it with
+/// TbonTopology::num_shard_procs() to machine::reducer_spawn_time; one
+/// helper for the simulator and the planner, so spawn-locality pricing
+/// cannot drift. 0 when unsharded.
+[[nodiscard]] std::uint32_t shard_spawn_hosts(const TbonTopology& topology);
 
 /// Tasks covered by each reducer's shard (daemon-contiguous by
 /// construction), in shard order. Empty when unsharded.

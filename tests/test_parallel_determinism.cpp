@@ -86,6 +86,17 @@ std::vector<Cell> cells() {
     out.push_back(c);
   }
   {
+    // Reducer tree (K = 16 > the combine fan-in): reducers feed combiner
+    // strands which feed the FE combine — three levels of real merges
+    // overlapping across workers, timings still exact.
+    Cell c{"atlas_ring_hier_flat_16shards", machine::atlas(), {}, {}};
+    c.job.num_tasks = 256;
+    c.options.topology = tbon::TopologySpec::flat();
+    c.options.fe_shards = 16;
+    c.options.repr = TaskSetRepr::kHierarchical;
+    out.push_back(c);
+  }
+  {
     // Sharded deep tree with dense labels at BG/L scale.
     Cell c{"bgl_ring_dense_bgl2_2shards", machine::bgl(), {}, {}};
     c.job.num_tasks = 4096;

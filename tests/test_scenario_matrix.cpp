@@ -337,6 +337,50 @@ INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixSharded,
                          ::testing::ValuesIn(sharded_sample_cases()),
                          param_name);
 
+// --- Reducer tree: K = 16 bit-identity against the unsharded cell -----------
+// K > tbon::kShardCombineFanIn interposes combiner levels between the front
+// end and the reducers; the extra merge hop must be just as invisible in the
+// canonical trees as the shard grouping itself. Flat cells only: a K above
+// the first derived comm level's width is INVALID_ARGUMENT by construction.
+std::vector<MatrixCase> reducer_tree_sample_cases() {
+  std::vector<MatrixCase> cases = valid_cases();
+  std::erase_if(cases, [](const MatrixCase& c) {
+    return c.app != AppKind::kRingHang || c.topo != TopoKind::kFlat;
+  });
+  return cases;
+}
+
+class ScenarioMatrixReducerTree : public ::testing::TestWithParam<MatrixCase> {
+};
+
+TEST_P(ScenarioMatrixReducerTree, K16MatchesUnshardedBitForBit) {
+  const MatrixCase& c = GetParam();
+  const StatRunResult& unsharded = run_cached(c);
+  ASSERT_TRUE(unsharded.status.is_ok()) << unsharded.status.to_string();
+
+  StatOptions options = options_for(c);
+  options.fe_shards = 16;
+  StatScenario scenario(machine_for(c), job_for(c), options);
+  const StatRunResult sharded = scenario.run();
+  ASSERT_TRUE(sharded.status.is_ok()) << sharded.status.to_string();
+  EXPECT_EQ(sharded.topology.fe_shards, 16u);
+  // 16 reducers + 2 combiners: the reducer tree is engaged.
+  EXPECT_GE(sharded.num_comm_procs, 18u);
+
+  EXPECT_EQ(unsharded.tree_2d, sharded.tree_2d);
+  EXPECT_EQ(unsharded.tree_3d, sharded.tree_3d);
+  ASSERT_EQ(unsharded.classes.size(), sharded.classes.size());
+  for (std::size_t i = 0; i < unsharded.classes.size(); ++i) {
+    EXPECT_EQ(unsharded.classes[i].path, sharded.classes[i].path);
+    EXPECT_TRUE(unsharded.classes[i].tasks == sharded.classes[i].tasks);
+  }
+  EXPECT_EQ(class_signature(unsharded), class_signature(sharded));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixReducerTree,
+                         ::testing::ValuesIn(reducer_tree_sample_cases()),
+                         param_name);
+
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
   EXPECT_EQ(all_cases().size(), 360u);
   EXPECT_GE(valid_cases().size(), 24u);

@@ -341,6 +341,237 @@ TEST(Topology, ReducersCountAgainstCommSlots) {
   EXPECT_EQ(widths.status().code(), StatusCode::kInvalidArgument);
 }
 
+// --------------------------------------------------------------------------
+// Reducer trees: K > kShardCombineFanIn grows combiner levels under the FE.
+
+TEST(Topology, ReducerTreeInsertsCombinerLevels) {
+  // K = 64 on the petascale preset: 8 combiners fold the 64 shard payloads,
+  // so no merge root fans in more than kShardCombineFanIn shard streams.
+  const auto m = machine::petascale();
+  machine::JobConfig job;
+  job.num_tasks = 131072;
+  job.mode = machine::BglMode::kVirtualNode;
+  const auto layout = machine::layout_daemons(m, job).value();  // 256 daemons
+  const auto topo =
+      build_topology(m, layout, TopologySpec::flat().with_shards(64));
+  ASSERT_TRUE(topo.is_ok()) << topo.status().to_string();
+  const TbonTopology& t = topo.value();
+  EXPECT_TRUE(t.sharded());
+  ASSERT_EQ(t.reducers.size(), 64u);
+  ASSERT_EQ(t.combiners.size(), 8u);
+  EXPECT_EQ(t.num_shard_procs(), 72u);
+  EXPECT_EQ(t.num_comm_procs(), 72u);
+  EXPECT_EQ(t.depth, 3u);  // FE + combiner level + reducer level
+  EXPECT_EQ(t.front_end().children.size(), 8u);
+  for (const std::uint32_t c : t.combiners) {
+    EXPECT_EQ(t.procs[c].level, 1u);
+    EXPECT_LE(t.procs[c].children.size(), kShardCombineFanIn);
+    for (const std::uint32_t r : t.procs[c].children) {
+      EXPECT_FALSE(t.procs[r].is_leaf());  // combiners feed off reducers
+    }
+  }
+  // Reducers still own contiguous daemon ranges covering the whole job.
+  std::uint32_t next_daemon = 0;
+  for (const std::uint32_t r : t.reducers) {
+    EXPECT_EQ(t.procs[r].level, 2u);
+    for (const std::uint32_t c : t.procs[r].children) {
+      ASSERT_TRUE(t.procs[c].is_leaf());
+      EXPECT_EQ(t.procs[c].daemon.value(), next_daemon);
+      ++next_daemon;
+    }
+  }
+  EXPECT_EQ(next_daemon, layout.num_daemons);
+  check_tree_invariants(t, layout.num_daemons);
+  // Every merge root is within the machine's connection ceiling.
+  EXPECT_TRUE(connection_viability(t, m.max_tool_connections).is_ok());
+}
+
+TEST(Topology, ReducerTreeFanInNeverExceedsTheConnectionLimit) {
+  // A tiny connection ceiling tightens the combine fan-in below 8: K = 16
+  // over limit 2 folds through three binary combiner levels.
+  auto m = machine::petascale();
+  m.max_tool_connections = 2;
+  const auto levels = derive_levels(m, TopologySpec::flat().with_shards(16),
+                                    /*num_daemons=*/256);
+  ASSERT_TRUE(levels.is_ok());
+  EXPECT_EQ(levels.value().widths,
+            (std::vector<std::uint32_t>{2, 4, 8, 16}));
+  EXPECT_EQ(levels.value().shard_levels, 4u);
+  EXPECT_EQ(levels.value().num_reducers(), 16u);
+
+  machine::JobConfig job;
+  job.num_tasks = 131072;
+  job.mode = machine::BglMode::kVirtualNode;
+  const auto layout = machine::layout_daemons(m, job).value();
+  const auto topo =
+      build_topology(m, layout, TopologySpec::flat().with_shards(16));
+  ASSERT_TRUE(topo.is_ok());
+  // The combiner levels honor the tightened limit; the reducers themselves
+  // still fan out to their daemon shards (that is what the rx-buffer and
+  // connection checks on reducers are for).
+  for (const std::uint32_t c : topo.value().combiners) {
+    EXPECT_LE(topo.value().procs[c].children.size(), 2u);
+  }
+  EXPECT_EQ(topo.value().front_end().children.size(), 2u);
+}
+
+TEST(Topology, SmallShardCountsReproduceTheFlatReducerLayoutByteForByte) {
+  // K <= kShardCombineFanIn must keep the PR-4 layout: reducers directly
+  // under the FE (no combiners), placed by the machine's comm rule — the
+  // spare compute allocation packed one proc per core on Atlas, round-robin
+  // over the login tier on BG/L — and the spec name unchanged.
+  {
+    const auto m = machine::atlas();
+    const auto layout = layout_of(m, 256);  // 32 daemons on nodes 0..31
+    const auto t =
+        build_topology(m, layout, TopologySpec::flat().with_shards(8)).value();
+    EXPECT_TRUE(t.combiners.empty());
+    ASSERT_EQ(t.reducers.size(), 8u);
+    EXPECT_EQ(t.depth, 2u);
+    EXPECT_EQ(t.front_end().children.size(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      const auto& proc = t.procs[t.reducers[i]];
+      EXPECT_EQ(proc.level, 1u);
+      // Comm rule on Atlas: core-packed onto the first spare compute node.
+      EXPECT_EQ(proc.host,
+                m.compute_node(32 + i / m.cores_per_compute_node));
+    }
+  }
+  {
+    const auto m = machine::bgl();
+    const auto layout = layout_of(m, 4096);  // 64 daemons
+    const auto t =
+        build_topology(m, layout, TopologySpec::flat().with_shards(4)).value();
+    EXPECT_TRUE(t.combiners.empty());
+    ASSERT_EQ(t.reducers.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+      // Comm rule on BG/L: round-robin over the 14 login nodes.
+      EXPECT_EQ(t.procs[t.reducers[i]].host,
+                m.login_node(i % m.login_nodes));
+    }
+  }
+  EXPECT_EQ(TopologySpec::flat().with_shards(4).name(), "1-deep x4shard");
+}
+
+// --------------------------------------------------------------------------
+// Reducer placement: pack vs spread host assignment.
+
+TEST(Topology, PackPlacementFillsLoginNodesFirst) {
+  const auto m = machine::bgl();  // 14 logins x 24 slots
+  const auto layout = layout_of(m, 16384);  // 256 daemons
+  const auto spec = TopologySpec::flat().with_shards(64).with_placement(
+      ReducerPlacement::kPack);
+  const auto t = build_topology(m, layout, spec).value();
+  ASSERT_EQ(t.num_shard_procs(), 72u);  // 8 combiners + 64 reducers
+  // Shard procs fill login 0's 24 slots, then login 1, then login 2.
+  EXPECT_EQ(shard_spawn_hosts(t), 3u);
+  std::uint32_t seq = 0;
+  for (const std::uint32_t c : t.combiners) {
+    EXPECT_EQ(t.procs[c].host,
+              m.login_node(seq++ / m.max_comm_procs_per_login));
+  }
+  for (const std::uint32_t r : t.reducers) {
+    EXPECT_EQ(t.procs[r].host,
+              m.login_node(seq++ / m.max_comm_procs_per_login));
+  }
+}
+
+TEST(Topology, SpreadPlacementTakesWholeComputeNodesOnClusters) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // daemons on nodes 0..31
+  TopologySpec spec;
+  spec.depth = 2;
+  spec.level_widths = {16};  // one comm proc under each reducer
+  spec = spec.with_shards(16).with_placement(ReducerPlacement::kSpread);
+  const auto t = build_topology(m, layout, spec).value();
+  // Shard machinery: 2 combiners + 16 reducers, one spare node each.
+  ASSERT_EQ(t.num_shard_procs(), 18u);
+  EXPECT_EQ(shard_spawn_hosts(t), 18u);
+  std::uint32_t node = 32;
+  for (const std::uint32_t c : t.combiners) {
+    EXPECT_EQ(t.procs[c].host, m.compute_node(node++));
+  }
+  for (const std::uint32_t r : t.reducers) {
+    EXPECT_EQ(t.procs[r].host, m.compute_node(node++));
+  }
+  // The spec's own comm level packs per core *after* the spread nodes.
+  for (const auto& p : t.procs) {
+    if (!p.is_leaf() && p.parent >= 0 && p.level == 3) {
+      EXPECT_GE(machine::node_index(p.host), 32u + 18u);
+    }
+  }
+  check_tree_invariants(t, 32);
+}
+
+TEST(Topology, SpreadPlacementFailsWhenTheAllocationIsTight) {
+  // 1,120 daemons leave 32 spare Atlas nodes: 36 shard procs (4 combiners +
+  // 32 reducers) cannot take a whole node each, but pack fits them onto the
+  // spare cores easily.
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 8960);  // 1120 daemons
+  const auto spec = TopologySpec::flat().with_shards(32);
+  const auto spread = build_topology(
+      m, layout, spec.with_placement(ReducerPlacement::kSpread));
+  EXPECT_EQ(spread.status().code(), StatusCode::kResourceExhausted);
+  const auto pack =
+      build_topology(m, layout, spec.with_placement(ReducerPlacement::kPack));
+  ASSERT_TRUE(pack.is_ok()) << pack.status().to_string();
+  EXPECT_LE(shard_spawn_hosts(pack.value()), 5u);
+}
+
+TEST(Topology, PackNeverOvercommitsALoginNodePastItsSlotLimit) {
+  // kPack fills hosts to their helper-slot maximum; the spec's own comm
+  // level must then land on the *least-loaded* logins rather than blindly
+  // round-robining onto the already-full ones — the per-host limit holds
+  // for every placement mix, not just in aggregate.
+  auto m = machine::bgl();
+  m.max_comm_procs_per_login = 4;  // capacity 14 x 4 = 56
+  const auto layout = layout_of(m, 16384);  // 256 daemons
+  TopologySpec spec;
+  spec.depth = 2;
+  spec.level_widths = {16};  // one comm proc under each reducer
+  spec = spec.with_shards(16).with_placement(ReducerPlacement::kPack);
+  const auto t = build_topology(m, layout, spec).value();
+  ASSERT_EQ(t.num_shard_procs(), 18u);  // 2 combiners + 16 reducers
+  std::vector<std::uint32_t> per_login(m.login_nodes, 0);
+  for (const auto& p : t.procs) {
+    if (p.is_leaf() || p.parent < 0) continue;
+    ASSERT_EQ(machine::node_role(p.host), machine::NodeRole::kLogin);
+    ++per_login[machine::node_index(p.host)];
+  }
+  for (const std::uint32_t load : per_login) {
+    EXPECT_LE(load, m.max_comm_procs_per_login);
+  }
+}
+
+TEST(Topology, PlacementNamesAreDescriptive) {
+  EXPECT_EQ(TopologySpec::flat().with_shards(64)
+                .with_placement(ReducerPlacement::kSpread).name(),
+            "1-deep x64shard/spread");
+  EXPECT_EQ(TopologySpec::flat().with_shards(16)
+                .with_placement(ReducerPlacement::kPack).name(),
+            "1-deep x16shard/pack");
+  // The comm-like default keeps the historical name.
+  EXPECT_EQ(TopologySpec::flat().with_shards(4)
+                .with_placement(ReducerPlacement::kCommLike).name(),
+            "1-deep x4shard");
+}
+
+TEST(Topology, ShardTaskCountsCoverTheJobThroughTheReducerTree) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 512);  // 64 daemons
+  const auto topo =
+      build_topology(m, layout, TopologySpec::flat().with_shards(16)).value();
+  ASSERT_EQ(topo.reducers.size(), 16u);
+  ASSERT_EQ(topo.combiners.size(), 2u);
+  const std::vector<std::uint64_t> slices = shard_task_counts(topo, layout);
+  ASSERT_EQ(slices.size(), 16u);
+  EXPECT_EQ(std::accumulate(slices.begin(), slices.end(), std::uint64_t{0}),
+            512u);
+  for (const std::uint64_t s : slices) EXPECT_EQ(s, 32u);  // 4 daemons x 8
+  EXPECT_EQ(largest_shard_task_count(topo, layout), 32u);
+}
+
 TEST(Topology, ConnectionViabilityBoundaryIsExact) {
   const auto m = machine::atlas();
   const auto layout = layout_of(m, 256);  // 32 daemons

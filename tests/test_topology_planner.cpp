@@ -219,6 +219,150 @@ TEST(TopologySearch, ShardDimensionJoinsTheSpaceUnderAuto) {
   }
 }
 
+// --------------------------------------------------------------------------
+// Reducer trees (K > 8) and placement pricing
+
+TEST(PhasePredictor, ReducerTreeRescuesThePetascaleFlatMerge) {
+  // The Sec. V-A failure mode, projected forward: 2,048 daemons cannot hang
+  // off the petascale front end (1,024-connection ceiling), but K = 64
+  // reducers under an 8-wide combiner level keep every merge root within the
+  // limit — the reducer tree is what makes K in {16, 32, 64} usable at all.
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  auto predictor = predictor_for(machine::petascale(), 1048576, options,
+                                 machine::BglMode::kVirtualNode);
+  ASSERT_TRUE(predictor.is_ok()) << predictor.status().to_string();
+  const auto flat = predictor.value().predict(tbon::TopologySpec::flat());
+  ASSERT_TRUE(flat.is_ok());
+  EXPECT_EQ(flat.value().viability.code(), StatusCode::kResourceExhausted);
+  const auto tree = predictor.value().predict(
+      tbon::TopologySpec::flat().with_shards(64));
+  ASSERT_TRUE(tree.is_ok()) << tree.status().to_string();
+  EXPECT_TRUE(tree.value().viability.is_ok())
+      << tree.value().viability.to_string();
+  EXPECT_EQ(tree.value().num_comm_procs, 72u);  // 64 reducers + 8 combiners
+}
+
+TEST(PhasePredictor, ConnectionOverrideTightensTheReducerTreeFanIn) {
+  // The per-run override is the run's ceiling everywhere, the combiner
+  // fan-in clamp included: under a 4-connection what-if, K = 64 must fold
+  // through 4-ary combiner levels (FE -> 4 -> 16 -> 64 reducers of 4
+  // daemons each) and come out viable — not get built 8-ary against the
+  // machine default and then rejected by the very limit that demanded the
+  // deeper tree.
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.max_frontend_connections = 4;
+  auto predictor = predictor_for(machine::petascale(), 131072, options,
+                                 machine::BglMode::kVirtualNode);
+  ASSERT_TRUE(predictor.is_ok());
+  const tbon::TopologySpec spec = tbon::TopologySpec::flat().with_shards(64);
+  const auto prediction = predictor.value().predict(spec);
+  ASSERT_TRUE(prediction.is_ok()) << prediction.status().to_string();
+  EXPECT_TRUE(prediction.value().viability.is_ok())
+      << prediction.value().viability.to_string();
+  // 64 reducers + 16 + 4 combiners.
+  EXPECT_EQ(prediction.value().num_comm_procs, 84u);
+
+  // The simulator folds the override the same way: the run completes.
+  machine::JobConfig job;
+  job.num_tasks = 131072;
+  job.mode = machine::BglMode::kVirtualNode;
+  stat::StatOptions run_options = options;
+  run_options.topology = spec;
+  stat::StatScenario scenario(machine::petascale(), job, run_options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.num_comm_procs, 84u);
+}
+
+TEST(PlacementPricing, SpawnLocalityVsNicContentionBothWays) {
+  // The placement trade, both directions, predictor against simulator:
+  // packing the 72 shard procs onto 3 petascale logins makes the spawn burst
+  // cheap (3 remote-shell handshakes instead of 32) but leaves ~24 reducers
+  // draining their shards through each login NIC; spreading reverses both.
+  const auto machine = machine::petascale();
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  const std::uint32_t tasks = 131072;  // 256 daemons in VN mode
+  auto predictor = predictor_for(machine, tasks, options,
+                                 machine::BglMode::kVirtualNode);
+  ASSERT_TRUE(predictor.is_ok());
+  const tbon::TopologySpec base = tbon::TopologySpec::flat().with_shards(64);
+  const auto pack = predictor.value()
+                        .predict(base.with_placement(
+                            tbon::ReducerPlacement::kPack))
+                        .value();
+  const auto spread = predictor.value()
+                          .predict(base.with_placement(
+                              tbon::ReducerPlacement::kSpread))
+                          .value();
+  ASSERT_TRUE(pack.viability.is_ok());
+  ASSERT_TRUE(spread.viability.is_ok());
+  EXPECT_LT(pack.connect, spread.connect);  // spawn locality
+  EXPECT_LT(spread.merge, pack.merge);      // per-host NIC contention
+
+  const auto simulate = [&](tbon::ReducerPlacement placement) {
+    stat::StatOptions o = options;
+    o.topology = base.with_placement(placement);
+    machine::JobConfig job;
+    job.num_tasks = tasks;
+    job.mode = machine::BglMode::kVirtualNode;
+    stat::StatScenario scenario(machine, job, o);
+    const stat::StatRunResult result = scenario.run();
+    EXPECT_TRUE(result.status.is_ok()) << result.status.to_string();
+    return result.phases;
+  };
+  const stat::PhaseBreakdown sim_pack =
+      simulate(tbon::ReducerPlacement::kPack);
+  const stat::PhaseBreakdown sim_spread =
+      simulate(tbon::ReducerPlacement::kSpread);
+  EXPECT_LT(sim_pack.connect_time, sim_spread.connect_time);
+  EXPECT_LT(sim_spread.merge_time, sim_pack.merge_time);
+}
+
+TEST(PlacementPricing, JointRankingPicksAPlacementAndAutoFollows) {
+  // The acceptance case: at the petascale preset the search ranks
+  // (K, depth, placement) jointly; the winner is a sharded spec whose pack
+  // placement strictly beats its spread twin (the spawn burst dominates the
+  // NIC term at this payload size), and `--topology auto` adopts exactly the
+  // ranked winner.
+  stat::StatOptions options = dense_options(stat::LauncherKind::kCiodPatched);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.fe_shards_auto = true;
+  machine::JobConfig job;
+  job.num_tasks = 1048576;
+  job.mode = machine::BglMode::kVirtualNode;
+  auto predictor = predictor_for(machine::petascale(), job.num_tasks, options,
+                                 job.mode);
+  ASSERT_TRUE(predictor.is_ok());
+  auto search = search_topologies(predictor.value());
+  ASSERT_TRUE(search.is_ok()) << search.status().to_string();
+  const RankedTopology& best = search.value().best();
+  // Sharding wins at this scale (the distributed remap alone is worth ~3 s),
+  // and pack placement wins the spawn-vs-NIC trade.
+  EXPECT_GT(best.spec.fe_shards, 1u);
+  EXPECT_EQ(best.spec.reducer_placement, tbon::ReducerPlacement::kPack);
+  // The spread twin is viable, ranked, and strictly slower.
+  const tbon::TopologySpec twin =
+      best.spec.with_placement(tbon::ReducerPlacement::kSpread);
+  bool found_twin = false;
+  for (const RankedTopology& ranked : search.value().viable) {
+    if (ranked.spec.name() == twin.name()) {
+      found_twin = true;
+      EXPECT_GT(ranked.prediction.startup_plus_merge(),
+                best.prediction.startup_plus_merge());
+    }
+  }
+  EXPECT_TRUE(found_twin);
+
+  // End to end: `--topology auto` resolves to the ranked winner.
+  options.topology_auto = true;
+  stat::StatScenario scenario(machine::petascale(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  EXPECT_EQ(result.topology.name(), best.spec.name());
+}
+
 TEST(PhasePredictor, RshLauncherViabilityMatchesMachine) {
   auto on_bgl = predictor_for(machine::bgl(), 4096,
                               dense_options(stat::LauncherKind::kMrnetRsh));
