@@ -1,0 +1,190 @@
+// Ablation: mid-merge failure recovery — detection plus subtree re-merge.
+//
+// A reducer killed mid-merge (`--fail-at`) is detected by the health
+// monitor's ping sweep and its orphaned shard re-merges through the
+// surviving sibling reducers; only the lost subtree moves again. This bench
+// records, on the petascale preset at the Sec. V-A wall scale (131,072 CO
+// tasks = 2,048 daemons), the cost of losing one reducer for
+// K in {8, 16, 32, 64}:
+//   * the killed merge completes at every K, and its diagnosis stays
+//     bit-identical to the clean run (the correctness gate, end to end);
+//   * the re-merge shrinks as K grows — a 64th of the tree is cheaper to
+//     replay than an 8th — so recovery cost scales with the lost subtree,
+//     not the job;
+//   * detection latency tracks the ping period (measured on the Fig. 4
+//     Atlas merge scale) while the re-merge half is ping-independent;
+//   * the planner prices the same failure from the shared formulas:
+//     `predict_recovery` names the same orphan count the simulated kill
+//     produces at every K.
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "plan/predictor.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+struct RecoveryPoint {
+  double merge_s = -1.0;  // < 0 = failed
+  double detect_s = 0.0;
+  double remerge_s = 0.0;
+  std::uint32_t orphans = 0;
+  std::string note;
+  stat::StatRunResult result;
+};
+
+RecoveryPoint run_point(const machine::MachineConfig& machine,
+                        std::uint32_t tasks, stat::LauncherKind launcher,
+                        std::uint32_t shards, double fail_at,
+                        double ping_period) {
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = shards;
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.launcher = launcher;
+  options.fail_at_seconds = fail_at;
+  options.ping_period_seconds = ping_period;
+
+  RecoveryPoint point;
+  point.result = run_scenario(machine, tasks, machine::BglMode::kCoprocessor,
+                              options);
+  if (!point.result.status.is_ok()) {
+    point.note = status_code_name(point.result.status.code());
+    return point;
+  }
+  point.merge_s = to_seconds(point.result.phases.merge_time);
+  point.detect_s = to_seconds(point.result.phases.failure_detect_latency);
+  point.remerge_s = to_seconds(point.result.phases.recovery_remerge_time);
+  point.orphans = point.result.phases.orphaned_daemons;
+  return point;
+}
+
+std::vector<std::string> class_sizes(const stat::StatRunResult& result) {
+  std::vector<std::string> sizes;
+  for (const auto& cls : result.classes) {
+    sizes.push_back(std::to_string(cls.size()) + ":" +
+                    cls.tasks.edge_label(/*max_items=*/64));
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  title("Ablation",
+        "Mid-merge failure recovery: detection + subtree re-merge vs "
+        "fe_shards (petascale flat tree, one reducer killed at merge start)");
+
+  const std::vector<std::uint32_t> ks = {8, 16, 32, 64};
+  const double ping = 0.1;
+
+  // --- Petascale, CO mode (131,072 tasks = 2,048 daemons) -------------------
+  Series clean_merge("clean-merge");
+  Series killed_merge("killed-merge");
+  Series remerge("remerge");
+  Series detection("detection");
+  bool all_killed_complete = true;
+  bool identical_to_clean = true;
+  bool remerge_shrinks = true;
+  bool planner_orphans_agree = true;
+  double prev_remerge = -1.0;
+  std::uint32_t k64_orphans = 0;
+
+  auto predictor = plan::PhasePredictor::create(
+      machine::petascale(), machine::JobConfig{.num_tasks = 131072},
+      stat::StatOptions{}, machine::default_cost_model(machine::petascale()));
+
+  for (const std::uint32_t k : ks) {
+    const RecoveryPoint clean =
+        run_point(machine::petascale(), 131072,
+                  stat::LauncherKind::kCiodPatched, k, -1.0, ping);
+    const RecoveryPoint killed =
+        run_point(machine::petascale(), 131072,
+                  stat::LauncherKind::kCiodPatched, k, 0.0, ping);
+    clean_merge.add(k, clean.merge_s, clean.note);
+    killed_merge.add(k, killed.merge_s, killed.note);
+    remerge.add(k, killed.merge_s < 0 ? -1.0 : killed.remerge_s, killed.note);
+    detection.add(k, killed.merge_s < 0 ? -1.0 : killed.detect_s, killed.note);
+
+    all_killed_complete =
+        all_killed_complete && clean.merge_s >= 0 && killed.merge_s >= 0;
+    identical_to_clean =
+        identical_to_clean &&
+        class_sizes(clean.result) == class_sizes(killed.result);
+    if (prev_remerge >= 0 && killed.remerge_s >= prev_remerge) {
+      remerge_shrinks = false;
+    }
+    prev_remerge = killed.remerge_s;
+    if (k == 64) k64_orphans = killed.orphans;
+
+    if (predictor.is_ok()) {
+      const auto predicted = predictor.value().predict_recovery(
+          tbon::TopologySpec::flat().with_shards(k), seconds(ping));
+      planner_orphans_agree = planner_orphans_agree && predicted.is_ok() &&
+                              predicted.value().orphan_leaves == killed.orphans;
+    } else {
+      planner_orphans_agree = false;
+    }
+  }
+  print_table("petascale-fe-shards",
+              {clean_merge, killed_merge, remerge, detection});
+
+  // --- Detection latency vs ping period (Atlas, Fig. 4 merge scale) ---------
+  Series ping_detect("detection");
+  Series ping_remerge("remerge");
+  bool detection_tracks_ping = true;
+  bool remerge_ping_free = true;
+  double prev_detect = -1.0, first_remerge = -1.0;
+  for (const double period : {0.05, 0.1, 0.2, 0.4}) {
+    const RecoveryPoint killed =
+        run_point(machine::atlas(), 4096, stat::LauncherKind::kLaunchMon,
+                  16, 0.0, period);
+    ping_detect.add(period * 1000, killed.merge_s < 0 ? -1.0 : killed.detect_s,
+                    killed.note);
+    ping_remerge.add(period * 1000,
+                     killed.merge_s < 0 ? -1.0 : killed.remerge_s,
+                     killed.note);
+    detection_tracks_ping = detection_tracks_ping && killed.merge_s >= 0 &&
+                            killed.detect_s > prev_detect &&
+                            killed.detect_s <= 2.0 * period;
+    prev_detect = killed.detect_s;
+    if (first_remerge < 0) {
+      first_remerge = killed.remerge_s;
+    } else {
+      remerge_ping_free = remerge_ping_free &&
+                          killed.remerge_s == first_remerge;
+    }
+  }
+  print_table("atlas-ping-period-ms", {ping_detect, ping_remerge});
+
+  anchor("orphaned daemons, petascale K=64 (2,048 daemons / 64 shards)",
+         "32", std::to_string(k64_orphans));
+  anchor("detection at 0.1s ping (<= period + sweep round trip)",
+         "<=~0.1s", std::to_string(detection.y.back()) + "s");
+
+  shape_check(
+      "one reducer killed at merge start: every K in {8,16,32,64} still "
+      "completes",
+      all_killed_complete);
+  shape_check(
+      "recovered diagnosis bit-identical to the clean run (classes) at "
+      "every K",
+      identical_to_clean);
+  shape_check(
+      "re-merge scales with the lost subtree, not the job: remerge shrinks "
+      "monotonically K=8 -> K=64",
+      remerge_shrinks);
+  shape_check(
+      "detection latency tracks the ping period (and stays under two "
+      "periods); the re-merge half is ping-independent",
+      detection_tracks_ping && remerge_ping_free);
+  shape_check(
+      "planner prices the same failure: predict_recovery's orphan count "
+      "matches the simulated kill at every K",
+      planner_orphans_agree);
+  return bench::finish(argc, argv);
+}

@@ -1,5 +1,7 @@
 #include "app/appmodel.hpp"
 
+#include <algorithm>
+
 namespace petastat::app {
 
 namespace {
@@ -214,6 +216,72 @@ CallPath ImbalanceApp::stack(TaskId task, std::uint32_t thread,
   }
   // Everyone else finished its subdomain and is idle in the phase barrier,
   // churning the progress engine at a sample-varying depth.
+  path.push_back(f_barrier_);
+  path.push_back(f_progress_wait_);
+  path.push_back(f_pollfcn_);
+  const std::uint32_t spins = static_cast<std::uint32_t>(rng.next_below(2));
+  for (std::uint32_t i = 0; i < spins; ++i) path.push_back(f_advance_);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// OomCascadeApp
+
+OomCascadeApp::OomCascadeApp(OomCascadeOptions options)
+    : options_(std::move(options)) {
+  check(options_.num_tasks >= 2, "OomCascadeApp needs at least 2 tasks");
+  check(options_.neighbour_radius >= 1, "neighbour_radius must be >= 1");
+  if (!options_.victim_task.valid()) {
+    options_.victim_task = TaskId(options_.num_tasks / 2);
+  }
+  check(options_.victim_task.value() < options_.num_tasks,
+        "OomCascadeApp victim_task out of range");
+  f_start_ = frames_.intern(options_.bgl_frames ? "_start_blrts" : "_start");
+  f_main_ = frames_.intern("main");
+  f_fill_ = frames_.intern("fill_halo_buffers");
+  f_malloc_ = frames_.intern("malloc");
+  f_morecore_ = frames_.intern("sYSMALLOc");
+  f_sbrk_ = frames_.intern("sbrk");
+  f_exchange_ = frames_.intern("exchange_halo");
+  f_peer_wait_ = frames_.intern("MPID_Recv_peer_wait");
+  f_retransmit_ = frames_.intern("BGLML_retransmit");
+  f_barrier_ = frames_.intern("PMPI_Barrier");
+  f_progress_wait_ = frames_.intern("MPID_Progress_wait");
+  f_pollfcn_ = frames_.intern("BGLML_pollfcn");
+  f_advance_ = frames_.intern("BGLML_Messager_advance");
+}
+
+CallPath OomCascadeApp::stack(TaskId task, std::uint32_t thread,
+                              std::uint32_t sample) const {
+  check(task.value() < options_.num_tasks, "OomCascadeApp::stack out of range");
+  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+
+  CallPath path{f_start_, f_main_};
+  if (task == options_.victim_task) {
+    // The allocation spiral: one morecore level deeper per sample until the
+    // node dies. (The daemon is dead past kill_sample; if a planner probe
+    // still asks, it sees the terminal spiral.)
+    path.push_back(f_fill_);
+    path.push_back(f_malloc_);
+    const std::uint32_t depth =
+        1 + std::min(sample, options_.kill_sample);
+    for (std::uint32_t i = 0; i < depth; ++i) path.push_back(f_morecore_);
+    path.push_back(f_sbrk_);
+    return path;
+  }
+  if (is_neighbour(task) && sample >= cascade_onset(task)) {
+    // Inherited traffic: the victim's messages re-route here once the
+    // cascade front reaches this rank; the retransmit depth is a stable
+    // per-rank signature, the leaf varies sample to sample.
+    path.push_back(f_exchange_);
+    path.push_back(f_peer_wait_);
+    const std::uint32_t depth = 1 + distance_to_victim(task) % 3;
+    for (std::uint32_t i = 0; i < depth; ++i) path.push_back(f_retransmit_);
+    path.push_back(rng.bernoulli(0.5) ? f_pollfcn_ : f_advance_);
+    return path;
+  }
+  // Everyone else (and not-yet-reached neighbours) idles in the phase
+  // barrier, churning the progress engine at a sample-varying depth.
   path.push_back(f_barrier_);
   path.push_back(f_progress_wait_);
   path.push_back(f_pollfcn_);

@@ -215,6 +215,72 @@ class ImbalanceApp : public AppModel {
   FrameId f_barrier_, f_progress_wait_, f_pollfcn_, f_advance_;
 };
 
+struct OomCascadeOptions {
+  std::uint32_t num_tasks = 1024;
+  /// "_start_blrts" on BG/L, "_start" elsewhere.
+  bool bgl_frames = true;
+  /// Rank whose allocation spiral kills its node. Defaults (when invalid)
+  /// to the middle rank.
+  TaskId victim_task = TaskId::invalid();
+  /// Sample index at which the victim's node dies.
+  std::uint32_t kill_sample = 4;
+  /// Ranks within this distance of the victim inherit its traffic.
+  std::uint32_t neighbour_radius = 8;
+  std::uint64_t seed = 2008;
+  AppBinarySpec binaries;
+};
+
+/// OOM-cascade hang (the paper's mid-run node-death pathology): one task's
+/// allocation spiral — a malloc/morecore chain deepening sample by sample —
+/// kills its node at kill_sample. The dead rank's communication partners
+/// inherit its traffic: nearest neighbours first, then outward, each flipping
+/// from normal compute into a peer-loss/retransmit signature at a
+/// distance-dependent onset sample, so the class structure *cascades over
+/// time* (the 3D tree's time dimension). Everyone else idles in the phase
+/// barrier. The scenario kills the victim's daemon mid-run, making this the
+/// end-to-end driver for the failure-recovery subsystem.
+class OomCascadeApp : public AppModel {
+ public:
+  explicit OomCascadeApp(OomCascadeOptions options);
+
+  [[nodiscard]] std::uint32_t num_tasks() const override {
+    return options_.num_tasks;
+  }
+  [[nodiscard]] CallPath stack(TaskId task, std::uint32_t thread,
+                               std::uint32_t sample) const override;
+  [[nodiscard]] const AppBinarySpec& binaries() const override {
+    return options_.binaries;
+  }
+
+  [[nodiscard]] TaskId victim_task() const { return options_.victim_task; }
+  [[nodiscard]] std::uint32_t kill_sample() const {
+    return options_.kill_sample;
+  }
+  [[nodiscard]] bool is_neighbour(TaskId task) const {
+    return task != options_.victim_task &&
+           distance_to_victim(task) <= options_.neighbour_radius;
+  }
+  /// First sample at which a neighbour shows the inherited-traffic
+  /// signature: the cascade spreads outward about two ranks per sample.
+  [[nodiscard]] std::uint32_t cascade_onset(TaskId task) const {
+    return options_.kill_sample + (distance_to_victim(task) + 1) / 2;
+  }
+
+ private:
+  [[nodiscard]] std::uint32_t distance_to_victim(TaskId task) const {
+    const std::uint32_t t = task.value();
+    const std::uint32_t v = options_.victim_task.value();
+    return t > v ? t - v : v - t;
+  }
+
+  OomCascadeOptions options_;
+  // Pre-interned frames (stack() stays read-only for parallel samplers).
+  FrameId f_start_, f_main_;
+  FrameId f_fill_, f_malloc_, f_morecore_, f_sbrk_;
+  FrameId f_exchange_, f_peer_wait_, f_retransmit_;
+  FrameId f_barrier_, f_progress_wait_, f_pollfcn_, f_advance_;
+};
+
 struct StatBenchOptions {
   std::uint32_t num_tasks = 4096;
   std::uint32_t num_classes = 32;   // distinct behaviour classes

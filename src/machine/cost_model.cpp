@@ -142,4 +142,24 @@ SimTime sharded_remap_cost(const MergeCosts& costs,
   return frontend_remap_cost(costs, largest_slice_tasks);
 }
 
+SimTime expected_detection_latency(SimTime ping_period,
+                                   SimTime sweep_round_trip) {
+  return ping_period / 2 + sweep_round_trip;
+}
+
+SimTime subtree_remerge_cost(const MergeCosts& costs,
+                             std::uint32_t orphan_leaves,
+                             std::uint32_t adopters,
+                             std::uint64_t leaf_tree_nodes,
+                             std::uint64_t leaf_payload_bytes) {
+  if (orphan_leaves == 0) return 0;
+  check(adopters >= 1, "subtree_remerge_cost needs at least one adopter");
+  const std::uint64_t busiest = (orphan_leaves + adopters - 1) / adopters;
+  // Each orphan leaf re-packs in parallel (one codec), then the busiest
+  // adopter folds its share serially.
+  return packet_codec_cost(costs, leaf_payload_bytes) +
+         busiest *
+             shard_combine_cost(costs, leaf_tree_nodes, leaf_payload_bytes);
+}
+
 }  // namespace petastat::machine

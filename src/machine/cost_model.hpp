@@ -216,4 +216,28 @@ struct CostModel {
 [[nodiscard]] SimTime sharded_remap_cost(const MergeCosts& costs,
                                          std::uint64_t largest_slice_tasks);
 
+// --- Failure recovery ------------------------------------------------------
+//
+// Mid-merge recovery (tbon::HealthMonitor + Reduction::recover) is priced
+// through the same per-piece formulas as the live merge, so plan:: can
+// predict what a reducer death costs without a private model.
+
+/// Expected latency from a proc's death to its detection by the periodic
+/// ping sweep: on average half a period passes before the next sweep leaves
+/// the front end, then one fan-out + echo-gather round trip completes before
+/// the missing echo is noticed.
+[[nodiscard]] SimTime expected_detection_latency(SimTime ping_period,
+                                                 SimTime sweep_round_trip);
+
+/// CPU critical path of re-merging a lost subtree of `orphan_leaves` leaf
+/// payloads folded into `adopters` surviving procs: the busiest adopter
+/// unpacks and merges its ceil(orphans/adopters) arrivals serially, exactly
+/// as the live merge would have (shard_combine_cost per arrival). Scales
+/// with the lost subtree, never with the job.
+[[nodiscard]] SimTime subtree_remerge_cost(const MergeCosts& costs,
+                                           std::uint32_t orphan_leaves,
+                                           std::uint32_t adopters,
+                                           std::uint64_t leaf_tree_nodes,
+                                           std::uint64_t leaf_payload_bytes);
+
 }  // namespace petastat::machine

@@ -8,6 +8,7 @@
 #include "stat/filter.hpp"
 #include "stat/hier_taskset.hpp"
 #include "stat/prefix_tree.hpp"
+#include "tbon/health.hpp"
 
 namespace petastat::plan {
 
@@ -418,6 +419,80 @@ Result<PhasePrediction> PhasePredictor::predict(
     }
   }
   return p;
+}
+
+Result<RecoveryPrediction> PhasePredictor::predict_recovery(
+    const tbon::TopologySpec& spec, SimTime ping_period) const {
+  auto topo_result = tbon::build_topology(machine_, layout_, spec);
+  if (!topo_result.is_ok()) return topo_result.status();
+  const tbon::TbonTopology& topo = topo_result.value();
+  const std::uint32_t victim = tbon::default_victim(topo);
+
+  RecoveryPrediction r;
+
+  // One ping round trip: fan-out level by level (worst link latency plus the
+  // busiest parent's serialized ping sends), echo gather symmetric.
+  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  std::vector<double> level_s(topo.depth, 0.0);
+  for (const auto& parent : topo.procs) {
+    if (parent.children.empty()) continue;
+    double worst_link_s = 0.0;
+    double nic_s = 0.0;
+    for (const std::uint32_t c : parent.children) {
+      worst_link_s = std::max(
+          worst_link_s,
+          to_seconds(
+              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
+              msg_overhead_s);
+      nic_s += static_cast<double>(tbon::HealthMonitor::kPingBytes) /
+               net::transfer_rate(net_, parent.host, topo.procs[c].host);
+    }
+    level_s[parent.level] = std::max(level_s[parent.level], worst_link_s + nic_s);
+  }
+  double round_trip_s = 0.0;
+  for (const double s : level_s) round_trip_s += 2.0 * s;
+  r.detection = machine::expected_detection_latency(ping_period,
+                                                    seconds(round_trip_s));
+
+  // The lost subtree: alive leaves under the victim re-send into the
+  // victim's surviving non-leaf siblings (or straight into the parent).
+  std::uint32_t orphans = 0;
+  for (const std::uint32_t leaf : topo.leaf_of_daemon) {
+    std::int32_t walk = static_cast<std::int32_t>(leaf);
+    while (walk >= 0 && static_cast<std::uint32_t>(walk) != victim) {
+      walk = topo.procs[static_cast<std::uint32_t>(walk)].parent;
+    }
+    if (walk >= 0 && static_cast<std::uint32_t>(walk) == victim) ++orphans;
+  }
+  if (topo.procs[victim].is_leaf()) orphans = 0;  // the leaf itself is lost
+  std::uint32_t adopters = 0;
+  if (topo.procs[victim].parent >= 0) {
+    const auto& parent =
+        topo.procs[static_cast<std::uint32_t>(topo.procs[victim].parent)];
+    for (const std::uint32_t sibling : parent.children) {
+      if (sibling != victim && !topo.procs[sibling].is_leaf()) ++adopters;
+    }
+  }
+  if (adopters == 0) adopters = 1;  // the parent absorbs the orphans itself
+  r.orphan_leaves = orphans;
+  r.adopters = adopters;
+
+  const auto leaf_bytes =
+      static_cast<std::uint64_t>(profile_.leaf_payload_bytes);
+  r.remerge = machine::subtree_remerge_cost(
+      costs_.merge, orphans, adopters,
+      static_cast<std::uint64_t>(profile_.leaf_tree_nodes), leaf_bytes);
+  if (orphans > 0) {
+    // The busiest adopter's NIC also drains its share of the re-sent
+    // payloads (the CPU formula covers codec+merge only).
+    const std::uint64_t busiest = (orphans + adopters - 1) / adopters;
+    const double nic_s =
+        static_cast<double>(busiest) * static_cast<double>(leaf_bytes) /
+        net::transfer_rate(net_, topo.procs[topo.leaf_of_daemon[0]].host,
+                           topo.front_end().host);
+    r.remerge += seconds(nic_s);
+  }
+  return r;
 }
 
 }  // namespace petastat::plan

@@ -93,6 +93,18 @@ struct PhasePrediction {
   }
 };
 
+/// Predicted cost of one mid-merge proc death under the ping-sweep monitor
+/// (tbon::HealthMonitor + Reduction::recover), priced through the shared
+/// machine/cost_model recovery formulas.
+struct RecoveryPrediction {
+  SimTime detection = 0;  // death -> the sweep's missing echo is noticed
+  SimTime remerge = 0;    // folding the lost subtree into the adopters
+  std::uint32_t orphan_leaves = 0;
+  std::uint32_t adopters = 0;
+
+  [[nodiscard]] SimTime total() const { return detection + remerge; }
+};
+
 class PhasePredictor {
  public:
   /// Fails when the job does not fit the machine.
@@ -105,6 +117,14 @@ class PhasePredictor {
   /// predicted to die at runtime comes back OK with a non-OK `viability`.
   [[nodiscard]] Result<PhasePrediction> predict(
       const tbon::TopologySpec& spec) const;
+
+  /// Prices losing tbon::default_victim(spec's tree) mid-merge: detection by
+  /// a ping sweep of `ping_period`, then the lost subtree's re-merge into
+  /// the victim's surviving siblings. The re-merge scales with the orphaned
+  /// subtree (daemons / fe_shards when sharded), never with the job — the
+  /// recovery counterpart of the merge prediction.
+  [[nodiscard]] Result<RecoveryPrediction> predict_recovery(
+      const tbon::TopologySpec& spec, SimTime ping_period) const;
 
   [[nodiscard]] const machine::MachineConfig& machine() const {
     return machine_;

@@ -31,6 +31,17 @@ Result<double> parse_fraction(std::string_view flag, std::string_view text) {
   }
 }
 
+Result<double> parse_seconds(std::string_view flag, std::string_view text) {
+  try {
+    const double v = std::stod(std::string(text));
+    if (v < 0.0) return bad(std::string(flag) + " must be >= 0 seconds");
+    return v;
+  } catch (const std::exception&) {
+    return bad(std::string(flag) + " expects seconds, got '" +
+               std::string(text) + "'");
+  }
+}
+
 }  // namespace
 
 std::string cli_usage() {
@@ -61,9 +72,15 @@ std::string cli_usage() {
       "  --fs nfs|lustre                 shared file system\n"
       "  --sbrs                          relocate binaries to RAM disks\n"
       "  --slim-binaries                 post-OS-update library layout\n"
-      "  --app ring|threaded|statbench|iostall|imbalance\n"
-      "                                  target application model\n"
+      "  --app ring|threaded|statbench|iostall|imbalance|oomcascade\n"
+      "                                  target application model (oomcascade\n"
+      "                                  also kills the victim rank's daemon)\n"
       "  --fail-fraction F               daemon failure probability\n"
+      "  --fail-at S                     kill one merge proc S seconds into\n"
+      "                                  the merge; the health monitor detects\n"
+      "                                  it and re-merges the lost subtree\n"
+      "  --ping-period S                 health-monitor ping-sweep period\n"
+      "                                  (default 0.25; must be > 0)\n"
       "  --seed N                        run seed (default 2008)\n"
       "  --exec-threads N                execution-engine worker threads\n"
       "                                  (default 1 = serial; results are\n"
@@ -233,6 +250,8 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         config.options.app = AppKind::kIoStall;
       } else if (value.value() == "imbalance") {
         config.options.app = AppKind::kImbalance;
+      } else if (value.value() == "oomcascade") {
+        config.options.app = AppKind::kOomCascade;
       } else {
         return bad("unknown app '" + std::string(value.value()) + "'");
       }
@@ -242,6 +261,19 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
       auto f = parse_fraction(flag, value.value());
       if (!f.is_ok()) return f.status();
       config.options.daemon_failure_probability = f.value();
+    } else if (flag == "--fail-at") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto s = parse_seconds(flag, value.value());
+      if (!s.is_ok()) return s.status();
+      config.options.fail_at_seconds = s.value();
+    } else if (flag == "--ping-period") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      auto s = parse_seconds(flag, value.value());
+      if (!s.is_ok()) return s.status();
+      if (s.value() <= 0.0) return bad("--ping-period must be > 0");
+      config.options.ping_period_seconds = s.value();
     } else if (flag == "--seed") {
       auto value = next();
       if (!value.is_ok()) return value.status();

@@ -47,6 +47,17 @@ std::string render_text_report(const StatRunResult& result,
          format_duration(p.remap_time) + " remap), " +
          format_bytes(p.merge_bytes) + " over " +
          std::to_string(p.merge_messages) + " messages\n";
+  if (p.killed_procs > 0) {
+    out += "  recovery:  " + std::to_string(p.killed_procs) +
+           " proc(s) killed mid-merge, detected in " +
+           format_duration(p.failure_detect_latency) + ", re-merged " +
+           std::to_string(p.orphaned_daemons) + " daemon(s) in " +
+           format_duration(p.recovery_remerge_time);
+    if (p.lost_daemons > 0) {
+      out += " (" + std::to_string(p.lost_daemons) + " lost)";
+    }
+    out += "\n";
+  }
   out += "  leaf payload: " + format_bytes(p.leaf_payload_bytes) + "\n";
 
   out += "equivalence classes (" + std::to_string(result.classes.size()) + "):\n";
@@ -132,7 +143,15 @@ std::string render_json_report(const StatRunResult& result,
   out += "    \"remap_s\": " + seconds_field(p.remap_time) + ",\n";
   out += "    \"sbrs_relocation_s\": " + seconds_field(p.sbrs_relocation) + ",\n";
   out += "    \"merge_bytes\": " + std::to_string(p.merge_bytes) + ",\n";
-  out += "    \"failed_daemons\": " + std::to_string(p.failed_daemons) + "\n";
+  out += "    \"failed_daemons\": " + std::to_string(p.failed_daemons) + ",\n";
+  out += "    \"killed_procs\": " + std::to_string(p.killed_procs) + ",\n";
+  out += "    \"orphaned_daemons\": " + std::to_string(p.orphaned_daemons) +
+         ",\n";
+  out += "    \"lost_daemons\": " + std::to_string(p.lost_daemons) + ",\n";
+  out += "    \"failure_detect_s\": " + seconds_field(p.failure_detect_latency) +
+         ",\n";
+  out += "    \"recovery_remerge_s\": " +
+         seconds_field(p.recovery_remerge_time) + "\n";
   out += "  },\n";
   out += "  \"classes\": [\n";
   for (std::size_t i = 0; i < result.classes.size(); ++i) {

@@ -4,7 +4,9 @@
 
 #include "plan/search.hpp"
 #include "stat/filter.hpp"
+#include "tbon/health.hpp"
 #include "tbon/reduction.hpp"
+#include "tbon/trigger.hpp"
 
 namespace petastat::stat {
 
@@ -80,6 +82,14 @@ std::unique_ptr<app::AppModel> make_app_model(
       imbalance.binaries = std::move(binaries);
       return std::make_unique<app::ImbalanceApp>(std::move(imbalance));
     }
+    case AppKind::kOomCascade: {
+      app::OomCascadeOptions oom;
+      oom.num_tasks = job.num_tasks;
+      oom.bgl_frames = bgl_style;
+      oom.seed = options.seed;
+      oom.binaries = std::move(binaries);
+      return std::make_unique<app::OomCascadeApp>(std::move(oom));
+    }
   }
   check(false, "unknown AppKind");
   return nullptr;
@@ -120,6 +130,13 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   } else if (options_.fe_shards == 0 && !options_.fe_shards_auto) {
     config_status_ =
         invalid_argument("fe_shards must be >= 1 (1 = unsharded front end)");
+  } else if (options_.daemon_failure_probability < 0.0 ||
+             options_.daemon_failure_probability > 1.0) {
+    config_status_ = invalid_argument(
+        "daemon_failure_probability must be in [0, 1]");
+  } else if (options_.ping_period_seconds <= 0.0) {
+    config_status_ =
+        invalid_argument("ping_period_seconds must be > 0");
   }
 
   // The per-run connection override *is* the machine's ceiling for this run:
@@ -321,7 +338,12 @@ StatRunResult StatScenario::run() {
 
   // Failure injection: decide casualties up front (dead before sampling).
   std::vector<bool> daemon_dead(num_daemons, false);
-  if (options_.daemon_failure_probability > 0.0) {
+  if (options_.daemon_failure_probability >= 1.0) {
+    // Certain death is certain: no RNG draw, so every seed reports the same
+    // total loss.
+    std::fill(daemon_dead.begin(), daemon_dead.end(), true);
+    phases.failed_daemons = num_daemons;
+  } else if (options_.daemon_failure_probability > 0.0) {
     Rng failure_rng(options_.seed, /*stream_id=*/0xdead);
     for (std::uint32_t d = 0; d < num_daemons; ++d) {
       if (failure_rng.bernoulli(options_.daemon_failure_probability)) {
@@ -329,12 +351,35 @@ StatRunResult StatScenario::run() {
         ++phases.failed_daemons;
       }
     }
-    // A tool with zero surviving daemons has nothing to merge.
-    if (phases.failed_daemons == num_daemons) {
-      phases.sample_status = unavailable("all daemons failed");
-      result.status = phases.sample_status;
-      return result;
+  }
+  // The OOM cascade kills its victim's compute node outright: the daemon
+  // serving the first-killed rank is gone before sampling starts (the tool
+  // sees the hole, not the OOM).
+  if (options_.app == AppKind::kOomCascade) {
+    const auto& oom = dynamic_cast<const app::OomCascadeApp&>(*app_);
+    const std::uint32_t victim_rank = oom.victim_task().value();
+    bool found = false;
+    for (std::uint32_t d = 0; d < num_daemons && !found; ++d) {
+      const std::uint32_t locals = layout_.tasks_of(DaemonId(d));
+      for (std::uint32_t local = 0; local < locals && !found; ++local) {
+        if (task_map.global_rank(d, local) != victim_rank) continue;
+        found = true;
+        if (!daemon_dead[d]) {
+          daemon_dead[d] = true;
+          ++phases.failed_daemons;
+        }
+      }
     }
+    check(found, "OOM-cascade victim rank not in the task map");
+  }
+  for (std::uint32_t d = 0; d < num_daemons; ++d) {
+    if (daemon_dead[d]) result.dead_daemons.push_back(d);
+  }
+  // A tool with zero surviving daemons has nothing to merge.
+  if (phases.failed_daemons == num_daemons) {
+    phases.sample_status = unavailable("all daemons failed");
+    result.status = phases.sample_status;
+    return result;
   }
 
   SimTime sample_end = sample_start;
@@ -373,10 +418,14 @@ StatRunResult StatScenario::run() {
   // --- Phase 3: merge ------------------------------------------------------------
   // Front-end viability checks (Sec. V-A failures): one shared formulation
   // with the planner, `> limit` rejects.
+  // Dead daemons never dial in, so viability is judged on the survivors —
+  // a tree that would overflow the front end at full strength can be fine
+  // after casualties, and the planner's mask overload agrees.
   const std::uint32_t conn_limit =
       options_.max_frontend_connections.value_or(
           machine_.max_tool_connections);
-  if (Status conn = tbon::connection_viability(topology, conn_limit);
+  if (Status conn =
+          tbon::connection_viability(topology, conn_limit, daemon_dead);
       !conn.is_ok()) {
     phases.merge_status = std::move(conn);
     result.status = phases.merge_status;
@@ -385,10 +434,10 @@ StatRunResult StatScenario::run() {
 
   if (dense) {
     run_merge_phase<GlobalLabel>(topology, result, std::move(dense_payloads),
-                                 task_map);
+                                 task_map, daemon_dead);
   } else {
     run_merge_phase<HierLabel>(topology, result, std::move(hier_payloads),
-                               task_map);
+                               task_map, daemon_dead);
   }
   if (!phases.merge_status.is_ok()) {
     result.status = phases.merge_status;
@@ -403,18 +452,25 @@ template <typename Label>
 void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
                                    StatRunResult& result,
                                    std::vector<StatPayload<Label>> payloads,
-                                   const TaskMap& task_map) {
+                                   const TaskMap& task_map,
+                                   const std::vector<bool>& daemon_dead) {
   PhaseBreakdown& phases = result.phases;
   const LabelContext ctx{layout_.num_tasks};
   const app::FrameTable& frames = app_->frames();
 
-  phases.leaf_payload_bytes = payload_wire_bytes(payloads.front(), frames, ctx);
+  std::uint32_t first_alive = 0;
+  while (first_alive < daemon_dead.size() && daemon_dead[first_alive]) {
+    ++first_alive;
+  }
+  check(first_alive < payloads.size(), "merge phase with every daemon dead");
+  phases.leaf_payload_bytes =
+      payload_wire_bytes(payloads[first_alive], frames, ctx);
 
   // Receive-buffer viability: the sum of the leaf payloads arriving at the
   // front end — and at each reducer, which takes over the front end's role
   // for its shard — must fit (streaming helps internal comm procs, but the
   // merge root of a flat subtree holds every daemon's full-job bit vectors
-  // at once).
+  // at once). Dead daemons send nothing.
   std::vector<std::uint32_t> merge_roots{0};
   merge_roots.insert(merge_roots.end(), topology.reducers.begin(),
                      topology.reducers.end());
@@ -422,7 +478,7 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
     std::uint64_t incoming = 0;
     for (const std::uint32_t child : topology.procs[root].children) {
       const auto& proc = topology.procs[child];
-      if (proc.is_leaf()) {
+      if (proc.is_leaf() && !daemon_dead[proc.daemon.value()]) {
         incoming +=
             payload_wire_bytes(payloads[proc.daemon.value()], frames, ctx);
       }
@@ -440,29 +496,79 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   tbon::Reduction<StatPayload<Label>> reduction(
       sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx),
       &exec_);
+  reduction.set_dead_daemons(daemon_dead);
+
+  // Mid-merge failure recovery: the monitor's ping sweep runs only while a
+  // kill is armed (the tool's steady-state costs stay exactly as before),
+  // and leaf payload retention — the recovery's raw material — likewise.
+  const bool kill_armed = options_.fail_at_seconds >= 0.0;
+  reduction.set_retain_payloads(kill_armed);
+  tbon::TriggerManager triggers;
+  tbon::HealthMonitor monitor(sim_, *net_, topology, triggers,
+                              seconds(options_.ping_period_seconds));
+  SimTime victim_detected_at = kSimTimeNever;
+  if (kill_armed) {
+    const std::uint32_t victim = tbon::default_victim(topology);
+    triggers.register_action([&](const tbon::FailureEvent& event) {
+      phases.failure_detect_latency = event.detected_at - event.dead_at;
+      victim_detected_at = event.detected_at;
+      const tbon::RecoveryReport report = reduction.recover(event.proc);
+      if (report.acted) {
+        phases.orphaned_daemons += report.orphan_daemons;
+        phases.lost_daemons += report.lost_daemons;
+      }
+    });
+    monitor.start();
+    sim_.schedule_in(seconds(options_.fail_at_seconds), [&, victim]() {
+      reduction.mark_dead(victim);
+      monitor.mark_dead(victim, sim_.now());
+      ++phases.killed_procs;
+    });
+  }
 
   std::optional<StatPayload<Label>> merged;
+  SimTime merge_done_at = merge_start;
   reduction.start(std::move(payloads),
                   [&](tbon::ReduceResult<StatPayload<Label>> reduce_result) {
                     merged = std::move(reduce_result.payload);
+                    merge_done_at = reduce_result.finished_at;
                     phases.merge_bytes = reduce_result.bytes_moved;
                     phases.merge_messages = reduce_result.messages;
+                    monitor.stop();
                   });
   sim_.run();
-  check(merged.has_value(), "reduction did not complete");
-  phases.merge_time = sim_.now() - merge_start;
+  phases.health_sweeps = monitor.sweeps_completed();
+  if (!merged.has_value()) {
+    // The victim died holding state the recovery could not rebuild (or died
+    // where no sibling could adopt). The tool reports the stall instead of
+    // spinning on a reduction that can never finish.
+    phases.merge_status = unavailable(
+        "merge stalled: a tool process died mid-merge and could not be "
+        "recovered");
+    return;
+  }
+  phases.merge_time = merge_done_at - merge_start;
+  if (victim_detected_at != kSimTimeNever && merge_done_at > victim_detected_at) {
+    phases.recovery_remerge_time = merge_done_at - victim_detected_at;
+  }
 
   // Finalization: the optimized representation pays the remap from daemon
   // order to MPI rank order (0.66 s at 208K tasks). With a sharded front
   // end the reducers remap their contiguous slices concurrently, so the
-  // phase costs the largest slice instead of the whole job.
+  // phase costs the largest slice instead of the whole job. Either way the
+  // remap only touches ranks that reported — survivors, not the full job.
   if constexpr (std::is_same_v<Label, HierLabel>) {
     if (topology.sharded()) {
       phases.remap_time = machine::sharded_remap_cost(
-          costs_.merge, tbon::largest_shard_task_count(topology, layout_));
+          costs_.merge,
+          tbon::largest_shard_task_count(topology, layout_, daemon_dead));
     } else {
+      std::uint64_t surviving_tasks = 0;
+      for (std::uint32_t d = 0; d < layout_.num_daemons; ++d) {
+        if (!daemon_dead[d]) surviving_tasks += layout_.tasks_of(DaemonId(d));
+      }
       phases.remap_time =
-          machine::frontend_remap_cost(costs_.merge, layout_.num_tasks);
+          machine::frontend_remap_cost(costs_.merge, surviving_tasks);
     }
     sim_.schedule_in(phases.remap_time, []() {});
     // The two trees remap independently; overlap them across workers while

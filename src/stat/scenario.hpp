@@ -57,7 +57,14 @@ enum class TaskSetRepr {
 [[nodiscard]] const char* task_set_repr_name(TaskSetRepr repr);
 
 enum class SharedFsKind { kNfs, kLustre };
-enum class AppKind { kRingHang, kThreadedRing, kStatBench, kIoStall, kImbalance };
+enum class AppKind {
+  kRingHang,
+  kThreadedRing,
+  kStatBench,
+  kIoStall,
+  kImbalance,
+  kOomCascade,
+};
 
 /// How far the pipeline runs (startup benches skip sampling/merge).
 enum class RunThrough { kStartup, kSampling, kFull };
@@ -105,6 +112,15 @@ struct StatOptions {
   /// daemons contribute nothing; STAT proceeds and reports coverage, the
   /// operational behaviour the LLNL deployment needed.
   double daemon_failure_probability = 0.0;
+  /// Mid-merge failure injection: this many (virtual) seconds after the
+  /// merge phase starts, kill tbon::default_victim(topology) — a reducer
+  /// when sharded, else an internal comm process. The health monitor's ping
+  /// sweep detects the death and Reduction::recover folds the orphaned
+  /// subtree into the victim's siblings. Negative = disabled.
+  double fail_at_seconds = -1.0;
+  /// Ping-sweep period of the TBON health monitor (only running while
+  /// `fail_at_seconds` is armed). Must be > 0.
+  double ping_period_seconds = 0.25;
   std::uint64_t seed = 2008;
   /// Worker threads for the execution engine (sampling synthesis, TBON
   /// merges, front-end remap). 0 or 1 = serial. Results are bit-identical
@@ -147,6 +163,15 @@ struct PhaseBreakdown {
   std::uint64_t merge_bytes = 0;
   std::uint64_t merge_messages = 0;
   std::uint64_t leaf_payload_bytes = 0;  // one daemon's serialized trees
+
+  // Mid-merge failure recovery (fail_at_seconds armed). merge_bytes then
+  // also counts the monitor's ping traffic.
+  std::uint32_t killed_procs = 0;      // mid-merge kills injected
+  std::uint32_t orphaned_daemons = 0;  // daemons re-merged via adopters
+  std::uint32_t lost_daemons = 0;      // daemons unrecoverable (dead/no copy)
+  std::uint32_t health_sweeps = 0;     // completed monitor ping sweeps
+  SimTime failure_detect_latency = 0;  // death -> sweep notices the silence
+  SimTime recovery_remerge_time = 0;   // detection -> merge completion
 };
 
 struct StatRunResult {
@@ -159,6 +184,10 @@ struct StatRunResult {
   std::vector<EquivalenceClass> classes;  // from the 3D tree
   machine::DaemonLayout layout;
   std::uint32_t num_comm_procs = 0;
+  /// Daemons dead before sampling (pre-sampling injection + the OOM-cascade
+  /// victim), ascending. Mid-merge kills hit comm procs, not daemons, and
+  /// are not listed here.
+  std::vector<std::uint32_t> dead_daemons;
 };
 
 class StatScenario {
@@ -185,7 +214,8 @@ class StatScenario {
   template <typename Label>
   void run_merge_phase(const tbon::TbonTopology& topology, StatRunResult& result,
                        std::vector<StatPayload<Label>> payloads,
-                       const TaskMap& task_map);
+                       const TaskMap& task_map,
+                       const std::vector<bool>& daemon_dead);
 
   machine::MachineConfig machine_;
   machine::JobConfig job_;

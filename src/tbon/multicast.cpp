@@ -37,11 +37,16 @@ void multicast(sim::Simulator& simulator, net::Network& network,
                const TbonTopology& topology, std::uint64_t bytes,
                std::function<void(SimTime)> done) {
   auto state = std::make_shared<McastState>();
-  state->remaining_leaves =
-      static_cast<std::uint32_t>(topology.leaf_of_daemon.size());
+  // Count leaf *procs*, not daemons: a leaf serving several daemons appears
+  // once in the fan-out but several times in leaf_of_daemon, and the
+  // completion callback would wait for decrements that never come.
+  for (const auto& proc : topology.procs) {
+    if (proc.is_leaf()) ++state->remaining_leaves;
+  }
   state->done = std::move(done);
   if (state->remaining_leaves == 0) {
-    simulator.schedule_in(0, [state]() { state->done(0); });
+    simulator.schedule_in(
+        0, [state, &simulator]() { state->done(simulator.now()); });
     return;
   }
   fan_out(simulator, network, topology, bytes, 0, state);

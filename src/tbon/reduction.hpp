@@ -22,6 +22,16 @@
 // workers; the forward event wait()s on the strand before reading the
 // accumulator. Timestamps, merge order, and therefore results are
 // bit-identical to a serial run.
+//
+// Failure model: mark_dead(proc) makes a proc drop every subsequent arrival
+// and never forward; recover(proc) — normally driven by a HealthMonitor
+// detection through the TriggerManager — folds the orphaned leaves under the
+// corpse into its nearest alive ancestor's surviving non-leaf children and
+// re-merges *only* the lost subtree from retained leaf payloads. Because the
+// prefix-tree merge is canonical (order-independent), the recovered result
+// is bit-identical to a run without the failure. All recovery timestamps are
+// fixed on the simulator thread, so the determinism contract holds at any
+// thread count.
 #pragma once
 
 #include <functional>
@@ -61,6 +71,20 @@ struct ReduceResult {
   std::uint64_t messages = 0;
 };
 
+/// What recover() did for one dead proc.
+struct RecoveryReport {
+  /// False when there was nothing to do: the proc had already forwarded its
+  /// payload (death after contribution is harmless) or it was the front end.
+  bool acted = false;
+  /// Daemons whose retained payloads were re-sent into adopters.
+  std::uint32_t orphan_daemons = 0;
+  /// Surviving procs the orphans were folded into.
+  std::uint32_t adopters = 0;
+  /// Daemons under the corpse whose data could not be recovered (their leaf
+  /// proc died too, or retention was off).
+  std::uint32_t lost_daemons = 0;
+};
+
 /// Runs one upstream reduction. Leaf payloads must be indexed by daemon id.
 /// `done` fires at the front end's completion time. `executor` may be null
 /// (serial); a parallel executor must outlive the reduction's completion.
@@ -76,18 +100,45 @@ class Reduction {
         ops_(std::move(ops)),
         executor_(executor) {}
 
+  /// Daemons flagged here never send and are excluded from every pending
+  /// count: a proc whose whole subtree is dead forwards nothing and its
+  /// parent does not wait for it. Call before start(). At least one daemon
+  /// must stay alive.
+  void set_dead_daemons(std::vector<bool> dead) {
+    dead_daemons_ = std::move(dead);
+  }
+
+  /// Keep a copy of every leaf payload so recover() can re-send orphaned
+  /// shards. Costs one copy of each payload up front — enable only when
+  /// failure injection is armed.
+  void set_retain_payloads(bool retain) { retain_ = retain; }
+
   void start(std::vector<Payload> leaf_payloads,
              std::function<void(ReduceResult<Payload>)> done) {
     check(leaf_payloads.size() == topo_.leaf_of_daemon.size(),
           "Reduction::start payload count != daemon count");
-    auto state = std::make_shared<State>();
+    if (dead_daemons_.empty()) {
+      dead_daemons_.assign(topo_.leaf_of_daemon.size(), false);
+    }
+    check(dead_daemons_.size() == topo_.leaf_of_daemon.size(),
+          "Reduction dead-daemon mask size != daemon count");
+    state_ = std::make_shared<State>();
+    auto& state = state_;
     state->done = std::move(done);
     state->bytes_at_start = net_.total_bytes_moved();
     state->messages_at_start = net_.total_messages();
     state->procs.resize(topo_.procs.size());
+    state->retained.resize(topo_.leaf_of_daemon.size());
+    mark_contributing(*state, 0);
+    check(state->procs[0].contributes,
+          "Reduction::start with every daemon dead");
     const bool threaded = executor_ != nullptr && executor_->parallel();
     for (std::size_t i = 0; i < topo_.procs.size(); ++i) {
-      state->procs[i].pending = topo_.procs[i].children.size();
+      std::size_t live_children = 0;
+      for (const std::uint32_t child : topo_.procs[i].children) {
+        if (state->procs[child].contributes) ++live_children;
+      }
+      state->procs[i].pending = live_children;
       state->procs[i].cpu_free_at = sim_.now();
       if (threaded && state->procs[i].pending > 0) {
         state->procs[i].strand =
@@ -98,8 +149,10 @@ class Reduction {
     // Leaves pack and send. Leaf packing happens on the daemon's core in
     // parallel across daemons.
     for (std::uint32_t d = 0; d < topo_.leaf_of_daemon.size(); ++d) {
+      if (dead_daemons_[d]) continue;
       const std::uint32_t leaf = topo_.leaf_of_daemon[d];
       Payload payload = std::move(leaf_payloads[d]);
+      if (retain_) state->retained[d] = std::make_shared<Payload>(payload);
       const std::uint64_t bytes = ops_.wire_bytes(payload);
       const SimTime packed_at = sim_.now() + ops_.codec_cost(bytes);
       sim_.schedule_at(packed_at,
@@ -110,23 +163,177 @@ class Reduction {
     }
   }
 
+  /// Marks a proc dead at the current virtual time: it drops every arrival
+  /// from now on and never forwards. Detection and re-routing are the health
+  /// monitor's and trigger manager's business.
+  void mark_dead(std::uint32_t proc_index) {
+    check(state_ != nullptr, "Reduction::mark_dead before start");
+    state_->procs[proc_index].dead = true;
+  }
+
+  /// Folds the subtree orphaned by a dead proc into its nearest alive
+  /// ancestor's surviving non-leaf children (the ancestor itself when it has
+  /// none) and re-sends the retained leaf payloads there. No-op when the
+  /// corpse already forwarded its payload — death after contribution costs
+  /// nothing. Idempotent per proc.
+  RecoveryReport recover(std::uint32_t proc_index) {
+    RecoveryReport report;
+    check(state_ != nullptr, "Reduction::recover before start");
+    State& st = *state_;
+    ProcState& corpse = st.procs[proc_index];
+    check(corpse.dead, "Reduction::recover on a live proc");
+    if (corpse.forwarded || corpse.recovered) return report;
+    if (topo_.procs[proc_index].parent < 0) return report;  // FE: no recovery
+    corpse.recovered = true;
+
+    // Nearest alive ancestor adopts; branch_child is its (dead) child on the
+    // path down to the corpse, which will never deliver.
+    std::uint32_t branch_child = proc_index;
+    auto grandparent = static_cast<std::uint32_t>(topo_.procs[proc_index].parent);
+    while (st.procs[grandparent].dead && topo_.procs[grandparent].parent >= 0) {
+      branch_child = grandparent;
+      grandparent = static_cast<std::uint32_t>(topo_.procs[grandparent].parent);
+    }
+    if (st.procs[grandparent].dead) return report;  // dead all the way up
+
+    report.acted = true;
+    ProcState& gs = st.procs[grandparent];
+    const ProcState& bs = st.procs[branch_child];
+    if (bs.contributes && !bs.forwarded) {
+      check(gs.pending > 0, "Reduction::recover ancestor not waiting");
+      --gs.pending;
+    }
+
+    // Sort the corpse's daemons into recoverable orphans and lost ones.
+    std::vector<std::uint32_t> orphans;
+    for (std::uint32_t d = 0; d < topo_.leaf_of_daemon.size(); ++d) {
+      if (dead_daemons_[d]) continue;
+      const std::uint32_t leaf = topo_.leaf_of_daemon[d];
+      if (!under(leaf, proc_index)) continue;
+      if (st.procs[leaf].dead || st.retained[d] == nullptr) {
+        ++report.lost_daemons;
+      } else {
+        orphans.push_back(d);
+      }
+    }
+
+    std::vector<std::uint32_t> adopters;
+    if (!orphans.empty()) {
+      for (const std::uint32_t child : topo_.procs[grandparent].children) {
+        if (child == branch_child) continue;
+        if (topo_.procs[child].is_leaf()) continue;
+        if (st.procs[child].dead) continue;
+        adopters.push_back(child);
+      }
+      if (adopters.empty()) adopters.push_back(grandparent);
+      report.adopters = static_cast<std::uint32_t>(adopters.size());
+
+      // Open the adopters up for the re-merged arrivals. An adopter that
+      // already forwarded (or never counted) will produce a supplement
+      // payload the ancestor is not yet waiting for.
+      std::vector<std::size_t> extra(adopters.size(), 0);
+      for (std::size_t i = 0; i < orphans.size(); ++i) {
+        ++extra[i % adopters.size()];
+      }
+      for (std::size_t a = 0; a < adopters.size(); ++a) {
+        if (extra[a] == 0) continue;
+        ProcState& as = st.procs[adopters[a]];
+        if (adopters[a] != grandparent && (as.forwarded || !as.contributes)) {
+          ++gs.pending;
+        }
+        as.contributes = true;
+        as.pending += extra[a];
+        ++as.epoch;  // invalidate any forward chain scheduled before re-open
+      }
+
+      // Orphan leaves re-pack their retained payloads and send them to the
+      // adopters round-robin in daemon order — deterministic at any thread
+      // count.
+      for (std::size_t i = 0; i < orphans.size(); ++i) {
+        const std::uint32_t d = orphans[i];
+        const std::uint32_t leaf = topo_.leaf_of_daemon[d];
+        const std::uint32_t target = adopters[i % adopters.size()];
+        const std::shared_ptr<Payload> retained = st.retained[d];
+        const std::uint64_t bytes = ops_.wire_bytes(*retained);
+        const SimTime packed_at = sim_.now() + ops_.codec_cost(bytes);
+        sim_.schedule_at(packed_at,
+                         [this, state = state_, leaf, target, bytes, retained]() {
+                           if (state->procs[leaf].dead) return;
+                           Payload copy = *retained;
+                           send_to(state, leaf, target, std::move(copy), bytes);
+                         });
+      }
+      report.orphan_daemons = static_cast<std::uint32_t>(orphans.size());
+    }
+
+    // All the corpse held may already be accounted for (or lost): the
+    // ancestor might be complete right now.
+    if (gs.pending == 0 && !gs.forwarded) {
+      schedule_forward(state_, grandparent);
+    }
+    return report;
+  }
+
  private:
   struct ProcState {
     Payload acc{};
     std::size_t pending = 0;
     SimTime cpu_free_at = 0;
+    bool contributes = true;  // subtree holds at least one alive daemon
+    bool dead = false;
+    bool forwarded = false;  // sent its (first) payload up
+    bool recovered = false;  // recover() already ran for this corpse
+    // Bumped when recovery re-opens the proc for orphan arrivals: forward
+    // events capture the epoch they were scheduled under and abort when it
+    // moved, so a chain in flight across a re-open cannot forward a stale
+    // (or already-drained) accumulator a second time.
+    std::uint32_t epoch = 0;
     std::unique_ptr<sim::Executor::Strand> strand;  // parallel mode only
     sim::Executor::TaskRef last_merge;
   };
   struct State {
     std::vector<ProcState> procs;
+    std::vector<std::shared_ptr<Payload>> retained;  // by daemon id
     std::function<void(ReduceResult<Payload>)> done;
     std::uint64_t bytes_at_start = 0;
     std::uint64_t messages_at_start = 0;
   };
 
+  /// Computes ProcState::contributes for the subtree rooted at proc_index.
+  bool mark_contributing(State& state, std::uint32_t proc_index) {
+    const auto& proc = topo_.procs[proc_index];
+    bool contributes = false;
+    if (proc.is_leaf()) {
+      for (std::uint32_t d = 0; d < topo_.leaf_of_daemon.size(); ++d) {
+        if (topo_.leaf_of_daemon[d] == proc_index && !dead_daemons_[d]) {
+          contributes = true;
+          break;
+        }
+      }
+    } else {
+      for (const std::uint32_t child : proc.children) {
+        if (mark_contributing(state, child)) contributes = true;
+      }
+    }
+    state.procs[proc_index].contributes = contributes;
+    return contributes;
+  }
+
+  [[nodiscard]] bool under(std::uint32_t proc_index,
+                           std::uint32_t ancestor) const {
+    std::int32_t walk = static_cast<std::int32_t>(proc_index);
+    while (walk >= 0) {
+      if (static_cast<std::uint32_t>(walk) == ancestor) return true;
+      walk = topo_.procs[static_cast<std::uint32_t>(walk)].parent;
+    }
+    return false;
+  }
+
   void send_up(const std::shared_ptr<State>& state, std::uint32_t proc_index,
                Payload&& payload, std::uint64_t bytes) {
+    ProcState& ps = state->procs[proc_index];
+    if (ps.dead) return;  // died between scheduling and the send event
+    ps.forwarded = true;
     const auto& proc = topo_.procs[proc_index];
     if (proc.parent < 0) {
       // Front end complete.
@@ -138,19 +345,25 @@ class Reduction {
       if (state->done) state->done(std::move(result));
       return;
     }
-    const auto parent = static_cast<std::uint32_t>(proc.parent);
-    const NodeId src = proc.host;
-    const NodeId dst = topo_.procs[parent].host;
+    send_to(state, proc_index, static_cast<std::uint32_t>(proc.parent),
+            std::move(payload), bytes);
+  }
+
+  void send_to(const std::shared_ptr<State>& state, std::uint32_t from,
+               std::uint32_t target, Payload&& payload, std::uint64_t bytes) {
+    const NodeId src = topo_.procs[from].host;
+    const NodeId dst = topo_.procs[target].host;
     auto shared_payload = std::make_shared<Payload>(std::move(payload));
     net_.transfer_async(src, dst, bytes,
-                        [this, state, parent, bytes, shared_payload]() {
-                          receive(state, parent, std::move(*shared_payload), bytes);
+                        [this, state, target, bytes, shared_payload]() {
+                          receive(state, target, std::move(*shared_payload), bytes);
                         });
   }
 
   void receive(const std::shared_ptr<State>& state, std::uint32_t proc_index,
                Payload&& payload, std::uint64_t bytes) {
     ProcState& ps = state->procs[proc_index];
+    if (ps.dead) return;  // arrivals at a corpse vanish; recovery re-sends
     check(ps.pending > 0, "Reduction::receive with no pending children");
 
     // The proc's single core unpacks and merges arrivals serially: all
@@ -171,21 +384,38 @@ class Reduction {
       ops_.merge_into(ps.acc, std::move(payload));
     }
 
-    if (ps.pending == 0) {
-      // All children accounted for: when the modelled core frees up, collect
-      // the real accumulator (waiting out any in-flight merge), then pack
-      // and forward.
-      sim_.schedule_at(ps.cpu_free_at, [this, state, proc_index]() {
-        ProcState& finished = state->procs[proc_index];
-        if (executor_) executor_->wait(finished.last_merge);
-        const std::uint64_t out_bytes = ops_.wire_bytes(finished.acc);
-        const SimTime packed_at = sim_.now() + ops_.codec_cost(out_bytes);
-        sim_.schedule_at(packed_at, [this, state, proc_index, out_bytes]() {
-          ProcState& ready = state->procs[proc_index];
-          send_up(state, proc_index, std::move(ready.acc), out_bytes);
-        });
+    if (ps.pending == 0) schedule_forward(state, proc_index);
+  }
+
+  /// All children accounted for: when the modelled core frees up, collect
+  /// the real accumulator (waiting out any in-flight merge), then pack and
+  /// forward. Both events re-check pending *and* the epoch — recovery may
+  /// re-open the proc for orphan arrivals in between, after which the drain
+  /// back to zero pending schedules a fresh chain and this one must die (the
+  /// pending check alone cannot tell a stale chain from the fresh one once
+  /// the orphans have drained). The forward leaves a fresh accumulator
+  /// behind so a later supplement forward starts clean.
+  void schedule_forward(const std::shared_ptr<State>& state,
+                        std::uint32_t proc_index) {
+    const std::uint32_t epoch = state->procs[proc_index].epoch;
+    const SimTime at =
+        std::max(sim_.now(), state->procs[proc_index].cpu_free_at);
+    sim_.schedule_at(at, [this, state, proc_index, epoch]() {
+      ProcState& finished = state->procs[proc_index];
+      if (finished.dead || finished.pending != 0 || finished.epoch != epoch) {
+        return;
+      }
+      if (executor_) executor_->wait(finished.last_merge);
+      const std::uint64_t out_bytes = ops_.wire_bytes(finished.acc);
+      const SimTime packed_at = sim_.now() + ops_.codec_cost(out_bytes);
+      sim_.schedule_at(packed_at, [this, state, proc_index, out_bytes, epoch]() {
+        ProcState& ready = state->procs[proc_index];
+        if (ready.dead || ready.pending != 0 || ready.epoch != epoch) return;
+        Payload out = std::move(ready.acc);
+        ready.acc = Payload{};
+        send_up(state, proc_index, std::move(out), out_bytes);
       });
-    }
+    });
   }
 
   sim::Simulator& sim_;
@@ -193,6 +423,9 @@ class Reduction {
   const TbonTopology& topo_;
   ReduceOps<Payload> ops_;
   sim::Executor* executor_;
+  std::vector<bool> dead_daemons_;
+  bool retain_ = false;
+  std::shared_ptr<State> state_;
 };
 
 /// Downstream control multicast (e.g. "take 10 samples now"): small fixed

@@ -285,18 +285,44 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   return topo;
 }
 
+namespace {
+
+/// Children of `proc_index` that actually hold a connection: a leaf whose
+/// daemon died before connecting (or was culled by failure injection) never
+/// dials in, so it must not count against the parent's limit.
+std::uint32_t live_children(const TbonTopology& topology,
+                            std::uint32_t proc_index,
+                            const std::vector<bool>& daemon_dead) {
+  const TbonTopology::Proc& proc = topology.procs[proc_index];
+  if (daemon_dead.empty()) {
+    return static_cast<std::uint32_t>(proc.children.size());
+  }
+  std::uint32_t live = 0;
+  for (const std::uint32_t c : topology.procs[proc_index].children) {
+    const TbonTopology::Proc& child = topology.procs[c];
+    if (child.is_leaf() && daemon_dead[child.daemon.value()]) continue;
+    ++live;
+  }
+  return live;
+}
+
+}  // namespace
+
 Status connection_viability(const TbonTopology& topology,
                             std::uint32_t limit) {
-  const auto fe_children =
-      static_cast<std::uint32_t>(topology.front_end().children.size());
+  return connection_viability(topology, limit, {});
+}
+
+Status connection_viability(const TbonTopology& topology, std::uint32_t limit,
+                            const std::vector<bool>& daemon_dead) {
+  const std::uint32_t fe_children = live_children(topology, 0, daemon_dead);
   if (fe_children > limit) {
     return resource_exhausted(
         "front end cannot sustain " + std::to_string(fe_children) +
         " tool connections (limit " + std::to_string(limit) + ")");
   }
   for (const std::uint32_t c : topology.combiners) {
-    const auto children =
-        static_cast<std::uint32_t>(topology.procs[c].children.size());
+    const std::uint32_t children = live_children(topology, c, daemon_dead);
     if (children > limit) {
       return resource_exhausted(
           "combiner cannot sustain " + std::to_string(children) +
@@ -304,8 +330,7 @@ Status connection_viability(const TbonTopology& topology,
     }
   }
   for (const std::uint32_t r : topology.reducers) {
-    const auto children =
-        static_cast<std::uint32_t>(topology.procs[r].children.size());
+    const std::uint32_t children = live_children(topology, r, daemon_dead);
     if (children > limit) {
       return resource_exhausted(
           "reducer cannot sustain " + std::to_string(children) +
@@ -334,12 +359,16 @@ namespace {
 
 std::uint64_t tasks_under(const TbonTopology& topology,
                           const machine::DaemonLayout& layout,
-                          std::uint32_t proc_index) {
+                          std::uint32_t proc_index,
+                          const std::vector<bool>& daemon_dead) {
   const TbonTopology::Proc& proc = topology.procs[proc_index];
-  if (proc.is_leaf()) return layout.tasks_of(proc.daemon);
+  if (proc.is_leaf()) {
+    if (!daemon_dead.empty() && daemon_dead[proc.daemon.value()]) return 0;
+    return layout.tasks_of(proc.daemon);
+  }
   std::uint64_t total = 0;
   for (const std::uint32_t c : proc.children) {
-    total += tasks_under(topology, layout, c);
+    total += tasks_under(topology, layout, c, daemon_dead);
   }
   return total;
 }
@@ -348,19 +377,31 @@ std::uint64_t tasks_under(const TbonTopology& topology,
 
 std::vector<std::uint64_t> shard_task_counts(
     const TbonTopology& topology, const machine::DaemonLayout& layout) {
+  return shard_task_counts(topology, layout, {});
+}
+
+std::vector<std::uint64_t> shard_task_counts(
+    const TbonTopology& topology, const machine::DaemonLayout& layout,
+    const std::vector<bool>& daemon_dead) {
   std::vector<std::uint64_t> counts;
   counts.reserve(topology.reducers.size());
   for (const std::uint32_t r : topology.reducers) {
-    counts.push_back(tasks_under(topology, layout, r));
+    counts.push_back(tasks_under(topology, layout, r, daemon_dead));
   }
   return counts;
 }
 
 std::uint64_t largest_shard_task_count(const TbonTopology& topology,
                                        const machine::DaemonLayout& layout) {
+  return largest_shard_task_count(topology, layout, {});
+}
+
+std::uint64_t largest_shard_task_count(const TbonTopology& topology,
+                                       const machine::DaemonLayout& layout,
+                                       const std::vector<bool>& daemon_dead) {
   std::uint64_t largest = 0;
   for (const std::uint32_t r : topology.reducers) {
-    largest = std::max(largest, tasks_under(topology, layout, r));
+    largest = std::max(largest, tasks_under(topology, layout, r, daemon_dead));
   }
   return largest;
 }
@@ -385,6 +426,18 @@ SimTime connect_time(const TbonTopology& topology,
     total += fanout * costs.mrnet_connect_per_child;
   }
   return total;
+}
+
+std::uint32_t default_victim(const TbonTopology& topology) {
+  if (topology.sharded()) {
+    return topology.reducers[topology.reducers.size() / 2];
+  }
+  std::vector<std::uint32_t> internals;
+  for (std::uint32_t i = 1; i < topology.procs.size(); ++i) {
+    if (!topology.procs[i].is_leaf()) internals.push_back(i);
+  }
+  if (!internals.empty()) return internals[internals.size() / 2];
+  return topology.leaf_of_daemon[topology.leaf_of_daemon.size() / 2];
 }
 
 }  // namespace petastat::tbon

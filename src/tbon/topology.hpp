@@ -223,6 +223,13 @@ struct DerivedLevels {
 [[nodiscard]] Status connection_viability(const TbonTopology& topology,
                                           std::uint32_t limit);
 
+/// connection_viability on the *surviving* daemons: leaves whose daemon is
+/// flagged in `daemon_dead` never dial in, so they hold no connection. An
+/// empty mask means all daemons alive.
+[[nodiscard]] Status connection_viability(const TbonTopology& topology,
+                                          std::uint32_t limit,
+                                          const std::vector<bool>& daemon_dead);
+
 /// Distinct hosts carrying the shard machinery (reducers + combiners) — the
 /// remote-shell handshake count of the spawn burst. Feed it with
 /// TbonTopology::num_shard_procs() to machine::reducer_spawn_time; one
@@ -235,6 +242,12 @@ struct DerivedLevels {
 [[nodiscard]] std::vector<std::uint64_t> shard_task_counts(
     const TbonTopology& topology, const machine::DaemonLayout& layout);
 
+/// shard_task_counts restricted to surviving daemons: a dead daemon's tasks
+/// are not in anyone's slice. An empty mask means all daemons alive.
+[[nodiscard]] std::vector<std::uint64_t> shard_task_counts(
+    const TbonTopology& topology, const machine::DaemonLayout& layout,
+    const std::vector<bool>& daemon_dead);
+
 /// Largest shard slice — the critical path of the distributed remap, where
 /// reducers remap their slices concurrently (feed it to
 /// machine::sharded_remap_cost). 0 when unsharded. One helper for the
@@ -242,9 +255,20 @@ struct DerivedLevels {
 [[nodiscard]] std::uint64_t largest_shard_task_count(
     const TbonTopology& topology, const machine::DaemonLayout& layout);
 
+/// largest_shard_task_count restricted to surviving daemons.
+[[nodiscard]] std::uint64_t largest_shard_task_count(
+    const TbonTopology& topology, const machine::DaemonLayout& layout,
+    const std::vector<bool>& daemon_dead);
+
 /// MRNet instantiation time: parents accept and handshake children serially;
 /// levels connect bottom-up but parents within a level work in parallel.
 [[nodiscard]] SimTime connect_time(const TbonTopology& topology,
                                    const machine::LaunchCosts& costs);
+
+/// The deterministic mid-merge casualty of failure injection (--fail-at):
+/// the middle reducer when sharded, else the middle internal comm process,
+/// else the middle daemon leaf (a flat tree has nothing else to kill). One
+/// rule for the simulator and the planner's recovery pricing.
+[[nodiscard]] std::uint32_t default_victim(const TbonTopology& topology);
 
 }  // namespace petastat::tbon

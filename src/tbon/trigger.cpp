@@ -1,0 +1,53 @@
+#include "tbon/trigger.hpp"
+
+#include <utility>
+
+namespace petastat::tbon {
+
+TriggerManager::~TriggerManager() {
+  EventNode* node = head_.exchange(nullptr, std::memory_order_acquire);
+  while (node != nullptr) {
+    EventNode* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+void TriggerManager::register_action(Action action) {
+  actions_.push_back(std::move(action));
+}
+
+void TriggerManager::post(const FailureEvent& event) {
+  auto* node = new EventNode{event, nullptr};
+  EventNode* expected = head_.load(std::memory_order_relaxed);
+  do {
+    node->next = expected;
+  } while (!head_.compare_exchange_weak(expected, node,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed));
+  posted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint32_t TriggerManager::dispatch() {
+  EventNode* batch = head_.exchange(nullptr, std::memory_order_acquire);
+  // The detached batch is newest-first; reverse back to post order.
+  EventNode* fifo = nullptr;
+  while (batch != nullptr) {
+    EventNode* next = batch->next;
+    batch->next = fifo;
+    fifo = batch;
+    batch = next;
+  }
+  std::uint32_t count = 0;
+  while (fifo != nullptr) {
+    for (const Action& action : actions_) action(fifo->event);
+    EventNode* next = fifo->next;
+    delete fifo;
+    fifo = next;
+    ++count;
+  }
+  dispatched_ += count;
+  return count;
+}
+
+}  // namespace petastat::tbon

@@ -1,0 +1,74 @@
+// Failure-event trigger manager — the reaction half of the TBON failure
+// model, after SLURM's monitor/trigger split (slurmctld: ping_nodes detects,
+// trigger_mgr maps events to registered actions).
+//
+// The event queue between detection and reaction is a concurrency seam: the
+// sim thread posts from detection events, but execution-engine workers (a
+// recovery merge noticing a poisoned peer, a future off-thread heartbeat)
+// must be able to post too. The queue therefore follows the pointer-width-CAS
+// discipline of the ThreadPool inbox/completion queues (in the spirit of the
+// constant-time LL/SC hand-off constructions): producers only ever CAS-push
+// one intrusive node; the single consumer detaches the whole list with one
+// exchange — exchange-only consumption leaves no ABA window and needs no
+// tagged pointers — then reverses the batch back to FIFO before dispatch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace petastat::tbon {
+
+/// "Proc X died at time T, noticed at T'" — what the health monitor reports
+/// and trigger actions consume. `proc` indexes TbonTopology::procs.
+struct FailureEvent {
+  std::uint32_t proc = 0;
+  SimTime dead_at = 0;
+  SimTime detected_at = 0;
+};
+
+class TriggerManager {
+ public:
+  using Action = std::function<void(const FailureEvent&)>;
+
+  TriggerManager() = default;
+  TriggerManager(const TriggerManager&) = delete;
+  TriggerManager& operator=(const TriggerManager&) = delete;
+  ~TriggerManager();
+
+  /// Registers an action run for every dispatched event, in registration
+  /// order. Not thread-safe; register before the first post.
+  void register_action(Action action);
+
+  /// Enqueues a failure event. Thread-safe and lock-free: one CAS-push of an
+  /// intrusive node, callable from the sim thread or any worker.
+  void post(const FailureEvent& event);
+
+  /// Detaches the whole pending list with a single exchange, restores FIFO
+  /// order, and runs every registered action on each event. Single consumer:
+  /// call from the sim thread only. Returns the number of events dispatched.
+  std::uint32_t dispatch();
+
+  [[nodiscard]] std::uint64_t posted() const {
+    return posted_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  /// Intrusive node in the lock-free event stack (LIFO while queued; the
+  /// consumer reverses the batch back into post order).
+  struct EventNode {
+    FailureEvent event;
+    EventNode* next = nullptr;
+  };
+
+  std::atomic<EventNode*> head_{nullptr};
+  std::atomic<std::uint64_t> posted_{0};
+  std::vector<Action> actions_;
+  std::uint64_t dispatched_ = 0;
+};
+
+}  // namespace petastat::tbon

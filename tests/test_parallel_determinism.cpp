@@ -106,6 +106,30 @@ std::vector<Cell> cells() {
     c.options.launcher = LauncherKind::kCiodPatched;
     out.push_back(c);
   }
+  {
+    // Mid-merge reducer kill: the health monitor detects the corpse, the
+    // trigger fires Reduction::recover, and the orphaned shard re-merges
+    // through siblings — recovery timestamps are fixed on the sim thread,
+    // so every recovery field must match the serial run exactly.
+    Cell c{"atlas_ring_hier_16shards_midmerge_kill", machine::atlas(), {}, {}};
+    c.job.num_tasks = 256;
+    c.options.topology = tbon::TopologySpec::flat();
+    c.options.fe_shards = 16;
+    c.options.repr = TaskSetRepr::kHierarchical;
+    c.options.fail_at_seconds = 0.02;
+    c.options.ping_period_seconds = 0.1;
+    out.push_back(c);
+  }
+  {
+    // OOM cascade: the victim rank's daemon dies pre-sampling, survivors
+    // produce the allocation-spiral / retransmit / barrier classes.
+    Cell c{"atlas_oomcascade_hier_2deep", machine::atlas(), {}, {}};
+    c.job.num_tasks = 256;
+    c.options.topology = tbon::TopologySpec::balanced(2);
+    c.options.repr = TaskSetRepr::kHierarchical;
+    c.options.app = AppKind::kOomCascade;
+    out.push_back(c);
+  }
   return out;
 }
 
@@ -147,6 +171,14 @@ void expect_identical(const StatRunResult& serial, const StatRunResult& parallel
   EXPECT_EQ(a.merge_bytes, b.merge_bytes);
   EXPECT_EQ(a.merge_messages, b.merge_messages);
   EXPECT_EQ(a.leaf_payload_bytes, b.leaf_payload_bytes);
+  // Failure recovery: who died, when it was noticed, what was re-merged.
+  EXPECT_EQ(serial.dead_daemons, parallel.dead_daemons);
+  EXPECT_EQ(a.killed_procs, b.killed_procs);
+  EXPECT_EQ(a.orphaned_daemons, b.orphaned_daemons);
+  EXPECT_EQ(a.lost_daemons, b.lost_daemons);
+  EXPECT_EQ(a.health_sweeps, b.health_sweeps);
+  EXPECT_EQ(a.failure_detect_latency, b.failure_detect_latency);
+  EXPECT_EQ(a.recovery_remerge_time, b.recovery_remerge_time);
   // Per-daemon sampling statistics accumulate in event order, which the
   // engine keeps deterministic — bitwise-equal floating point, not "close".
   EXPECT_EQ(a.daemon_sample_seconds.count(), b.daemon_sample_seconds.count());

@@ -1,0 +1,614 @@
+// Mid-merge failure recovery: the TriggerManager's lock-free event queue,
+// the HealthMonitor's ping-sweep detection, Reduction::recover's subtree
+// re-merge, the survivor-aware topology overloads, the scenario-level
+// orchestration, and the planner's recovery pricing.
+//
+// The central contract under test: because the prefix-tree merge is
+// canonical, a run that loses a comm process mid-merge and recovers must
+// produce results *bit-identical* to a run without the failure.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "machine/cost_model.hpp"
+#include "plan/predictor.hpp"
+#include "stat/scenario.hpp"
+#include "tbon/health.hpp"
+#include "tbon/reduction.hpp"
+#include "tbon/topology.hpp"
+#include "tbon/trigger.hpp"
+
+namespace petastat {
+namespace {
+
+machine::DaemonLayout layout_of(const machine::MachineConfig& m,
+                                std::uint32_t tasks,
+                                machine::BglMode mode = machine::BglMode::kCoprocessor) {
+  machine::JobConfig job;
+  job.num_tasks = tasks;
+  job.mode = mode;
+  return machine::layout_daemons(m, job).value();
+}
+
+// --------------------------------------------------------------------------
+// TriggerManager: the lock-free failure-event queue.
+
+TEST(TriggerManager, DispatchRunsActionsInPostOrder) {
+  tbon::TriggerManager triggers;
+  std::vector<std::uint32_t> seen;
+  triggers.register_action(
+      [&seen](const tbon::FailureEvent& e) { seen.push_back(e.proc); });
+  triggers.post({7, 100, 200});
+  triggers.post({3, 101, 201});
+  triggers.post({9, 102, 202});
+  EXPECT_EQ(triggers.posted(), 3u);
+  EXPECT_EQ(triggers.dispatch(), 3u);
+  EXPECT_EQ(seen, (std::vector<std::uint32_t>{7, 3, 9}));
+  EXPECT_EQ(triggers.dispatched(), 3u);
+  // Nothing left.
+  EXPECT_EQ(triggers.dispatch(), 0u);
+}
+
+TEST(TriggerManager, EveryActionSeesEveryEvent) {
+  tbon::TriggerManager triggers;
+  std::uint32_t first = 0, second = 0;
+  triggers.register_action([&first](const tbon::FailureEvent&) { ++first; });
+  triggers.register_action([&second](const tbon::FailureEvent&) { ++second; });
+  triggers.post({1, 0, 0});
+  triggers.post({2, 0, 0});
+  triggers.dispatch();
+  EXPECT_EQ(first, 2u);
+  EXPECT_EQ(second, 2u);
+}
+
+TEST(TriggerManager, ConcurrentProducersLoseNoEvents) {
+  // The CAS push must hold up under contention (run under TSan in CI).
+  constexpr std::uint32_t kThreads = 4;
+  constexpr std::uint32_t kPerThread = 512;
+  tbon::TriggerManager triggers;
+  std::vector<std::uint32_t> counts(kThreads, 0);
+  triggers.register_action([&counts](const tbon::FailureEvent& e) {
+    ++counts[e.proc];
+  });
+  std::vector<std::thread> producers;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&triggers, t]() {
+      for (std::uint32_t i = 0; i < kPerThread; ++i) {
+        triggers.post({t, i, i});
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  EXPECT_EQ(triggers.posted(), kThreads * kPerThread);
+  EXPECT_EQ(triggers.dispatch(), kThreads * kPerThread);
+  for (const std::uint32_t c : counts) EXPECT_EQ(c, kPerThread);
+}
+
+// --------------------------------------------------------------------------
+// HealthMonitor: ping-sweep detection latency.
+
+TEST(HealthMonitor, DetectsADeathWithinOnePeriodPlusRoundTrip) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);
+  const auto topo =
+      tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+
+  tbon::TriggerManager triggers;
+  std::vector<tbon::FailureEvent> events;
+  triggers.register_action(
+      [&events](const tbon::FailureEvent& e) { events.push_back(e); });
+
+  const SimTime period = seconds(0.1);
+  tbon::HealthMonitor monitor(simulator, network, topo, triggers, period);
+  monitor.start();
+
+  const std::uint32_t victim = tbon::default_victim(topo);
+  const SimTime dead_at = seconds(0.15);
+  simulator.schedule_at(dead_at, [&monitor, victim, &simulator]() {
+    monitor.mark_dead(victim, simulator.now());
+  });
+  simulator.schedule_at(seconds(1.0), [&monitor]() { monitor.stop(); });
+  simulator.run();
+
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].proc, victim);
+  EXPECT_EQ(events[0].dead_at, dead_at);
+  EXPECT_GT(events[0].detected_at, dead_at);
+  // Death at 0.15 s lands mid-interval; the sweep starting at 0.2 s misses
+  // the echo, so the latency is under a period plus the sweep's round trip
+  // (tiny on this tree).
+  EXPECT_LE(events[0].detected_at - dead_at, period + period / 2);
+  EXPECT_EQ(monitor.detections(), 1u);
+  EXPECT_GE(monitor.sweeps_completed(), 2u);
+  // A reported corpse is not re-reported by later sweeps.
+  EXPECT_EQ(events.size(), monitor.detections());
+}
+
+TEST(HealthMonitor, StopSilencesTheSweep) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 64);
+  const auto topo =
+      tbon::build_topology(m, layout, tbon::TopologySpec::flat()).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  tbon::TriggerManager triggers;
+  tbon::HealthMonitor monitor(simulator, network, topo, triggers, seconds(0.05));
+  monitor.start();
+  simulator.schedule_at(seconds(0.12), [&monitor]() { monitor.stop(); });
+  simulator.run();
+  const std::uint32_t sweeps = monitor.sweeps_completed();
+  EXPECT_GE(sweeps, 1u);
+  EXPECT_LE(sweeps, 3u);
+  // The queue drained: no sweep survives stop().
+  EXPECT_LE(simulator.now(), seconds(0.2));
+}
+
+// --------------------------------------------------------------------------
+// Reduction recovery with a toy payload.
+
+struct SumPayload {
+  std::uint64_t sum = 0;
+  std::uint32_t contributions = 0;
+};
+
+tbon::ReduceOps<SumPayload> sum_ops() {
+  tbon::ReduceOps<SumPayload> ops;
+  ops.merge_cpu = [](const SumPayload&) { return SimTime{100}; };
+  ops.merge_into = [](SumPayload& acc, SumPayload&& child) {
+    acc.sum += child.sum;
+    acc.contributions += child.contributions;
+  };
+  ops.wire_bytes = [](const SumPayload&) { return std::uint64_t{64}; };
+  ops.codec_cost = [](std::uint64_t) { return SimTime{50 * kMicrosecond}; };
+  return ops;
+}
+
+std::vector<SumPayload> numbered_leaves(std::uint32_t daemons,
+                                        std::uint64_t& expected) {
+  std::vector<SumPayload> leaves(daemons);
+  expected = 0;
+  for (std::uint32_t d = 0; d < daemons; ++d) {
+    leaves[d] = {static_cast<std::uint64_t>(d) * d + 1, 1};
+    expected += leaves[d].sum;
+  }
+  return leaves;
+}
+
+TEST(ReductionRecovery, KilledInternalProcsSubtreeIsRemergedExactly) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons
+  const auto topo =
+      tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
+  const std::uint32_t victim = tbon::default_victim(topo);
+  ASSERT_FALSE(topo.procs[victim].is_leaf());
+  ASSERT_GE(topo.procs[victim].parent, 0);
+  std::uint32_t victim_leaves = 0;
+  for (const std::uint32_t c : topo.procs[victim].children) {
+    if (topo.procs[c].is_leaf()) ++victim_leaves;
+  }
+  ASSERT_GT(victim_leaves, 0u);
+
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
+  reduction.set_retain_payloads(true);
+
+  std::uint64_t expected = 0;
+  auto leaves = numbered_leaves(layout.num_daemons, expected);
+
+  // Kill before any payload can reach the victim (leaf packing alone takes
+  // 50 us), recover a while later — the orphan shard re-merges through the
+  // victim's siblings.
+  std::optional<tbon::RecoveryReport> report;
+  simulator.schedule_at(SimTime{10},
+                        [&reduction, victim]() { reduction.mark_dead(victim); });
+  simulator.schedule_at(seconds(0.01), [&reduction, victim, &report]() {
+    report = reduction.recover(victim);
+  });
+
+  std::optional<tbon::ReduceResult<SumPayload>> result;
+  reduction.start(std::move(leaves), [&result](tbon::ReduceResult<SumPayload> r) {
+    result = std::move(r);
+  });
+  simulator.run();
+
+  ASSERT_TRUE(result.has_value()) << "merge stalled";
+  EXPECT_EQ(result->payload.sum, expected);
+  EXPECT_EQ(result->payload.contributions, layout.num_daemons);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->acted);
+  EXPECT_EQ(report->orphan_daemons, victim_leaves);
+  EXPECT_EQ(report->lost_daemons, 0u);
+  EXPECT_GE(report->adopters, 1u);
+}
+
+TEST(ReductionRecovery, DeathAfterForwardingIsAFreeNoop) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 64);
+  const auto topo =
+      tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
+  reduction.set_retain_payloads(true);
+
+  std::uint64_t expected = 0;
+  auto leaves = numbered_leaves(layout.num_daemons, expected);
+  std::optional<tbon::ReduceResult<SumPayload>> result;
+  reduction.start(std::move(leaves), [&result](tbon::ReduceResult<SumPayload> r) {
+    result = std::move(r);
+  });
+  simulator.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->payload.sum, expected);
+
+  const std::uint32_t victim = tbon::default_victim(topo);
+  reduction.mark_dead(victim);
+  const tbon::RecoveryReport report = reduction.recover(victim);
+  EXPECT_FALSE(report.acted);
+  EXPECT_EQ(report.orphan_daemons, 0u);
+}
+
+TEST(ReductionRecovery, WholeShardOfDeadDaemonsStillCompletes) {
+  // Reducer 1's entire shard (daemons 8..15) is dead before the merge: its
+  // reducer contributes nothing and the front end must not wait for it.
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons
+  const auto topo =
+      tbon::build_topology(m, layout,
+                           tbon::TopologySpec::flat().with_shards(4)).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
+
+  std::vector<bool> dead(layout.num_daemons, false);
+  for (std::uint32_t d = 8; d < 16; ++d) dead[d] = true;
+  reduction.set_dead_daemons(dead);
+
+  std::uint64_t all = 0;
+  auto leaves = numbered_leaves(layout.num_daemons, all);
+  std::uint64_t expected = 0;
+  for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+    if (!dead[d]) expected += leaves[d].sum;
+  }
+
+  std::optional<tbon::ReduceResult<SumPayload>> result;
+  reduction.start(std::move(leaves), [&result](tbon::ReduceResult<SumPayload> r) {
+    result = std::move(r);
+  });
+  simulator.run();
+  ASSERT_TRUE(result.has_value()) << "merge stalled on the dead shard";
+  EXPECT_EQ(result->payload.sum, expected);
+  EXPECT_EQ(result->payload.contributions, 24u);
+}
+
+// --------------------------------------------------------------------------
+// Survivor-aware topology overloads.
+
+TEST(TopologyMasks, ViabilityAndShardSlicesCountSurvivorsOnly) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons x 8 tasks
+  std::vector<bool> dead(layout.num_daemons, false);
+  for (std::uint32_t d = 8; d < 16; ++d) dead[d] = true;
+
+  const auto flat =
+      tbon::build_topology(m, layout, tbon::TopologySpec::flat()).value();
+  // 24 survivors dial in; the full tree would need 32.
+  EXPECT_TRUE(tbon::connection_viability(flat, 24, dead).is_ok());
+  EXPECT_EQ(tbon::connection_viability(flat, 23, dead).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(tbon::connection_viability(flat, 24).code(),
+            StatusCode::kResourceExhausted);
+  // An empty mask means everyone is alive.
+  EXPECT_TRUE(tbon::connection_viability(flat, 32, {}).is_ok());
+
+  const auto sharded =
+      tbon::build_topology(m, layout,
+                           tbon::TopologySpec::flat().with_shards(4)).value();
+  const auto slices = tbon::shard_task_counts(sharded, layout, dead);
+  ASSERT_EQ(slices.size(), 4u);
+  EXPECT_EQ(slices[1], 0u);  // the dead shard
+  EXPECT_EQ(std::accumulate(slices.begin(), slices.end(), std::uint64_t{0}),
+            192u);  // 24 surviving daemons x 8 tasks
+  EXPECT_EQ(tbon::largest_shard_task_count(sharded, layout, dead), 64u);
+  // Masked reducers pass viability on their surviving fan-in.
+  EXPECT_TRUE(tbon::connection_viability(sharded, 8, dead).is_ok());
+}
+
+TEST(TopologyMasks, DefaultVictimPicksAMidMergeProc) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 256);  // 32 daemons
+
+  const auto sharded =
+      tbon::build_topology(m, layout,
+                           tbon::TopologySpec::flat().with_shards(4)).value();
+  EXPECT_EQ(tbon::default_victim(sharded), sharded.reducers[2]);
+
+  const auto deep =
+      tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
+  const std::uint32_t victim = tbon::default_victim(deep);
+  EXPECT_FALSE(deep.procs[victim].is_leaf());
+  EXPECT_GE(deep.procs[victim].parent, 0);
+
+  const auto flat =
+      tbon::build_topology(m, layout, tbon::TopologySpec::flat()).value();
+  EXPECT_EQ(tbon::default_victim(flat), flat.leaf_of_daemon[16]);
+}
+
+// --------------------------------------------------------------------------
+// Scenario-level recovery: kill mid-merge, results bit-identical.
+
+void expect_same_product(const stat::StatRunResult& a,
+                         const stat::StatRunResult& b) {
+  EXPECT_TRUE(a.tree_2d == b.tree_2d);
+  EXPECT_TRUE(a.tree_3d == b.tree_3d);
+  ASSERT_EQ(a.classes.size(), b.classes.size());
+  for (std::size_t i = 0; i < a.classes.size(); ++i) {
+    EXPECT_EQ(a.classes[i].path, b.classes[i].path);
+    EXPECT_TRUE(a.classes[i].tasks == b.classes[i].tasks);
+  }
+}
+
+TEST(ScenarioRecovery, MidMergeReducerKillIsBitIdenticalToNoFailure) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = 16;
+  options.repr = stat::TaskSetRepr::kHierarchical;
+
+  stat::StatScenario baseline(machine::atlas(), job, options);
+  const stat::StatRunResult no_failure = baseline.run();
+  ASSERT_TRUE(no_failure.status.is_ok()) << no_failure.status.to_string();
+  EXPECT_EQ(no_failure.phases.killed_procs, 0u);
+  EXPECT_EQ(no_failure.phases.health_sweeps, 0u);
+  EXPECT_EQ(no_failure.phases.failure_detect_latency, 0u);
+
+  // Kill the middle reducer the moment the merge starts (guaranteed before
+  // it forwards anything), detect by ping sweep, recover, finish.
+  options.fail_at_seconds = 0.0;
+  options.ping_period_seconds = 0.05;
+  stat::StatScenario killed(machine::atlas(), job, options);
+  const stat::StatRunResult recovered = killed.run();
+  ASSERT_TRUE(recovered.status.is_ok()) << recovered.status.to_string();
+
+  const stat::PhaseBreakdown& p = recovered.phases;
+  EXPECT_EQ(p.killed_procs, 1u);
+  // 32 daemons over 16 shards: the lost reducer orphans exactly 2 daemons.
+  EXPECT_EQ(p.orphaned_daemons, 2u);
+  EXPECT_EQ(p.lost_daemons, 0u);
+  EXPECT_GE(p.health_sweeps, 1u);
+  EXPECT_GT(p.failure_detect_latency, 0u);
+  EXPECT_LE(p.failure_detect_latency, seconds(2 * 0.05));
+  EXPECT_GT(p.recovery_remerge_time, 0u);
+  // The recovered merge costs more wall-clock than the clean one.
+  EXPECT_GT(p.merge_time, no_failure.phases.merge_time);
+
+  // The product is exactly the no-failure product.
+  expect_same_product(no_failure, recovered);
+}
+
+TEST(ScenarioRecovery, UnshardedInternalProcKillRecoversToo) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+
+  stat::StatScenario baseline(machine::atlas(), job, options);
+  const stat::StatRunResult no_failure = baseline.run();
+  ASSERT_TRUE(no_failure.status.is_ok());
+
+  options.fail_at_seconds = 0.0;
+  options.ping_period_seconds = 0.05;
+  stat::StatScenario killed(machine::atlas(), job, options);
+  const stat::StatRunResult recovered = killed.run();
+  ASSERT_TRUE(recovered.status.is_ok()) << recovered.status.to_string();
+  EXPECT_EQ(recovered.phases.killed_procs, 1u);
+  EXPECT_GT(recovered.phases.orphaned_daemons, 0u);
+  expect_same_product(no_failure, recovered);
+}
+
+TEST(ScenarioRecovery, RemapIsPricedOnSurvivingTasksOnly) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.daemon_failure_probability = 0.2;
+
+  stat::StatScenario scenario(machine::atlas(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+  ASSERT_FALSE(result.dead_daemons.empty()) << "seed produced no casualties";
+
+  const auto costs = machine::default_cost_model(machine::atlas());
+  const std::uint64_t surviving =
+      256u - 8u * static_cast<std::uint64_t>(result.dead_daemons.size());
+  EXPECT_EQ(result.phases.remap_time,
+            machine::frontend_remap_cost(costs.merge, surviving));
+  EXPECT_LT(result.phases.remap_time,
+            machine::frontend_remap_cost(costs.merge, 256));
+}
+
+TEST(ScenarioRecovery, RecoveryFieldsStayZeroWhenUnarmed) {
+  machine::JobConfig job;
+  job.num_tasks = 64;
+  stat::StatOptions options;
+  stat::StatScenario scenario(machine::atlas(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok());
+  EXPECT_EQ(result.phases.killed_procs, 0u);
+  EXPECT_EQ(result.phases.orphaned_daemons, 0u);
+  EXPECT_EQ(result.phases.lost_daemons, 0u);
+  EXPECT_EQ(result.phases.health_sweeps, 0u);
+  EXPECT_EQ(result.phases.failure_detect_latency, 0u);
+  EXPECT_EQ(result.phases.recovery_remerge_time, 0u);
+  EXPECT_TRUE(result.dead_daemons.empty());
+}
+
+// --------------------------------------------------------------------------
+// The acceptance scenario: petascale, 2,048 daemons, K = 64, reducer killed
+// mid-merge, serial and 8-thread runs bit-identical to the no-failure run.
+
+TEST(ScenarioRecovery, PetascaleReducerKillAcceptance) {
+  machine::JobConfig job;
+  job.num_tasks = 131072;  // CO mode -> 2,048 daemons
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = 64;
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.num_samples = 3;  // keep the walltime civil
+
+  const auto run_with = [&](double fail_at, std::uint32_t threads) {
+    stat::StatOptions o = options;
+    o.fail_at_seconds = fail_at;
+    o.ping_period_seconds = 0.1;
+    o.exec_threads = threads;
+    stat::StatScenario scenario(machine::petascale(), job, o);
+    return scenario.run();
+  };
+
+  const stat::StatRunResult no_failure = run_with(-1.0, 1);
+  ASSERT_TRUE(no_failure.status.is_ok()) << no_failure.status.to_string();
+  ASSERT_EQ(no_failure.layout.num_daemons, 2048u);
+
+  const stat::StatRunResult serial = run_with(0.0, 1);
+  ASSERT_TRUE(serial.status.is_ok()) << serial.status.to_string();
+  EXPECT_EQ(serial.phases.killed_procs, 1u);
+  // 2,048 daemons over 64 shards: the lost reducer orphans exactly 32.
+  EXPECT_EQ(serial.phases.orphaned_daemons, 32u);
+  EXPECT_EQ(serial.phases.lost_daemons, 0u);
+  EXPECT_GT(serial.phases.failure_detect_latency, 0u);
+  EXPECT_LE(serial.phases.failure_detect_latency, seconds(2 * 0.1));
+  expect_same_product(no_failure, serial);
+
+  const stat::StatRunResult parallel = run_with(0.0, 8);
+  ASSERT_TRUE(parallel.status.is_ok()) << parallel.status.to_string();
+  expect_same_product(serial, parallel);
+  EXPECT_EQ(serial.phases.merge_time, parallel.phases.merge_time);
+  EXPECT_EQ(serial.phases.failure_detect_latency,
+            parallel.phases.failure_detect_latency);
+  EXPECT_EQ(serial.phases.recovery_remerge_time,
+            parallel.phases.recovery_remerge_time);
+  EXPECT_EQ(serial.phases.merge_bytes, parallel.phases.merge_bytes);
+}
+
+// --------------------------------------------------------------------------
+// The OOM-cascade workload end to end.
+
+TEST(ScenarioRecovery, OomCascadeKillsTheVictimsDaemonAndCascades) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.app = stat::AppKind::kOomCascade;
+
+  stat::StatScenario scenario(machine::atlas(), job, options);
+  const stat::StatRunResult result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok()) << result.status.to_string();
+
+  // Exactly the victim rank's daemon is gone (8 tasks with it).
+  EXPECT_EQ(result.phases.failed_daemons, 1u);
+  ASSERT_EQ(result.dead_daemons.size(), 1u);
+  stat::TaskSet covered;
+  bool victim_rank_seen = false;
+  bool retransmit_seen = false;
+  const app::FrameTable& frames = scenario.app().frames();
+  for (const auto& cls : result.classes) {
+    covered.union_with(cls.tasks);
+    if (cls.tasks.contains(128)) victim_rank_seen = true;  // the victim rank
+    for (const FrameId f : cls.path) {
+      if (frames.name(f) == "BGLML_retransmit") retransmit_seen = true;
+    }
+  }
+  // 256 - the dead daemon's 8 ranks. (A cascading neighbour may sit in two
+  // classes — spiral and retransmit — so class sizes can sum past this.)
+  EXPECT_EQ(covered.count(), 248u);
+  EXPECT_FALSE(victim_rank_seen);
+  // The cascade is visible: neighbours flipped into the retransmit path.
+  EXPECT_TRUE(retransmit_seen);
+}
+
+TEST(ScenarioRecovery, OomCascadePlusMidMergeKillStillMatches) {
+  // The full pathology: the victim daemon dies pre-sampling AND a reducer
+  // dies mid-merge. Survivor classes still come out bit-identical.
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = 4;
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.app = stat::AppKind::kOomCascade;
+
+  stat::StatScenario baseline(machine::atlas(), job, options);
+  const stat::StatRunResult clean = baseline.run();
+  ASSERT_TRUE(clean.status.is_ok());
+
+  options.fail_at_seconds = 0.0;
+  options.ping_period_seconds = 0.05;
+  stat::StatScenario killed(machine::atlas(), job, options);
+  const stat::StatRunResult recovered = killed.run();
+  ASSERT_TRUE(recovered.status.is_ok()) << recovered.status.to_string();
+  EXPECT_EQ(recovered.phases.killed_procs, 1u);
+  EXPECT_EQ(recovered.dead_daemons, clean.dead_daemons);
+  expect_same_product(clean, recovered);
+}
+
+// --------------------------------------------------------------------------
+// Planner: recovery pricing through the shared cost formulas.
+
+TEST(PlannerRecovery, PredictionScalesWithTheLostSubtreeNotTheJob) {
+  machine::JobConfig job;
+  job.num_tasks = 1024;  // 128 daemons
+  stat::StatOptions options;
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  auto predictor = plan::PhasePredictor::create(
+      machine::atlas(), job, options,
+      machine::default_cost_model(machine::atlas()));
+  ASSERT_TRUE(predictor.is_ok()) << predictor.status().to_string();
+
+  const SimTime ping = seconds(0.25);
+  const auto k16 = predictor.value().predict_recovery(
+      tbon::TopologySpec::flat().with_shards(16), ping);
+  ASSERT_TRUE(k16.is_ok()) << k16.status().to_string();
+  EXPECT_EQ(k16.value().orphan_leaves, 8u);  // 128 daemons / 16 shards
+  EXPECT_GT(k16.value().detection, ping / 2);
+  EXPECT_LT(k16.value().detection, ping);
+  EXPECT_GT(k16.value().remerge, 0u);
+
+  const auto k4 = predictor.value().predict_recovery(
+      tbon::TopologySpec::flat().with_shards(4), ping);
+  ASSERT_TRUE(k4.is_ok());
+  EXPECT_EQ(k4.value().orphan_leaves, 32u);
+  // Losing a quarter of the tree costs more to re-merge than a sixteenth.
+  EXPECT_GT(k4.value().remerge, k16.value().remerge);
+  EXPECT_GT(k4.value().total(), k4.value().detection);
+}
+
+TEST(PlannerRecovery, DetectionLatencyTracksThePingPeriod) {
+  machine::JobConfig job;
+  job.num_tasks = 1024;
+  stat::StatOptions options;
+  auto predictor = plan::PhasePredictor::create(
+      machine::atlas(), job, options,
+      machine::default_cost_model(machine::atlas()));
+  ASSERT_TRUE(predictor.is_ok());
+  const auto spec = tbon::TopologySpec::flat().with_shards(8);
+  const auto slow = predictor.value().predict_recovery(spec, seconds(1.0));
+  const auto fast = predictor.value().predict_recovery(spec, seconds(0.1));
+  ASSERT_TRUE(slow.is_ok());
+  ASSERT_TRUE(fast.is_ok());
+  EXPECT_GT(slow.value().detection, fast.value().detection);
+  // The remerge half is ping-independent.
+  EXPECT_EQ(slow.value().remerge, fast.value().remerge);
+}
+
+}  // namespace
+}  // namespace petastat

@@ -130,6 +130,34 @@ TEST(Cli, RejectsUnknownFlagsAndValues) {
   EXPECT_FALSE(parse_cli(args({"--format", "xml"})).is_ok());
 }
 
+TEST(Cli, FailureFractionOutOfRangeIsInvalidArgument) {
+  const auto over = parse_cli(args({"--fail-fraction", "1.5"}));
+  EXPECT_EQ(over.status().code(), StatusCode::kInvalidArgument);
+  const auto under = parse_cli(args({"--fail-fraction", "-0.5"}));
+  EXPECT_EQ(under.status().code(), StatusCode::kInvalidArgument);
+  const auto word = parse_cli(args({"--fail-fraction", "half"}));
+  EXPECT_EQ(word.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Cli, RecoveryFlags) {
+  const auto config = parse_cli(args({"--fail-at", "0.5", "--ping-period",
+                                      "0.125", "--app", "oomcascade"}));
+  ASSERT_TRUE(config.is_ok()) << config.status().to_string();
+  EXPECT_DOUBLE_EQ(config.value().options.fail_at_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(config.value().options.ping_period_seconds, 0.125);
+  EXPECT_EQ(config.value().options.app, AppKind::kOomCascade);
+
+  // No kill scheduled unless the user asks for one.
+  const auto defaults = parse_cli({});
+  ASSERT_TRUE(defaults.is_ok());
+  EXPECT_LT(defaults.value().options.fail_at_seconds, 0.0);
+
+  EXPECT_FALSE(parse_cli(args({"--fail-at", "-1"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--fail-at", "soon"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--ping-period", "0"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--ping-period", "-0.25"})).is_ok());
+}
+
 TEST(Cli, FeShardsFlag) {
   const auto pinned = parse_cli(args({"--fe-shards", "4"}));
   ASSERT_TRUE(pinned.is_ok());
@@ -182,6 +210,44 @@ TEST(FailureInjection, TotalLossIsReported) {
   const auto result = scenario.run();
   EXPECT_EQ(result.status.code(), StatusCode::kUnavailable);
   EXPECT_EQ(result.phases.failed_daemons, 8u);
+}
+
+// p = 1.0 takes the deterministic everyone-dies path: no RNG draw, so the
+// verdict cannot depend on the seed.
+TEST(FailureInjection, CertainTotalLossIsSeedIndependent) {
+  machine::JobConfig job;
+  job.num_tasks = 64;  // 8 Atlas daemons
+  for (const std::uint32_t seed : {1u, 999u}) {
+    StatOptions options;
+    options.daemon_failure_probability = 1.0;
+    options.seed = seed;
+    StatScenario scenario(machine::atlas(), job, options);
+    const auto result = scenario.run();
+    EXPECT_EQ(result.status.code(), StatusCode::kUnavailable) << "seed " << seed;
+    EXPECT_EQ(result.phases.failed_daemons, 8u) << "seed " << seed;
+    EXPECT_EQ(result.dead_daemons.size(), 8u) << "seed " << seed;
+  }
+}
+
+TEST(FailureInjection, OutOfRangeProbabilityIsRejected) {
+  machine::JobConfig job;
+  job.num_tasks = 64;
+  for (const double p : {1.5, -0.1}) {
+    StatOptions options;
+    options.daemon_failure_probability = p;
+    StatScenario scenario(machine::atlas(), job, options);
+    EXPECT_EQ(scenario.run().status.code(), StatusCode::kInvalidArgument)
+        << "p = " << p;
+  }
+}
+
+TEST(FailureInjection, NonPositivePingPeriodIsRejected) {
+  machine::JobConfig job;
+  job.num_tasks = 64;
+  StatOptions options;
+  options.ping_period_seconds = 0.0;
+  StatScenario scenario(machine::atlas(), job, options);
+  EXPECT_EQ(scenario.run().status.code(), StatusCode::kInvalidArgument);
 }
 
 TEST(FailureInjection, ZeroProbabilityIsNoop) {

@@ -58,6 +58,7 @@ const char* topo_name(TopoKind t) {
 
 const char* app_name(AppKind a) {
   switch (a) {
+    case AppKind::kOomCascade: return "oomcascade";  // failure matrix only
     case AppKind::kRingHang: return "ring";
     case AppKind::kThreadedRing: return "threadedring";
     case AppKind::kStatBench: return "statbench";
@@ -380,6 +381,167 @@ TEST_P(ScenarioMatrixReducerTree, K16MatchesUnshardedBitForBit) {
 INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixReducerTree,
                          ::testing::ValuesIn(reducer_tree_sample_cases()),
                          param_name);
+
+// --- Failure sub-matrix: mid-merge death across machines and shard counts ---
+// A separate suite (the 120-cell pruning lock above must not move): each cell
+// runs
+//   1. a clean baseline (no failures at all),
+//   2. a survivor baseline (pre-sampling injection only, p = 0.05),
+//   3. the kill run (same injection + a reducer/comm-proc death mid-merge,
+//      detected by ping sweep and recovered by subtree re-merge),
+// and asserts the kill run's product is bit-identical to the survivor
+// baseline (reducer death recovers in full; a flat tree's leaf death loses
+// exactly that daemon), which in turn equals the clean baseline restricted to
+// surviving ranks (empty classes dropped). Recovery may change *when* the
+// merge finishes, never *what* the survivors produce.
+// The failure matrix spans the petascale preset too, which the main matrix's
+// MachineKind deliberately omits (it would triple the 120-cell budget).
+enum class FailureMachine { kAtlas, kBgl, kPetascale };
+
+struct FailureCell {
+  FailureMachine machine;
+  std::uint32_t fe_shards;  // 1 = unsharded flat tree
+};
+
+std::string failure_cell_name(const ::testing::TestParamInfo<FailureCell>& info) {
+  const char* machine = "?";
+  switch (info.param.machine) {
+    case FailureMachine::kAtlas: machine = "atlas"; break;
+    case FailureMachine::kBgl: machine = "bgl"; break;
+    case FailureMachine::kPetascale: machine = "petascale"; break;
+  }
+  return std::string(machine) + "_k" + std::to_string(info.param.fe_shards);
+}
+
+machine::MachineConfig failure_machine(const FailureCell& c) {
+  switch (c.machine) {
+    case FailureMachine::kAtlas: return machine::atlas();
+    case FailureMachine::kBgl: return machine::bgl();
+    case FailureMachine::kPetascale: return machine::petascale();
+  }
+  return machine::atlas();
+}
+
+machine::JobConfig failure_job(const FailureCell& c) {
+  machine::JobConfig job;
+  // Enough daemons that K = 64 still owns one daemon per shard: 64 daemons
+  // on Atlas (8 tasks each) and BG/L CO (64 tasks each), 1,024 on petascale.
+  switch (c.machine) {
+    case FailureMachine::kAtlas: job.num_tasks = 512; break;
+    case FailureMachine::kBgl: job.num_tasks = 4096; break;
+    case FailureMachine::kPetascale: job.num_tasks = 65536; break;
+  }
+  return job;
+}
+
+class FailureMatrix : public ::testing::TestWithParam<FailureCell> {};
+
+TEST_P(FailureMatrix, MidMergeKillPreservesSurvivorClasses) {
+  const FailureCell& c = GetParam();
+  const machine::MachineConfig m = failure_machine(c);
+  const machine::JobConfig job = failure_job(c);
+
+  StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = c.fe_shards;
+  options.repr = TaskSetRepr::kHierarchical;
+  if (c.machine == FailureMachine::kBgl) {
+    options.launcher = LauncherKind::kCiodPatched;
+  }
+  options.num_samples = c.machine == FailureMachine::kPetascale ? 3 : 5;
+  options.exec_threads = exec_threads_from_env();
+
+  StatScenario clean_scenario(m, job, options);
+  const StatRunResult clean = clean_scenario.run();
+  ASSERT_TRUE(clean.status.is_ok()) << clean.status.to_string();
+
+  options.daemon_failure_probability = 0.05;
+  StatScenario survivor_scenario(m, job, options);
+  const StatRunResult survivors = survivor_scenario.run();
+  ASSERT_TRUE(survivors.status.is_ok()) << survivors.status.to_string();
+
+  options.fail_at_seconds = 0.0;
+  options.ping_period_seconds = 0.05;
+  StatScenario kill_scenario(m, job, options);
+  const StatRunResult killed = kill_scenario.run();
+  ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+
+  // The kill actually happened and was noticed by the ping sweep.
+  EXPECT_EQ(killed.phases.killed_procs, 1u);
+  EXPECT_GT(killed.phases.failure_detect_latency, 0u);
+  EXPECT_EQ(killed.dead_daemons, survivors.dead_daemons);
+
+  if (c.fe_shards > 1) {
+    // A reducer died: its shard is re-merged through siblings in full, so
+    // the kill run == survivor baseline, bit for bit.
+    EXPECT_EQ(killed.phases.lost_daemons, 0u);
+    ASSERT_EQ(killed.classes.size(), survivors.classes.size());
+    for (std::size_t i = 0; i < killed.classes.size(); ++i) {
+      EXPECT_EQ(killed.classes[i].path, survivors.classes[i].path);
+      EXPECT_TRUE(killed.classes[i].tasks == survivors.classes[i].tasks);
+    }
+    EXPECT_EQ(class_signature(killed), class_signature(survivors));
+    EXPECT_TRUE(killed.tree_3d == survivors.tree_3d);
+  } else {
+    // Flat tree: the victim is a daemon's own leaf proc, so that daemon's
+    // samples are unrecoverable. The merge must still complete, losing at
+    // most that one daemon — the product is the survivor baseline restricted
+    // to the ranks that made it through.
+    TaskSet killed_covered;
+    for (const EquivalenceClass& cls : killed.classes) {
+      killed_covered.union_with(cls.tasks);
+    }
+    TaskSet survivor_covered;
+    for (const EquivalenceClass& cls : survivors.classes) {
+      survivor_covered.union_with(cls.tasks);
+    }
+    // Nothing appears from thin air, and the casualty list is one daemon at
+    // most (zero when the victim's daemon was already dead pre-sampling).
+    EXPECT_TRUE(killed_covered.difference(survivor_covered).empty());
+    const TaskSet leaf_lost = survivor_covered.difference(killed_covered);
+    EXPECT_LE(leaf_lost.count(), killed.layout.tasks_per_daemon);
+    std::vector<std::string> expected;
+    for (const EquivalenceClass& cls : survivors.classes) {
+      const TaskSet kept = cls.tasks.difference(leaf_lost);
+      if (kept.empty()) continue;
+      expected.push_back(std::to_string(kept.count()) + ":" +
+                         kept.edge_label(/*max_items=*/64));
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(class_signature(killed), expected);
+  }
+
+  // Survivor baseline == clean baseline restricted to surviving ranks.
+  TaskSet surviving;
+  for (const EquivalenceClass& cls : survivors.classes) {
+    surviving.union_with(cls.tasks);
+  }
+  const TaskSet dead_ranks =
+      TaskSet::range(0, job.num_tasks - 1).difference(surviving);
+  EXPECT_EQ(dead_ranks.empty(), survivors.dead_daemons.empty());
+  std::vector<std::string> restricted;
+  for (const EquivalenceClass& cls : clean.classes) {
+    const TaskSet kept = cls.tasks.difference(dead_ranks);
+    if (kept.empty()) continue;
+    restricted.push_back(std::to_string(kept.count()) + ":" +
+                         kept.edge_label(/*max_items=*/64));
+  }
+  std::sort(restricted.begin(), restricted.end());
+  EXPECT_EQ(class_signature(survivors), restricted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sampled, FailureMatrix,
+    ::testing::Values(FailureCell{FailureMachine::kAtlas, 1},
+                      FailureCell{FailureMachine::kAtlas, 16},
+                      FailureCell{FailureMachine::kAtlas, 64},
+                      FailureCell{FailureMachine::kBgl, 1},
+                      FailureCell{FailureMachine::kBgl, 16},
+                      FailureCell{FailureMachine::kBgl, 64},
+                      FailureCell{FailureMachine::kPetascale, 1},
+                      FailureCell{FailureMachine::kPetascale, 16},
+                      FailureCell{FailureMachine::kPetascale, 64}),
+    failure_cell_name);
 
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
   EXPECT_EQ(all_cases().size(), 360u);

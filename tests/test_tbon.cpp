@@ -709,6 +709,59 @@ TEST(Multicast, ReachesEveryLeafOnce) {
   EXPECT_EQ(network.total_messages(), topo.procs.size() - 1);
 }
 
+TEST(Multicast, ZeroLeafTopologyCompletesAtCurrentTimeNotZero) {
+  // Regression: with no leaves to reach, the completion callback used to
+  // report time 0 instead of the simulator's current time.
+  TbonTopology topo;
+  TbonTopology::Proc fe;
+  fe.host = machine::atlas().compute_node(0);
+  topo.procs.push_back(fe);
+
+  sim::Simulator simulator;
+  net::Network network(simulator, machine::atlas(),
+                       net::default_network_params(machine::atlas()));
+  simulator.schedule_in(5 * kSecond, []() {});
+  simulator.run();
+  ASSERT_EQ(simulator.now(), 5 * kSecond);
+
+  SimTime finished = 0;
+  bool fired = false;
+  multicast(simulator, network, topo, 64, [&](SimTime t) {
+    finished = t;
+    fired = true;
+  });
+  simulator.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(finished, 5 * kSecond);
+}
+
+TEST(Multicast, LeafServingSeveralDaemonsCountsOnce) {
+  // Regression: completion used to wait for one decrement per *daemon*; a
+  // leaf proc serving several daemons receives the message once, so the
+  // multicast never completed on such trees.
+  const auto m = machine::atlas();
+  TbonTopology topo;
+  TbonTopology::Proc fe;
+  fe.host = m.compute_node(0);
+  fe.children = {1};
+  topo.procs.push_back(fe);
+  TbonTopology::Proc leaf;
+  leaf.host = m.compute_node(1);
+  leaf.parent = 0;
+  leaf.level = 1;
+  leaf.daemon = DaemonId(0);
+  topo.procs.push_back(leaf);
+  topo.leaf_of_daemon = {1, 1};  // two daemons share the one leaf proc
+
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  bool fired = false;
+  multicast(simulator, network, topo, 64, [&](SimTime) { fired = true; });
+  simulator.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(network.total_messages(), 1u);
+}
+
 TEST(TopologySpecNames, AreDescriptive) {
   EXPECT_EQ(TopologySpec::flat().name(), "1-deep");
   EXPECT_EQ(TopologySpec::balanced(2).name(), "2-deep");
