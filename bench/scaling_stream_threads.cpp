@@ -1,0 +1,132 @@
+// Scaling: real wall-clock vs `--exec-threads` on the streaming merge
+// (ROADMAP item 5, the multi-core demo).
+//
+// The execution engine overlaps the *real* tree merges between the cost
+// model's virtual timestamps, so a streaming run's results — virtual
+// per-round timings included — are bit-identical at any thread count while
+// the wall-clock to compute them drops on a multi-core host. This bench
+// runs the BG/L streaming scenario at 1/2/4 worker threads and records:
+//   * the correctness gate (always, any host): trees, classes, and every
+//     per-round virtual merge time identical across thread counts;
+//   * the scaling demo (hosts with >= 4 hardware cores; skipped under CI
+//     runners with fewer): 4-thread wall-clock beats 1-thread.
+//
+// Wall-clock numbers are reported as anchors, never as table points: table
+// points feed the bench-regression gate and must be deterministic, which
+// only the virtual times are.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+constexpr std::uint32_t kRounds = 8;
+constexpr std::uint32_t kTasks = 65536;
+
+struct ThreadPoint {
+  double wall_s = -1.0;
+  double steady_merge_s = -1.0;  // virtual; identical across thread counts
+  stat::StatRunResult result;
+};
+
+ThreadPoint run_threads(std::uint32_t exec_threads) {
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.app = stat::AppKind::kImbalance;
+  options.evolution = app::TraceEvolution::kDrift;
+  options.shuffle_task_map = false;
+  options.stream_samples = kRounds;
+  options.exec_threads = exec_threads;
+
+  ThreadPoint point;
+  const auto start = std::chrono::steady_clock::now();
+  point.result = run_scenario(machine::bgl(), kTasks,
+                              machine::BglMode::kCoprocessor, options);
+  point.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  if (!point.result.status.is_ok()) return point;
+  double merge_sum = 0.0;
+  for (std::uint32_t round = 1; round < kRounds; ++round) {
+    merge_sum += to_seconds(point.result.stream_samples[round].merge_time);
+  }
+  point.steady_merge_s = merge_sum / (kRounds - 1);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  title("Scaling — streaming merge vs --exec-threads",
+        "real wall-clock of the BG/L streaming scenario at 1/2/4 worker "
+        "threads; results bit-identical at every count");
+
+  const std::vector<std::uint32_t> thread_counts = {1, 2, 4};
+  std::vector<ThreadPoint> points;
+  for (const std::uint32_t threads : thread_counts) {
+    points.push_back(run_threads(threads));
+  }
+
+  Series steady("steady-virtual-merge");
+  bool all_ok = true;
+  bool identical = true;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const ThreadPoint& point = points[i];
+    all_ok = all_ok && point.result.status.is_ok();
+    steady.add(thread_counts[i], point.steady_merge_s,
+               point.result.status.is_ok()
+                   ? ""
+                   : status_code_name(point.result.status.code()));
+    if (!point.result.status.is_ok() || !points[0].result.status.is_ok()) {
+      identical = false;
+      continue;
+    }
+    identical = identical &&
+                point.result.tree_2d == points[0].result.tree_2d &&
+                point.result.tree_3d == points[0].result.tree_3d &&
+                point.result.classes.size() == points[0].result.classes.size();
+    for (std::uint32_t round = 0; round < kRounds && identical; ++round) {
+      identical = point.result.stream_samples[round].merge_time ==
+                  points[0].result.stream_samples[round].merge_time;
+    }
+    char measured[64];
+    std::snprintf(measured, sizeof measured, "%.2fs wall", point.wall_s);
+    char what[64];
+    std::snprintf(what, sizeof what, "wall-clock at --exec-threads %u",
+                  thread_counts[i]);
+    anchor(what, "n/a", measured);
+  }
+  print_table("exec-threads", {steady});
+
+  shape_check(
+      "streaming results (trees, classes, per-round virtual merge times) "
+      "bit-identical across --exec-threads 1/2/4",
+      all_ok && identical);
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= 4) {
+    char measured[64];
+    std::snprintf(measured, sizeof measured, "%.2fx",
+                  points[0].wall_s / points[2].wall_s);
+    anchor("wall-clock speedup, 1 -> 4 threads", "> 1", measured);
+    shape_check("4 worker threads beat 1 on wall-clock (>= 4 cores)",
+                all_ok && points[2].wall_s < points[0].wall_s);
+  } else {
+    char skip[96];
+    std::snprintf(skip, sizeof skip,
+                  "wall-clock scaling gate skipped: %u hardware core(s), "
+                  "needs >= 4",
+                  cores);
+    note(skip);
+  }
+
+  return finish(argc, argv);
+}

@@ -15,6 +15,11 @@ Rng trace_rng(std::uint64_t seed, std::uint32_t task, std::uint32_t thread,
   return Rng(sm.next());
 }
 
+/// kDrift pins the noise stream to sample 0: only scripted events move.
+std::uint32_t noise_sample(TraceEvolution evolution, std::uint32_t sample) {
+  return evolution == TraceEvolution::kJitter ? sample : 0;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -39,16 +44,20 @@ RingHangApp::RingHangApp(RingHangOptions options) : options_(std::move(options))
 CallPath RingHangApp::stack(TaskId task, std::uint32_t thread,
                             std::uint32_t sample) const {
   check(task.value() < options_.num_tasks, "RingHangApp::stack task out of range");
-  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+  Rng rng = trace_rng(options_.seed, task.value(), thread,
+                      noise_sample(options_.evolution, sample));
 
+  // Before the hang onset, tasks 1 and 2 are still healthy and sit in the
+  // barrier with everyone else (onset 0 = hung from the start).
+  const bool hung = sample >= options_.hang_onset_sample;
   CallPath path{f_start_, f_main_};
-  if (task.value() == 1) {
+  if (task.value() == 1 && hung) {
     // The injected bug: task 1 stalls before its send, polling the clock.
     path.push_back(f_send_or_stall_);
     path.push_back(f_gettimeofday_);
     return path;
   }
-  if (task.value() == 2) {
+  if (task.value() == 2 && hung) {
     // Task 2 never receives from task 1: stuck in MPI_Waitall driving the
     // progress engine.
     path.push_back(f_waitall_);
@@ -104,7 +113,8 @@ CallPath ThreadedRingApp::stack(TaskId task, std::uint32_t thread,
                                 std::uint32_t sample) const {
   if (thread == 0) return ring_.stack(task, 0, sample);
   // Worker threads: OpenMP-style compute kernel with two hot inner loops.
-  Rng rng = trace_rng(options_.ring.seed * 31, task.value(), thread, sample);
+  Rng rng = trace_rng(options_.ring.seed * 31, task.value(), thread,
+                      noise_sample(options_.ring.evolution, sample));
   CallPath path{f_clone_, f_start_thread_, f_gomp_start_, f_kernel_};
   if (rng.bernoulli(0.6)) {
     path.push_back(f_stencil_);
@@ -139,7 +149,8 @@ IoStallApp::IoStallApp(IoStallOptions options) : options_(std::move(options)) {
 CallPath IoStallApp::stack(TaskId task, std::uint32_t thread,
                            std::uint32_t sample) const {
   check(task.value() < options_.num_tasks, "IoStallApp::stack task out of range");
-  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+  Rng rng = trace_rng(options_.seed, task.value(), thread,
+                      noise_sample(options_.evolution, sample));
 
   CallPath path{f_start_, f_main_};
   if (is_aggregator(task)) {
@@ -180,6 +191,8 @@ ImbalanceApp::ImbalanceApp(ImbalanceOptions options)
   check(options_.min_recursion >= 1 &&
             options_.min_recursion <= options_.max_recursion,
         "ImbalanceApp recursion range is empty");
+  check(options_.drift_period >= 1 && options_.drift_block >= 1,
+        "ImbalanceApp drift_period and drift_block must be >= 1");
   f_start_ = frames_.intern(options_.bgl_frames ? "_start_blrts" : "_start");
   f_main_ = frames_.intern("main");
   f_solve_ = frames_.intern("solve_domain");
@@ -192,10 +205,27 @@ ImbalanceApp::ImbalanceApp(ImbalanceOptions options)
   f_advance_ = frames_.intern("BGLML_Messager_advance");
 }
 
+std::uint32_t ImbalanceApp::drift_phase(TaskId task) const {
+  const std::uint32_t block = task.value() / options_.drift_block;
+  const std::uint32_t blocks =
+      (options_.num_tasks + options_.drift_block - 1) / options_.drift_block;
+  // Contiguous bands: blocks [0, blocks/period) get phase 0, the next band
+  // phase 1, ... so one band of *adjacent daemons* drifts per sample.
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(block) * options_.drift_period) / blocks);
+}
+
+bool ImbalanceApp::drifts_at(TaskId task, std::uint32_t sample) const {
+  if (options_.evolution != TraceEvolution::kDrift) return false;
+  if (!is_straggler(task) || sample == 0) return false;
+  return (sample + drift_phase(task)) % options_.drift_period == 0;
+}
+
 CallPath ImbalanceApp::stack(TaskId task, std::uint32_t thread,
                              std::uint32_t sample) const {
   check(task.value() < options_.num_tasks, "ImbalanceApp::stack out of range");
-  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+  Rng rng = trace_rng(options_.seed, task.value(), thread,
+                      noise_sample(options_.evolution, sample));
 
   CallPath path{f_start_, f_main_};
   if (is_straggler(task)) {
@@ -204,10 +234,16 @@ CallPath ImbalanceApp::stack(TaskId task, std::uint32_t thread,
     // was dealt (the hang diagnosis the classes must surface).
     path.push_back(f_solve_);
     Rng task_rng(options_.seed, /*stream_id=*/task.value());
-    const std::uint32_t depth =
+    std::uint32_t depth =
         options_.min_recursion +
         static_cast<std::uint32_t>(task_rng.next_below(
             options_.max_recursion - options_.min_recursion + 1));
+    if (options_.evolution == TraceEvolution::kDrift) {
+      // The straggler grinds deeper over time: one refine_cell level per
+      // drift_period samples, phase-staggered across bands. Count of
+      // s' in [1, sample] with (s' + phase) % period == 0.
+      depth += (sample + drift_phase(task)) / options_.drift_period;
+    }
     for (std::uint32_t i = 0; i < depth; ++i) path.push_back(f_refine_);
     // The straggler is actively computing, so the leaf varies sample to
     // sample (the 3D tree's time dimension).
@@ -254,7 +290,8 @@ OomCascadeApp::OomCascadeApp(OomCascadeOptions options)
 CallPath OomCascadeApp::stack(TaskId task, std::uint32_t thread,
                               std::uint32_t sample) const {
   check(task.value() < options_.num_tasks, "OomCascadeApp::stack out of range");
-  Rng rng = trace_rng(options_.seed, task.value(), thread, sample);
+  Rng rng = trace_rng(options_.seed, task.value(), thread,
+                      noise_sample(options_.evolution, sample));
 
   CallPath path{f_start_, f_main_};
   if (task == options_.victim_task) {
@@ -340,7 +377,8 @@ CallPath StatBenchApp::stack(TaskId task, std::uint32_t /*thread*/,
   check(task.value() < options_.num_tasks, "StatBenchApp::stack out of range");
   // Tasks mostly stay in their class; a small sample-dependent fraction
   // wander (time dimension of the 3D tree).
-  Rng rng = trace_rng(options_.seed, task.value(), 0, sample);
+  Rng rng = trace_rng(options_.seed, task.value(), 0,
+                      noise_sample(options_.evolution, sample));
   std::uint32_t cls = class_of(task);
   if (rng.bernoulli(0.05)) {
     cls = static_cast<std::uint32_t>(rng.next_below(options_.num_classes));

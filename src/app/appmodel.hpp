@@ -31,6 +31,19 @@
 
 namespace petastat::app {
 
+/// How ground-truth traces evolve across the sample index.
+enum class TraceEvolution : std::uint8_t {
+  /// Historical default: fresh per-sample noise in every task's
+  /// progress-engine depth, so nearly every task's trace wiggles on every
+  /// sample. Right for one-shot class snapshots; worst case for streaming.
+  kJitter = 0,
+  /// Streaming drift mode: the noise draws are frozen per task and traces
+  /// change only through sparse scripted temporal events — hang onset,
+  /// straggler drift, the OOM-cascade front — so per-sample deltas are
+  /// proportional to what actually happened, not to the job size.
+  kDrift,
+};
+
 /// One on-disk binary image the dynamic loader maps.
 struct BinaryImage {
   std::string path;
@@ -75,6 +88,11 @@ struct RingHangOptions {
   /// "_start_blrts" on BG/L, "_start" elsewhere.
   bool bgl_frames = true;
   std::uint64_t seed = 2008;
+  TraceEvolution evolution = TraceEvolution::kJitter;
+  /// First sample at which tasks 1 and 2 show the hang signature; before it
+  /// they sit in the barrier with everyone else. 0 = hung from the start
+  /// (the historical behaviour).
+  std::uint32_t hang_onset_sample = 0;
   AppBinarySpec binaries;
 };
 
@@ -138,6 +156,9 @@ struct IoStallOptions {
   /// Every `aggregator_stride`-th rank is an I/O aggregator.
   std::uint32_t aggregator_stride = 64;
   std::uint64_t seed = 2008;
+  /// kDrift freezes the barrier-depth noise: the stall is persistent, so a
+  /// streaming run sees an entirely static trace set.
+  TraceEvolution evolution = TraceEvolution::kJitter;
   AppBinarySpec binaries;
 };
 
@@ -182,6 +203,17 @@ struct ImbalanceOptions {
   std::uint32_t min_recursion = 6;
   std::uint32_t max_recursion = 22;
   std::uint64_t seed = 2008;
+  /// kDrift freezes the noise and instead *drifts* the stragglers: each
+  /// sample, the stragglers of one phase band push one refine_cell level
+  /// deeper. With drift_block set to the daemon width, exactly one
+  /// contiguous 1/drift_period slice of the daemons changes per sample —
+  /// the streaming bench's low-drift workload.
+  TraceEvolution evolution = TraceEvolution::kJitter;
+  /// Samples between two drift steps of the same straggler.
+  std::uint32_t drift_period = 8;
+  /// Tasks per drift phase block (bands are contiguous in task order). The
+  /// scenario sets this to tasks-per-daemon so drift changes whole daemons.
+  std::uint32_t drift_block = 32;
   AppBinarySpec binaries;
 };
 
@@ -207,6 +239,13 @@ class ImbalanceApp : public AppModel {
   [[nodiscard]] bool is_straggler(TaskId task) const {
     return task.value() % options_.straggler_stride == 0;
   }
+  /// Drift phase band of a task (kDrift): contiguous blocks of drift_block
+  /// tasks share a phase, bands spread evenly over [0, drift_period).
+  [[nodiscard]] std::uint32_t drift_phase(TaskId task) const;
+  /// True when `task`'s trace at `sample` differs from `sample - 1` under
+  /// kDrift — the exact per-sample delta rule, exposed so the streaming
+  /// bench can hand plan::predict_stream_sample the true changed set.
+  [[nodiscard]] bool drifts_at(TaskId task, std::uint32_t sample) const;
 
  private:
   ImbalanceOptions options_;
@@ -227,6 +266,10 @@ struct OomCascadeOptions {
   /// Ranks within this distance of the victim inherit its traffic.
   std::uint32_t neighbour_radius = 8;
   std::uint64_t seed = 2008;
+  /// kDrift freezes the barrier/leaf noise, leaving the cascade itself —
+  /// the deepening spiral and the advancing onset front — as the only
+  /// per-sample change.
+  TraceEvolution evolution = TraceEvolution::kJitter;
   AppBinarySpec binaries;
 };
 
@@ -287,6 +330,8 @@ struct StatBenchOptions {
   std::uint32_t max_depth = 12;
   std::uint32_t branch_factor = 3;  // distinct callees per frame
   std::uint64_t seed = 7;
+  /// kDrift freezes the class-wander draws: tasks stay in their class.
+  TraceEvolution evolution = TraceEvolution::kJitter;
   AppBinarySpec binaries;
 };
 

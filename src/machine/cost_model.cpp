@@ -162,4 +162,25 @@ SimTime subtree_remerge_cost(const MergeCosts& costs,
              shard_combine_cost(costs, leaf_tree_nodes, leaf_payload_bytes);
 }
 
+SimTime control_packet_cost(const StreamCosts& costs) {
+  return costs.control_packet_cpu;
+}
+
+SimTime signature_cost(const StreamCosts& costs, std::uint64_t traces) {
+  return static_cast<SimTime>(
+      static_cast<double>(costs.signature_per_trace) *
+      static_cast<double>(traces));
+}
+
+SimTime cached_merge_cost(const MergeCosts& merge, const StreamCosts& stream,
+                          std::uint64_t tree_nodes,
+                          std::uint64_t label_bytes) {
+  // The cache holds a decoded, canonically-ordered tree: a lock-step walk
+  // with label unions, no unpack and no decode-side allocation churn.
+  return tree_nodes * stream.cached_merge_per_node +
+         static_cast<SimTime>(
+             static_cast<double>(merge.merge_per_label_byte) *
+             static_cast<double>(label_bytes));
+}
+
 }  // namespace petastat::machine

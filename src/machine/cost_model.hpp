@@ -96,11 +96,31 @@ struct MergeCosts {
   std::uint64_t frontend_rx_buffer_bytes = 64ull << 20;
 };
 
+/// Streaming-sampling constants (the --stream continuous mode).
+struct StreamCosts {
+  /// Comm-process/daemon CPU to handle one SampleRequest control packet:
+  /// decode the envelope, arm the sample timer, queue the per-child copies.
+  /// Far below per_packet_cpu — control packets carry a 17-byte cursor or a
+  /// 14-byte DeltaHeader ack, not a payload: no tree decode, no allocation,
+  /// one fixed-size envelope read.
+  SimTime control_packet_cpu = seconds(0.00003);
+  /// Daemon CPU per trace folded into the per-sample class-signature hash
+  /// (one canonical-encode pass over the local snapshot tree).
+  SimTime signature_per_trace = seconds(0.0000004);
+  /// Proc CPU per tree node to fold a *cached* child payload back into the
+  /// accumulator. Far below merge_per_tree_node: the cached tree is already
+  /// decoded, its children already sorted canonically, and its frames
+  /// already interned, so the fold is a lock-step walk with label unions —
+  /// no unpack, no allocation churn.
+  SimTime cached_merge_per_node = seconds(0.0000002);
+};
+
 /// All cost constants for one platform.
 struct CostModel {
   LaunchCosts launch;
   SamplingCosts sampling;
   MergeCosts merge;
+  StreamCosts stream;
 };
 
 /// Default cost model for a machine preset.
@@ -239,5 +259,34 @@ struct CostModel {
                                            std::uint32_t adopters,
                                            std::uint64_t leaf_tree_nodes,
                                            std::uint64_t leaf_payload_bytes);
+
+// --- Streaming sampling ----------------------------------------------------
+//
+// The --stream mode broadcasts one SampleRequest down the tree, then runs N
+// incremental per-sample merge rounds upward (tbon::StreamingReduction).
+// These formulas price the pieces streaming adds; transfers still go through
+// net::, payload codec/merge through the MergeCosts formulas above, so the
+// simulator and plan::predict_stream_sample can never drift apart.
+
+/// CPU a proc spends handling one SampleRequest control packet on its way
+/// down the tree (decode + re-arm + forward bookkeeping).
+[[nodiscard]] SimTime control_packet_cost(const StreamCosts& costs);
+
+/// Daemon CPU to hash its per-sample snapshot into a class signature —
+/// the cost of *knowing* nothing changed, paid every round by every daemon.
+[[nodiscard]] SimTime signature_cost(const StreamCosts& costs,
+                                     std::uint64_t traces);
+
+/// Incremental re-merge of one *cached* child accumulator: the cache holds
+/// the decoded tree from the last round, so a dirty proc pays a lock-step
+/// structural walk (cached_merge_per_node per node, plus the usual
+/// per-label-byte union work) but no unpack codec and none of the
+/// decode-side allocation churn. This asymmetry (full codec + merge only
+/// for changed arrivals) is where the streaming win comes from on the CPU
+/// side; the network side saves the whole payload transfer.
+[[nodiscard]] SimTime cached_merge_cost(const MergeCosts& merge,
+                                        const StreamCosts& stream,
+                                        std::uint64_t tree_nodes,
+                                        std::uint64_t label_bytes);
 
 }  // namespace petastat::machine

@@ -9,6 +9,7 @@
 #include "stat/hier_taskset.hpp"
 #include "stat/prefix_tree.hpp"
 #include "tbon/health.hpp"
+#include "tbon/multicast.hpp"
 
 namespace petastat::plan {
 
@@ -125,6 +126,94 @@ void profile_with_label(const app::AppModel& app,
   profile.leaf_tree_nodes = leaf_nodes_sum / merged_daemons;
 }
 
+/// Synthesizes one daemon's single-sample streaming snapshot exactly as the
+/// scenario's streaming sink would (stat::StreamSnapshot: one tree, label
+/// seeded per representation).
+template <typename Label>
+stat::StreamSnapshot<Label> synthesize_snapshot(
+    const app::AppModel& app, const machine::DaemonLayout& layout,
+    const stat::TaskMap& task_map, std::uint32_t daemon) {
+  stat::StreamSnapshot<Label> snapshot;
+  const std::uint32_t count = layout.tasks_of(DaemonId(daemon));
+  const std::uint32_t threads = app.threads_per_task();
+  for (std::uint32_t t = 0; t < count; ++t) {
+    const TaskId task = TaskId(task_map.global_rank(daemon, t));
+    for (std::uint32_t th = 0; th < threads; ++th) {
+      const app::CallPath path = app.stack(task, th, /*sample=*/0);
+      Label seed;
+      if constexpr (std::is_same_v<Label, stat::GlobalLabel>) {
+        seed = stat::GlobalLabel::for_task(task.value());
+      } else {
+        seed = stat::HierLabel::for_local(daemon, t);
+      }
+      snapshot.tree.insert(path, seed);
+    }
+  }
+  return snapshot;
+}
+
+template <typename Label>
+void stream_profile_with_label(const app::AppModel& app,
+                               const machine::DaemonLayout& layout,
+                               const stat::TaskMap& task_map,
+                               WorkloadProfile& profile) {
+  const stat::LabelContext ctx{layout.num_tasks};
+  const app::FrameTable& frames = app.frames();
+
+  std::vector<std::uint32_t> ks;
+  for (std::uint32_t k = 1; k <= layout.num_daemons && k <= 8; k *= 2) {
+    ks.push_back(k);
+  }
+  if (ks.back() < layout.num_daemons && ks.back() < 8) {
+    ks.push_back(layout.num_daemons);
+  }
+
+  double leaf_bytes_sum = 0.0;
+  double leaf_nodes_sum = 0.0;
+  stat::StreamSnapshot<Label> merged;
+  std::uint32_t merged_daemons = 0;
+  for (const std::uint32_t k : ks) {
+    for (std::uint32_t d = merged_daemons; d < k; ++d) {
+      stat::StreamSnapshot<Label> leaf =
+          synthesize_snapshot<Label>(app, layout, task_map, d);
+      leaf_bytes_sum +=
+          static_cast<double>(stat::snapshot_wire_bytes(leaf, frames, ctx));
+      leaf_nodes_sum += static_cast<double>(leaf.tree.node_count());
+      merged.tree.merge(leaf.tree);
+    }
+    merged_daemons = k;
+    profile.probe_counts.push_back(k);
+    profile.merged_payload_bytes.push_back(
+        static_cast<double>(stat::snapshot_wire_bytes(merged, frames, ctx)));
+    profile.merged_tree_nodes.push_back(
+        static_cast<double>(merged.tree.node_count()));
+  }
+  profile.leaf_payload_bytes = leaf_bytes_sum / merged_daemons;
+  profile.leaf_tree_nodes = leaf_nodes_sum / merged_daemons;
+}
+
+/// Measures the single-sample snapshot sizes the streaming delta rounds
+/// move — the --stream counterpart of profile_workload (which measures the
+/// batched 2D+3D payload across all samples).
+WorkloadProfile profile_stream_workload(const machine::MachineConfig& machine,
+                                        const machine::JobConfig& job,
+                                        const machine::DaemonLayout& layout,
+                                        const stat::StatOptions& options) {
+  WorkloadProfile profile;
+  const auto app = stat::make_app_model(machine, job, options);
+  const stat::TaskMap task_map =
+      options.shuffle_task_map ? stat::TaskMap::shuffled(layout, options.seed)
+                               : stat::TaskMap::identity(layout);
+  if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
+    stream_profile_with_label<stat::GlobalLabel>(*app, layout, task_map,
+                                                 profile);
+  } else {
+    stream_profile_with_label<stat::HierLabel>(*app, layout, task_map,
+                                               profile);
+  }
+  return profile;
+}
+
 }  // namespace
 
 WorkloadProfile profile_workload(const machine::MachineConfig& machine,
@@ -166,7 +255,9 @@ PhasePredictor::PhasePredictor(machine::MachineConfig machine,
       costs_(costs),
       layout_(layout),
       net_(net::default_network_params(machine_)),
-      profile_(profile_workload(machine_, job_, layout_, options_)) {
+      profile_(profile_workload(machine_, job_, layout_, options_)),
+      stream_profile_(
+          profile_stream_workload(machine_, job_, layout_, options_)) {
   // Fold the per-run connection override into the config (mirrors
   // StatScenario): the reducer-tree fan-in clamp in tbon::derive_levels and
   // every viability check must see the same limit, or the planner would
@@ -493,6 +584,174 @@ Result<RecoveryPrediction> PhasePredictor::predict_recovery(
     r.remerge += seconds(nic_s);
   }
   return r;
+}
+
+Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
+    const tbon::TopologySpec& spec,
+    const std::vector<bool>& daemon_changed) const {
+  auto topo_result = tbon::build_topology(machine_, layout_, spec);
+  if (!topo_result.is_ok()) return topo_result.status();
+  const tbon::TbonTopology& topo = topo_result.value();
+
+  std::vector<bool> changed = daemon_changed;
+  if (changed.empty()) changed.assign(layout_.num_daemons, true);
+  if (changed.size() != layout_.num_daemons) {
+    return invalid_argument(
+        "changed mask covers " + std::to_string(changed.size()) +
+        " daemons, job has " + std::to_string(layout_.num_daemons));
+  }
+
+  // Subtree coverage and dirtiness, bottom-up (children index after
+  // parents). A proc is dirty — it re-merges and forwards its subtree
+  // snapshot — exactly when some daemon under it changed.
+  const std::size_t n = topo.procs.size();
+  std::vector<double> daemons_under(n, 0.0);
+  std::vector<bool> dirty(n, false);
+  for (std::uint32_t d = 0; d < layout_.num_daemons; ++d) {
+    if (changed[d]) dirty[topo.leaf_of_daemon[d]] = true;
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    const auto& proc = topo.procs[i];
+    if (proc.is_leaf()) {
+      daemons_under[i] = 1.0;
+      continue;
+    }
+    for (const std::uint32_t c : proc.children) {
+      daemons_under[i] += daemons_under[c];
+      if (dirty[c]) dirty[i] = true;
+    }
+  }
+
+  const auto bytes_of = [&](std::size_t i) {
+    return topo.procs[i].is_leaf()
+               ? stream_profile_.leaf_payload_bytes
+               : stream_profile_.payload_bytes_for(daemons_under[i]);
+  };
+  const auto nodes_of = [&](std::size_t i) {
+    return topo.procs[i].is_leaf()
+               ? stream_profile_.leaf_tree_nodes
+               : stream_profile_.tree_nodes_for(daemons_under[i]);
+  };
+
+  StreamSamplePrediction p;
+  for (std::uint32_t d = 0; d < layout_.num_daemons; ++d) {
+    if (changed[d]) ++p.changed_daemons;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (topo.procs[i].is_leaf()) continue;
+    if (dirty[i]) {
+      ++p.remerged_procs;
+    } else {
+      ++p.cached_procs;
+    }
+  }
+
+  // Same level-by-level critical path as predict(), with every charge taken
+  // from the streaming round's formulas: a changed child costs its delta's
+  // codec + filter merge, an acknowledging child costs the ack codec (plus a
+  // cached re-merge when the parent is dirty), and a proc forwards either
+  // its packed subtree delta or a bare ack.
+  struct LevelCost {
+    double worst_cpu_s = 0.0;
+    double worst_latency_s = 0.0;
+    std::vector<std::pair<NodeId, double>> nic_s;  // per parent host
+  };
+  std::vector<LevelCost> levels(topo.depth);
+  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  const double ack_codec_s =
+      to_seconds(machine::control_packet_cost(costs_.stream));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& parent = topo.procs[i];
+    if (parent.children.empty()) continue;
+    LevelCost& level = levels[parent.level];
+    double cpu_s = 0.0;
+    double nic_s = 0.0;
+    for (const std::uint32_t c : parent.children) {
+      const double snap_bytes = bytes_of(c);
+      const auto snap_wire = static_cast<std::uint64_t>(snap_bytes);
+      const std::uint64_t wire = dirty[c] ? tbon::delta_wire_bytes(snap_wire)
+                                          : tbon::kDeltaAckBytes;
+      if (dirty[c]) {
+        cpu_s += to_seconds(machine::packet_codec_cost(costs_.merge, wire));
+        cpu_s += to_seconds(machine::filter_merge_cost(
+            costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), snap_wire));
+      } else if (dirty[i]) {
+        // A dirty parent handles the cheap acks while still waiting on its
+        // changed children's payloads — off the critical path — and folds
+        // the cached copies once all children are accounted for.
+        cpu_s += to_seconds(machine::cached_merge_cost(
+            costs_.merge, costs_.stream,
+            static_cast<std::uint64_t>(nodes_of(c)), snap_wire));
+      } else {
+        cpu_s += ack_codec_s;
+      }
+      p.delta_bytes += wire;
+      nic_s += static_cast<double>(wire) /
+               net::transfer_rate(net_, topo.procs[c].host, parent.host);
+      level.worst_latency_s = std::max(
+          level.worst_latency_s,
+          to_seconds(
+              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
+              msg_overhead_s);
+    }
+    if (parent.parent >= 0) {
+      cpu_s += dirty[i]
+                   ? to_seconds(machine::packet_codec_cost(
+                         costs_.merge,
+                         tbon::delta_wire_bytes(
+                             static_cast<std::uint64_t>(bytes_of(i)))))
+                   : ack_codec_s;
+    } else if (dirty[i]) {
+      // The front end packs its re-merged accumulator; a clean round is
+      // answered from the cache for free.
+      cpu_s += to_seconds(machine::packet_codec_cost(
+          costs_.merge, static_cast<std::uint64_t>(bytes_of(i))));
+    }
+    level.worst_cpu_s = std::max(level.worst_cpu_s, cpu_s);
+    auto it = std::find_if(level.nic_s.begin(), level.nic_s.end(),
+                           [&](const auto& e) { return e.first == parent.host; });
+    if (it == level.nic_s.end()) {
+      level.nic_s.emplace_back(parent.host, nic_s);
+    } else {
+      it->second += nic_s;  // comm procs sharing one host share its NIC
+    }
+  }
+
+  // Every leaf hashes its snapshot before sending; the slowest leaf is a
+  // changed one (its delta pack dwarfs an ack's) whenever any changed.
+  const double sig_s = to_seconds(machine::signature_cost(
+      costs_.stream,
+      static_cast<std::uint64_t>(stream_profile_.leaf_tree_nodes)));
+  double merge_s = sig_s;
+  if (p.changed_daemons > 0) {
+    merge_s += to_seconds(machine::packet_codec_cost(
+        costs_.merge,
+        tbon::delta_wire_bytes(
+            static_cast<std::uint64_t>(stream_profile_.leaf_payload_bytes))));
+  } else {
+    merge_s += ack_codec_s;
+  }
+  for (std::size_t l = levels.size(); l-- > 0;) {
+    const LevelCost& level = levels[l];
+    double worst_nic_s = 0.0;
+    for (const auto& [host, s] : level.nic_s) {
+      worst_nic_s = std::max(worst_nic_s, s);
+    }
+    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_nic_s);
+  }
+  p.merge = seconds(merge_s);
+  return p;
+}
+
+Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
+    const tbon::TopologySpec& spec, double changed_fraction) const {
+  check(changed_fraction >= 0.0 && changed_fraction <= 1.0,
+        "changed_fraction outside [0, 1]");
+  const auto band = static_cast<std::uint32_t>(
+      std::llround(changed_fraction * layout_.num_daemons));
+  std::vector<bool> changed(layout_.num_daemons, false);
+  for (std::uint32_t d = 0; d < band; ++d) changed[d] = true;
+  return predict_stream_sample(spec, changed);
 }
 
 }  // namespace petastat::plan

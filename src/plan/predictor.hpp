@@ -93,6 +93,17 @@ struct PhasePrediction {
   }
 };
 
+/// Predicted cost of one streaming sample round (--stream): the delta merge
+/// from the leaves' signature hashes to the front end's completion, given
+/// which daemons' snapshots changed since the previous round.
+struct StreamSamplePrediction {
+  SimTime merge = 0;              // run_round -> front-end completion
+  std::uint64_t delta_bytes = 0;  // upward wire traffic this round
+  std::uint32_t changed_daemons = 0;
+  std::uint32_t remerged_procs = 0;  // dirty non-leaf procs (incl. the FE)
+  std::uint32_t cached_procs = 0;    // clean non-leaf procs (incl. the FE)
+};
+
 /// Predicted cost of one mid-merge proc death under the ping-sweep monitor
 /// (tbon::HealthMonitor + Reduction::recover), priced through the shared
 /// machine/cost_model recovery formulas.
@@ -126,6 +137,27 @@ class PhasePredictor {
   [[nodiscard]] Result<RecoveryPrediction> predict_recovery(
       const tbon::TopologySpec& spec, SimTime ping_period) const;
 
+  /// Prices one streaming delta round (tbon::StreamingReduction) for `spec`:
+  /// each daemon in `daemon_changed` resends its packed snapshot, every
+  /// other daemon acknowledges with a bare DeltaHeader; a proc with a
+  /// changed child re-merges it (codec + filter merge) plus its cached
+  /// copies of the unchanged children (machine::cached_merge_cost) and
+  /// forwards its whole subtree snapshot, while a clean subtree costs acks
+  /// all the way up — the exact per-arrival formulas make_stream_ops plugs
+  /// into the simulated reduction, over single-sample snapshot sizes
+  /// measured through the real tree code. An empty mask means "every daemon
+  /// changed" (the sample-0 / post-recovery full round).
+  [[nodiscard]] Result<StreamSamplePrediction> predict_stream_sample(
+      const tbon::TopologySpec& spec,
+      const std::vector<bool>& daemon_changed) const;
+
+  /// The ISSUE formula's "expected changed-fraction" convenience: prices a
+  /// round where a contiguous band of round(fraction * daemons) daemons
+  /// changed — the drifting-straggler workload's shape, where one band of
+  /// adjacent daemons moves per sample.
+  [[nodiscard]] Result<StreamSamplePrediction> predict_stream_sample(
+      const tbon::TopologySpec& spec, double changed_fraction) const;
+
   [[nodiscard]] const machine::MachineConfig& machine() const {
     return machine_;
   }
@@ -148,6 +180,9 @@ class PhasePredictor {
   machine::DaemonLayout layout_;
   net::NetworkParams net_;
   WorkloadProfile profile_;
+  /// Single-sample snapshot sizes (stat::StreamSnapshot — one tree, not the
+  /// batched 2D+3D payload): what the streaming delta rounds actually move.
+  WorkloadProfile stream_profile_;
 };
 
 }  // namespace petastat::plan

@@ -23,6 +23,14 @@ SimTime StackWalker::walk_cost(std::size_t frames) const {
 
 void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
                                 const TraceSink& sink, SampleCallback done) {
+  sample_daemon_from(daemon, 0, num_samples, sink, std::move(done));
+}
+
+void StackWalker::sample_daemon_from(DaemonId daemon,
+                                     std::uint32_t first_sample,
+                                     std::uint32_t num_samples,
+                                     const TraceSink& sink,
+                                     SampleCallback done) {
   check(daemon.value() < layout_.num_daemons, "sample_daemon out of range");
   const NodeId host = machine::daemon_host(machine_, daemon);
   const SimTime start = sim_.now();
@@ -72,8 +80,8 @@ void StackWalker::sample_daemon(DaemonId daemon, std::uint32_t num_samples,
   };
   auto synthesis = std::make_shared<Synthesis>();
   auto job = [this, synthesis, sink, daemon, first, count, threads,
-              num_samples]() {
-    for (std::uint32_t s = 0; s < num_samples; ++s) {
+              first_sample, num_samples]() {
+    for (std::uint32_t s = first_sample; s < first_sample + num_samples; ++s) {
       for (std::uint32_t t = 0; t < count; ++t) {
         const TaskId task = resolver_ ? resolver_(daemon, t) : TaskId(first + t);
         for (std::uint32_t th = 0; th < threads; ++th) {

@@ -77,6 +77,15 @@ class StackWalker {
   void sample_daemon(DaemonId daemon, std::uint32_t num_samples,
                      const TraceSink& sink, SampleCallback done);
 
+  /// Cursor form for streaming: samples `num_samples` rounds starting at
+  /// sample index `first_sample` (the app model sees the absolute index, so
+  /// time-varying workloads evolve across rounds). Symbol acquisition is
+  /// amortized across calls — only the first round on each daemon pays the
+  /// shared-FS walk; later cursors reuse the parsed tables.
+  void sample_daemon_from(DaemonId daemon, std::uint32_t first_sample,
+                          std::uint32_t num_samples, const TraceSink& sink,
+                          SampleCallback done);
+
   /// Installs the execution engine. Null or serial: synthesis runs inline,
   /// the historical behaviour. The executor must outlive all sampling.
   void set_executor(sim::Executor* executor) { executor_ = executor; }

@@ -69,6 +69,16 @@ std::string cli_usage() {
       "  --repr dense|hier               edge-label representation\n"
       "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
       "  --samples N                     traces per task (default 10)\n"
+      "  --stream N[:interval]           streaming mode: N per-sample\n"
+      "                                  incremental merge rounds, spaced\n"
+      "                                  `interval` seconds apart (default\n"
+      "                                  off; replaces --samples)\n"
+      "  --stream-full-remerge           disable the streaming delta caches:\n"
+      "                                  every round re-merges from scratch\n"
+      "                                  (the bit-identity baseline)\n"
+      "  --evolve jitter|drift           how traces evolve across samples\n"
+      "                                  (default jitter; drift pins noise\n"
+      "                                  and moves only scripted events)\n"
       "  --fs nfs|lustre                 shared file system\n"
       "  --sbrs                          relocate binaries to RAM disks\n"
       "  --slim-binaries                 post-OS-update library layout\n"
@@ -223,6 +233,44 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
       if (!n.is_ok()) return n.status();
       if (n.value() == 0 || n.value() > 1000) return bad("--samples out of range");
       config.options.num_samples = static_cast<std::uint32_t>(n.value());
+    } else if (flag == "--stream") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      std::string_view count_text = value.value();
+      std::string_view interval_text;
+      if (const auto colon = count_text.find(':');
+          colon != std::string_view::npos) {
+        interval_text = count_text.substr(colon + 1);
+        count_text = count_text.substr(0, colon);
+        if (interval_text.empty()) {
+          return bad("--stream N:interval has an empty interval");
+        }
+      }
+      auto n = parse_number(flag, count_text);
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0) {
+        return bad("--stream 0 is invalid: omit the flag for the classic "
+                   "batched pipeline");
+      }
+      if (n.value() > 10000) return bad("--stream out of range");
+      config.options.stream_samples = static_cast<std::uint32_t>(n.value());
+      if (!interval_text.empty()) {
+        auto s = parse_seconds(flag, interval_text);
+        if (!s.is_ok()) return s.status();
+        config.options.stream_interval_seconds = s.value();
+      }
+    } else if (flag == "--stream-full-remerge") {
+      config.options.stream_full_remerge = true;
+    } else if (flag == "--evolve") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() == "jitter") {
+        config.options.evolution = app::TraceEvolution::kJitter;
+      } else if (value.value() == "drift") {
+        config.options.evolution = app::TraceEvolution::kDrift;
+      } else {
+        return bad("--evolve expects jitter|drift");
+      }
     } else if (flag == "--fs") {
       auto value = next();
       if (!value.is_ok()) return value.status();

@@ -38,6 +38,9 @@ struct CliConfig {
 ///   --reducer-placement comm|pack|spread  shard-machinery host policy
 ///   --repr dense|hier                 --launcher rsh|ssh|launchmon|ciod|ciod-unpatched
 ///   --samples N                       --fs nfs|lustre
+///   --stream N[:interval]             streaming per-sample merge rounds
+///   --stream-full-remerge             disable the streaming delta caches
+///   --evolve jitter|drift             trace evolution across samples
 ///   --sbrs                            --slim-binaries
 ///   --seed N                          --app ring|threaded|statbench|iostall|imbalance
 ///   --fail-fraction F                 --format text|csv|json

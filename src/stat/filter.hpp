@@ -16,6 +16,7 @@
 #include "machine/cost_model.hpp"
 #include "stat/prefix_tree.hpp"
 #include "tbon/reduction.hpp"
+#include "tbon/streaming.hpp"
 
 namespace petastat::stat {
 
@@ -80,6 +81,66 @@ template <typename Label>
     acc.tree_2d.merge(child.tree_2d);
     acc.tree_3d.merge(child.tree_3d);
   };
+  return ops;
+}
+
+/// One streaming round's payload: the per-sample snapshot tree. The front
+/// end folds each round's merged snapshot into its 3D accumulator — the
+/// canonical merge makes the fold order-independent, so the accumulated
+/// tree is bit-identical to the classic batched 3D tree — and round 0's
+/// snapshot *is* the 2D tree. operator== is the leaf's change detector.
+template <typename Label>
+struct StreamSnapshot {
+  PrefixTree<Label> tree;
+
+  friend bool operator==(const StreamSnapshot&, const StreamSnapshot&) =
+      default;
+};
+
+template <typename Label>
+[[nodiscard]] std::uint64_t snapshot_wire_bytes(
+    const StreamSnapshot<Label>& snapshot, const app::FrameTable& frames,
+    const LabelContext& ctx) {
+  // One tree plus a small packet header (the DeltaHeader is charged by the
+  // streaming layer on top of this).
+  return snapshot.tree.wire_bytes(frames, ctx) + 8;
+}
+
+/// Builds the StreamOps a StreamingReduction runs at every analysis node.
+/// Costs are priced by the same shared formulas as the batched filter, so
+/// the planner's predict_stream_sample and the simulator agree by
+/// construction. `frames` and `ctx` must outlive the reduction.
+template <typename Label>
+[[nodiscard]] tbon::StreamOps<StreamSnapshot<Label>> make_stream_ops(
+    const machine::MergeCosts& merge, const machine::StreamCosts& stream,
+    const app::FrameTable& frames, const LabelContext& ctx) {
+  tbon::StreamOps<StreamSnapshot<Label>> ops;
+  ops.base.wire_bytes = [&frames, ctx](const StreamSnapshot<Label>& snapshot) {
+    return snapshot_wire_bytes(snapshot, frames, ctx);
+  };
+  ops.base.codec_cost = [merge](std::uint64_t bytes) {
+    return machine::packet_codec_cost(merge, bytes);
+  };
+  ops.base.merge_cpu = [merge, &frames, ctx](
+                           const StreamSnapshot<Label>& child) {
+    return machine::filter_merge_cost(
+        merge, child.tree.node_count(),
+        snapshot_wire_bytes(child, frames, ctx));
+  };
+  ops.base.merge_into = [](StreamSnapshot<Label>& acc,
+                           StreamSnapshot<Label>&& child) {
+    acc.tree.merge(child.tree);
+  };
+  ops.signature_cpu = [stream](const StreamSnapshot<Label>& snapshot) {
+    return machine::signature_cost(stream, snapshot.tree.node_count());
+  };
+  ops.cached_merge_cpu = [merge, stream, &frames, ctx](
+                             const StreamSnapshot<Label>& child) {
+    return machine::cached_merge_cost(
+        merge, stream, child.tree.node_count(),
+        snapshot_wire_bytes(child, frames, ctx));
+  };
+  ops.ack_cpu = machine::control_packet_cost(stream);
   return ops;
 }
 

@@ -58,6 +58,23 @@ std::string render_text_report(const StatRunResult& result,
     }
     out += "\n";
   }
+  if (p.stream_rounds > 0) {
+    out += "  streaming: " + std::to_string(p.stream_rounds) + " round(s), " +
+           std::to_string(p.stream_changed_rounds) + " changed";
+    if (result.stream_samples.size() > 1) {
+      const auto& first = result.stream_samples.front();
+      SimTime later_total = 0;
+      for (std::size_t i = 1; i < result.stream_samples.size(); ++i) {
+        later_total += result.stream_samples[i].merge_time;
+      }
+      const SimTime later_avg = static_cast<SimTime>(
+          static_cast<double>(later_total) /
+          static_cast<double>(result.stream_samples.size() - 1));
+      out += "; merge " + format_duration(first.merge_time) +
+             " (sample 0) vs " + format_duration(later_avg) + " (later avg)";
+    }
+    out += "\n";
+  }
   out += "  leaf payload: " + format_bytes(p.leaf_payload_bytes) + "\n";
 
   out += "equivalence classes (" + std::to_string(result.classes.size()) + "):\n";
@@ -151,8 +168,28 @@ std::string render_json_report(const StatRunResult& result,
   out += "    \"failure_detect_s\": " + seconds_field(p.failure_detect_latency) +
          ",\n";
   out += "    \"recovery_remerge_s\": " +
-         seconds_field(p.recovery_remerge_time) + "\n";
+         seconds_field(p.recovery_remerge_time) + ",\n";
+  out += "    \"stream_rounds\": " + std::to_string(p.stream_rounds) + ",\n";
+  out += "    \"stream_changed_rounds\": " +
+         std::to_string(p.stream_changed_rounds) + "\n";
   out += "  },\n";
+  if (!result.stream_samples.empty()) {
+    out += "  \"stream_samples\": [\n";
+    for (std::size_t i = 0; i < result.stream_samples.size(); ++i) {
+      const StreamSampleStats& s = result.stream_samples[i];
+      out += "    {\"sample\": " + std::to_string(s.sample) +
+             ", \"sample_s\": " + seconds_field(s.sample_time) +
+             ", \"merge_s\": " + seconds_field(s.merge_time) +
+             ", \"merge_bytes\": " + std::to_string(s.merge_bytes) +
+             ", \"messages\": " + std::to_string(s.merge_messages) +
+             ", \"changed_daemons\": " + std::to_string(s.changed_daemons) +
+             ", \"remerged_procs\": " + std::to_string(s.remerged_procs) +
+             ", \"cached_procs\": " + std::to_string(s.cached_procs) +
+             ", \"changed\": " + (s.changed ? "true" : "false") + "}";
+      out += (i + 1 < result.stream_samples.size()) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
   out += "  \"classes\": [\n";
   for (std::size_t i = 0; i < result.classes.size(); ++i) {
     const auto& cls = result.classes[i];

@@ -5,7 +5,9 @@
 #include "plan/search.hpp"
 #include "stat/filter.hpp"
 #include "tbon/health.hpp"
+#include "tbon/multicast.hpp"
 #include "tbon/reduction.hpp"
+#include "tbon/streaming.hpp"
 #include "tbon/trigger.hpp"
 
 namespace petastat::stat {
@@ -46,6 +48,7 @@ std::unique_ptr<app::AppModel> make_app_model(
       ring.num_tasks = job.num_tasks;
       ring.bgl_frames = bgl_style;
       ring.seed = options.seed;
+      ring.evolution = options.evolution;
       ring.binaries = std::move(binaries);
       return std::make_unique<app::RingHangApp>(std::move(ring));
     }
@@ -54,6 +57,7 @@ std::unique_ptr<app::AppModel> make_app_model(
       threaded.ring.num_tasks = job.num_tasks;
       threaded.ring.bgl_frames = bgl_style;
       threaded.ring.seed = options.seed;
+      threaded.ring.evolution = options.evolution;
       threaded.ring.binaries = std::move(binaries);
       threaded.threads_per_task = std::max(1u, job.threads_per_task);
       return std::make_unique<app::ThreadedRingApp>(std::move(threaded));
@@ -63,6 +67,7 @@ std::unique_ptr<app::AppModel> make_app_model(
       bench.num_tasks = job.num_tasks;
       bench.num_classes = options.statbench_classes;
       bench.seed = options.seed;
+      bench.evolution = options.evolution;
       bench.binaries = std::move(binaries);
       return std::make_unique<app::StatBenchApp>(std::move(bench));
     }
@@ -71,6 +76,7 @@ std::unique_ptr<app::AppModel> make_app_model(
       stall.num_tasks = job.num_tasks;
       stall.bgl_frames = bgl_style;
       stall.seed = options.seed;
+      stall.evolution = options.evolution;
       stall.binaries = std::move(binaries);
       return std::make_unique<app::IoStallApp>(std::move(stall));
     }
@@ -79,7 +85,18 @@ std::unique_ptr<app::AppModel> make_app_model(
       imbalance.num_tasks = job.num_tasks;
       imbalance.bgl_frames = bgl_style;
       imbalance.seed = options.seed;
-      imbalance.binaries = std::move(binaries);
+      imbalance.evolution = options.evolution;
+      imbalance.drift_period = std::max(1u, options.drift_period);
+      if (options.evolution == app::TraceEvolution::kDrift) {
+        // Align the drift bands with daemon boundaries so each sample's
+        // changed set is a slice of *adjacent daemons* — a few dirty
+        // subtrees, not every subtree a little dirty.
+        if (auto layout = machine::layout_daemons(machine, job);
+            layout.is_ok()) {
+          imbalance.drift_block =
+              std::max(1u, layout.value().tasks_of(DaemonId(0)));
+        }
+      }
       return std::make_unique<app::ImbalanceApp>(std::move(imbalance));
     }
     case AppKind::kOomCascade: {
@@ -87,6 +104,7 @@ std::unique_ptr<app::AppModel> make_app_model(
       oom.num_tasks = job.num_tasks;
       oom.bgl_frames = bgl_style;
       oom.seed = options.seed;
+      oom.evolution = options.evolution;
       oom.binaries = std::move(binaries);
       return std::make_unique<app::OomCascadeApp>(std::move(oom));
     }
@@ -137,6 +155,9 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   } else if (options_.ping_period_seconds <= 0.0) {
     config_status_ =
         invalid_argument("ping_period_seconds must be > 0");
+  } else if (options_.stream_interval_seconds < 0.0) {
+    config_status_ =
+        invalid_argument("stream_interval_seconds must be >= 0");
   }
 
   // The per-run connection override *is* the machine's ceiling for this run:
@@ -320,20 +341,28 @@ StatRunResult StatScenario::run() {
   }
 
   // --- Phase 2b: sampling --------------------------------------------------------
-  // Sample request multicast down the tree (small control message).
-  tbon::multicast(sim_, *net_, topology, /*bytes=*/96, [](SimTime) {});
-  sim_.run();
+  // Streaming mode replaces phases 2b and 3 with interleaved per-sample
+  // rounds; its own SampleRequest broadcast is the control message.
+  const bool streaming =
+      options_.stream_samples > 0 && options_.run_through == RunThrough::kFull;
+  const bool dense = options_.repr == TaskSetRepr::kDenseGlobal;
+  if (!streaming) {
+    // Sample request multicast down the tree (small control message).
+    tbon::multicast(sim_, *net_, topology, /*bytes=*/96, [](SimTime) {});
+    sim_.run();
+  }
 
   const SimTime sample_start = sim_.now();
   const std::uint32_t num_daemons = layout_.num_daemons;
 
-  const bool dense = options_.repr == TaskSetRepr::kDenseGlobal;
   std::vector<StatPayload<GlobalLabel>> dense_payloads;
   std::vector<StatPayload<HierLabel>> hier_payloads;
-  if (dense) {
-    dense_payloads.resize(num_daemons);
-  } else {
-    hier_payloads.resize(num_daemons);
+  if (!streaming) {
+    if (dense) {
+      dense_payloads.resize(num_daemons);
+    } else {
+      hier_payloads.resize(num_daemons);
+    }
   }
 
   // Failure injection: decide casualties up front (dead before sampling).
@@ -379,6 +408,32 @@ StatRunResult StatScenario::run() {
   if (phases.failed_daemons == num_daemons) {
     phases.sample_status = unavailable("all daemons failed");
     result.status = phases.sample_status;
+    return result;
+  }
+
+  if (streaming) {
+    // Front-end viability is judged up front, exactly as the classic merge
+    // phase does (dead daemons never dial in).
+    const std::uint32_t conn_limit =
+        options_.max_frontend_connections.value_or(
+            machine_.max_tool_connections);
+    if (Status conn =
+            tbon::connection_viability(topology, conn_limit, daemon_dead);
+        !conn.is_ok()) {
+      phases.merge_status = std::move(conn);
+      result.status = phases.merge_status;
+      return result;
+    }
+    if (dense) {
+      run_stream_phase<GlobalLabel>(topology, result, task_map, daemon_dead);
+    } else {
+      run_stream_phase<HierLabel>(topology, result, task_map, daemon_dead);
+    }
+    if (!phases.merge_status.is_ok()) {
+      result.status = phases.merge_status;
+      return result;
+    }
+    result.classes = equivalence_classes(result.tree_3d);
     return result;
   }
 
@@ -581,6 +636,219 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   } else {
     result.tree_2d = std::move(merged->tree_2d);
     result.tree_3d = std::move(merged->tree_3d);
+  }
+}
+
+template <typename Label>
+void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
+                                    StatRunResult& result,
+                                    const TaskMap& task_map,
+                                    const std::vector<bool>& daemon_dead) {
+  PhaseBreakdown& phases = result.phases;
+  const LabelContext ctx{layout_.num_tasks};
+  const app::FrameTable& frames = app_->frames();
+  const std::uint32_t num_daemons = layout_.num_daemons;
+  const std::uint32_t rounds = options_.stream_samples;
+
+  // Control plane: one versioned SampleRequest announces the whole window —
+  // cursor 0, round count, cadence — to every leaf before the first round.
+  tbon::SampleRequest request;
+  request.cursor = 0;
+  request.count = rounds;
+  request.interval = seconds(options_.stream_interval_seconds);
+  tbon::broadcast(sim_, *net_, topology, costs_.stream, request, {},
+                  [&phases](tbon::BroadcastReport report) {
+                    phases.merge_bytes += report.bytes;
+                    phases.merge_messages += report.messages;
+                  });
+  sim_.run();
+
+  tbon::StreamingReduction<StreamSnapshot<Label>> streaming(
+      sim_, *net_, topology,
+      make_stream_ops<Label>(costs_.merge, costs_.stream, frames, ctx),
+      &exec_);
+  streaming.set_dead_daemons(daemon_dead);
+  streaming.set_full_remerge(options_.stream_full_remerge);
+
+  // Mid-stream failure recovery. The kill cannot ride a simulator timer
+  // here: every per-round drain empties the whole event queue, so a timer
+  // armed for round 3 would fire during round 0's drain anyway. Instead the
+  // victim dies at the first round boundary at or past --fail-at — after the
+  // earlier rounds primed its subtree's caches — the ping sweep runs in
+  // bounded windows between rounds (a free-running monitor would keep every
+  // drain from terminating), and the streaming layer applies the recovery at
+  // the next boundary, which invalidates every ancestor cache the
+  // re-parenting touches: the post-recovery round equals a from-scratch
+  // merge of the survivors.
+  const bool kill_armed = options_.fail_at_seconds >= 0.0;
+  const SimTime kill_at = sim_.now() + seconds(std::max(0.0, options_.fail_at_seconds));
+  tbon::TriggerManager triggers;
+  tbon::HealthMonitor monitor(sim_, *net_, topology, triggers,
+                              seconds(options_.ping_period_seconds));
+  bool victim_detected = false;
+  SimTime victim_detected_at = kSimTimeNever;
+  const std::uint32_t victim = kill_armed ? tbon::default_victim(topology) : 0;
+  if (kill_armed) {
+    triggers.register_action([&](const tbon::FailureEvent& event) {
+      victim_detected = true;
+      victim_detected_at = event.detected_at;
+      phases.failure_detect_latency = event.detected_at - event.dead_at;
+      streaming.recover(event.proc, [&phases](tbon::RecoveryReport report) {
+        if (!report.acted) return;
+        phases.orphaned_daemons += report.orphan_daemons;
+        phases.lost_daemons += report.lost_daemons;
+      });
+    });
+  }
+
+  PrefixTree<Label> acc_2d;
+  PrefixTree<Label> acc_3d;
+  result.stream_samples.reserve(rounds);
+  for (std::uint32_t s = 0; s < rounds; ++s) {
+    if (kill_armed && phases.killed_procs == 0 && sim_.now() >= kill_at) {
+      streaming.mark_dead(victim);
+      monitor.mark_dead(victim, sim_.now());
+      ++phases.killed_procs;
+    }
+    // --- gather round: one cursor of samples per reachable daemon ---------
+    const SimTime gather_start = sim_.now();
+    SimTime gather_end = gather_start;
+    std::vector<StreamSnapshot<Label>> snapshots(num_daemons);
+    const std::vector<bool>& unreachable = streaming.dead_daemons();
+    for (std::uint32_t d = 0; d < num_daemons; ++d) {
+      if (unreachable[d]) continue;
+      auto* snapshot = &snapshots[d];
+      const std::uint32_t daemon_id = d;
+      stackwalker::TraceSink sink =
+          [snapshot, daemon_id](TaskId task, std::uint32_t local,
+                                std::uint32_t, std::uint32_t,
+                                const app::CallPath& path) {
+            Label seed;
+            if constexpr (std::is_same_v<Label, GlobalLabel>) {
+              seed = GlobalLabel::for_task(task.value());
+            } else {
+              seed = HierLabel::for_local(daemon_id, local);
+            }
+            snapshot->tree.insert(path, seed);
+          };
+      walker_->sample_daemon_from(
+          DaemonId(d), s, 1, sink,
+          [&phases, &gather_end](const stackwalker::SampleReport& report) {
+            phases.daemon_sample_seconds.add(to_seconds(report.total()));
+            phases.sample_symbol_io_max =
+                std::max(phases.sample_symbol_io_max, report.symbol_io_time);
+            gather_end = std::max(gather_end, report.finished_at);
+          });
+    }
+    sim_.run();
+    if (s == 0) {
+      std::uint32_t first_alive = 0;
+      while (first_alive < num_daemons && unreachable[first_alive]) {
+        ++first_alive;
+      }
+      check(first_alive < num_daemons, "stream phase with every daemon dead");
+      phases.leaf_payload_bytes =
+          snapshot_wire_bytes(snapshots[first_alive], frames, ctx);
+    }
+
+    // --- merge round ------------------------------------------------------
+    const SimTime merge_start = sim_.now();
+    std::optional<tbon::StreamRoundResult<StreamSnapshot<Label>>> merged;
+    streaming.run_round(
+        s, std::move(snapshots),
+        [&merged](tbon::StreamRoundResult<StreamSnapshot<Label>> r) {
+          merged = std::move(r);
+        });
+    sim_.run();
+    if (!merged.has_value()) {
+      phases.merge_status = unavailable(
+          "stream stalled: a tool process died mid-stream and round " +
+          std::to_string(s) + " could never complete");
+      return;
+    }
+
+    StreamSampleStats stats;
+    stats.sample = s;
+    stats.sample_time = gather_end - gather_start;
+    stats.merge_time = merged->finished_at - merge_start;
+    stats.merge_bytes = merged->bytes_moved;
+    stats.merge_messages = merged->messages;
+    stats.changed_daemons = merged->changed_daemons;
+    stats.remerged_procs = merged->remerged_procs;
+    stats.cached_procs = merged->cached_procs;
+    stats.changed = merged->changed;
+    result.stream_samples.push_back(stats);
+
+    phases.sample_time += stats.sample_time;
+    phases.merge_time += stats.merge_time;
+    phases.merge_bytes += stats.merge_bytes;
+    phases.merge_messages += stats.merge_messages;
+    ++phases.stream_rounds;
+    if (stats.changed) ++phases.stream_changed_rounds;
+    if (victim_detected_at != kSimTimeNever &&
+        phases.recovery_remerge_time == 0 &&
+        merged->finished_at > victim_detected_at) {
+      phases.recovery_remerge_time = merged->finished_at - victim_detected_at;
+    }
+
+    // Fold the round's snapshot into the accumulated trees. The canonical
+    // merge makes the fold order-independent, so the accumulated trees are
+    // bit-identical to the classic batched 2D/3D trees.
+    if (s == 0) {
+      acc_2d = merged->payload.tree;
+      acc_3d = std::move(merged->payload.tree);
+    } else {
+      acc_3d.merge(merged->payload.tree);
+    }
+
+    if (s + 1 == rounds) break;
+    // Detection window: while a kill has fired but gone unnoticed, let the
+    // monitor run a bounded burst of sweeps before the next round.
+    if (kill_armed && phases.killed_procs > 0 && !victim_detected) {
+      monitor.start();
+      sim_.schedule_in(3 * seconds(options_.ping_period_seconds),
+                       [&monitor]() { monitor.stop(); });
+      sim_.run();
+    }
+    if (options_.stream_interval_seconds > 0.0) {
+      // Fixed cadence: the next round starts one interval after this round
+      // started gathering, or immediately when the round overran it.
+      const SimTime next_at =
+          gather_start + seconds(options_.stream_interval_seconds);
+      if (next_at > sim_.now()) {
+        sim_.schedule_at(next_at, []() {});
+        sim_.run();
+      }
+    }
+  }
+  phases.health_sweeps = monitor.sweeps_completed();
+
+  // Finalization: identical to the classic merge phase, except survivors
+  // are judged after mid-stream losses (a daemon whose leaf died mid-stream
+  // stopped contributing and is not remapped).
+  const std::vector<bool>& final_dead = streaming.dead_daemons();
+  if constexpr (std::is_same_v<Label, HierLabel>) {
+    if (topology.sharded()) {
+      phases.remap_time = machine::sharded_remap_cost(
+          costs_.merge,
+          tbon::largest_shard_task_count(topology, layout_, final_dead));
+    } else {
+      std::uint64_t surviving_tasks = 0;
+      for (std::uint32_t d = 0; d < layout_.num_daemons; ++d) {
+        if (!final_dead[d]) surviving_tasks += layout_.tasks_of(DaemonId(d));
+      }
+      phases.remap_time =
+          machine::frontend_remap_cost(costs_.merge, surviving_tasks);
+    }
+    sim_.schedule_in(phases.remap_time, []() {});
+    auto remap_2d =
+        exec_.run([&]() { result.tree_2d = remap_tree(acc_2d, task_map); });
+    result.tree_3d = remap_tree(acc_3d, task_map);
+    exec_.wait(remap_2d);
+    sim_.run();
+  } else {
+    result.tree_2d = std::move(acc_2d);
+    result.tree_3d = std::move(acc_3d);
   }
 }
 

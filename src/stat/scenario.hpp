@@ -107,6 +107,30 @@ struct StatOptions {
   AppKind app = AppKind::kRingHang;
   std::uint32_t statbench_classes = 32;
   RunThrough run_through = RunThrough::kFull;
+  /// Streaming time-series sampling (the CLI's `--stream N[:interval]`):
+  /// run this many per-sample rounds — each round multicasts one cursor of
+  /// the SampleRequest window, gathers one snapshot per daemon, and merges
+  /// it incrementally (unchanged subtrees acknowledge instead of resending).
+  /// 0 = the classic batched pipeline. Only meaningful with
+  /// RunThrough::kFull; `num_samples` is ignored in streaming mode.
+  std::uint32_t stream_samples = 0;
+  /// Virtual seconds between consecutive stream rounds (0 = back to back).
+  double stream_interval_seconds = 0.0;
+  /// Disable the delta caches: every streaming round is a from-scratch
+  /// merge through the same code path. The bit-identity baseline and the
+  /// incremental-vs-full bench comparator.
+  bool stream_full_remerge = false;
+  /// How traces evolve across samples (the CLI's `--evolve`): kJitter
+  /// reshuffles the noise streams every sample (historical behaviour),
+  /// kDrift pins the noise and moves only scripted events — hang onsets,
+  /// straggler drift — so unchanged subtrees really are unchanged.
+  app::TraceEvolution evolution = app::TraceEvolution::kJitter;
+  /// Drift cadence under kDrift: the task space is cut into this many
+  /// phase-staggered bands and one band's stragglers drift per sample, so
+  /// the changed fraction per round is ~1/drift_period. Larger = sparser
+  /// drift (the petascale streaming headline uses a band narrower than the
+  /// tree fanout). Ignored under kJitter.
+  std::uint32_t drift_period = 8;
   /// Failure injection: each daemon independently dies before sampling with
   /// this probability (node failures are routine at 1,664 daemons). Dead
   /// daemons contribute nothing; STAT proceeds and reports coverage, the
@@ -172,6 +196,24 @@ struct PhaseBreakdown {
   std::uint32_t health_sweeps = 0;     // completed monitor ping sweeps
   SimTime failure_detect_latency = 0;  // death -> sweep notices the silence
   SimTime recovery_remerge_time = 0;   // detection -> merge completion
+
+  // Streaming mode (--stream): sample_time/merge_time then hold the totals
+  // across rounds; the per-round breakdown is StatRunResult::stream_samples.
+  std::uint32_t stream_rounds = 0;          // rounds completed
+  std::uint32_t stream_changed_rounds = 0;  // rounds where a payload moved
+};
+
+/// One streaming round's outcome (--stream mode), in round order.
+struct StreamSampleStats {
+  std::uint32_t sample = 0;          // cursor (absolute sample index)
+  SimTime sample_time = 0;           // gather: slowest daemon's walk round
+  SimTime merge_time = 0;            // incremental merge round
+  std::uint64_t merge_bytes = 0;     // delta traffic (acks + payloads)
+  std::uint64_t merge_messages = 0;
+  std::uint32_t changed_daemons = 0;
+  std::uint32_t remerged_procs = 0;  // dirty non-leaf procs (incl. the FE)
+  std::uint32_t cached_procs = 0;    // clean non-leaf procs (incl. the FE)
+  bool changed = true;               // false: FE answered from its cache
 };
 
 struct StatRunResult {
@@ -182,6 +224,8 @@ struct StatRunResult {
   GlobalTree tree_2d;
   GlobalTree tree_3d;
   std::vector<EquivalenceClass> classes;  // from the 3D tree
+  /// Per-round breakdown of a streaming run (empty in classic mode).
+  std::vector<StreamSampleStats> stream_samples;
   machine::DaemonLayout layout;
   std::uint32_t num_comm_procs = 0;
   /// Daemons dead before sampling (pre-sampling injection + the OOM-cascade
@@ -216,6 +260,13 @@ class StatScenario {
                        std::vector<StatPayload<Label>> payloads,
                        const TaskMap& task_map,
                        const std::vector<bool>& daemon_dead);
+
+  /// Streaming mode: sampling and merging interleave per round, so one
+  /// phase runs both (replacing phases 2b and 3 of the classic pipeline).
+  template <typename Label>
+  void run_stream_phase(const tbon::TbonTopology& topology,
+                        StatRunResult& result, const TaskMap& task_map,
+                        const std::vector<bool>& daemon_dead);
 
   machine::MachineConfig machine_;
   machine::JobConfig job_;

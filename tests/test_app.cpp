@@ -200,6 +200,117 @@ TEST(Binaries, DynamicLayoutMatchesPaper) {
   EXPECT_GT(full_shared, slim_shared * 3);  // the ~4x OS-update effect
 }
 
+TEST(Evolution, JitterStaysTheDefaultAndWigglesTraces) {
+  // The historical behaviour the batched pipeline depends on: fresh noise
+  // per sample, so some barrier task's trace differs between samples.
+  EXPECT_EQ(RingHangOptions{}.evolution, TraceEvolution::kJitter);
+  EXPECT_EQ(ImbalanceOptions{}.evolution, TraceEvolution::kJitter);
+  EXPECT_EQ(IoStallOptions{}.evolution, TraceEvolution::kJitter);
+  EXPECT_EQ(OomCascadeOptions{}.evolution, TraceEvolution::kJitter);
+
+  RingHangOptions options;
+  options.num_tasks = 64;
+  const RingHangApp ring(options);
+  bool any_changed = false;
+  for (std::uint32_t t = 3; t < 64 && !any_changed; ++t) {
+    any_changed = ring.stack(TaskId(t), 0, 0) != ring.stack(TaskId(t), 0, 1);
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(Evolution, DriftFreezesEveryTraceWithoutAScriptedEvent) {
+  // kDrift pins the noise streams: with no hang onset, no straggler step,
+  // nothing changes between consecutive samples — the streaming mode's
+  // "unchanged subtrees really are unchanged" guarantee.
+  ImbalanceOptions options;
+  options.num_tasks = 256;
+  options.evolution = TraceEvolution::kDrift;
+  const ImbalanceApp app(options);
+  for (std::uint32_t t = 0; t < 256; ++t) {
+    for (std::uint32_t s = 1; s < 6; ++s) {
+      if (app.drifts_at(TaskId(t), s)) continue;
+      EXPECT_EQ(app.stack(TaskId(t), 0, s), app.stack(TaskId(t), 0, s - 1))
+          << "task " << t << " sample " << s;
+    }
+  }
+}
+
+TEST(Evolution, DriftMovesExactlyTheScriptedBandEachSample) {
+  // 256 tasks in blocks of 32 over period 8: block b holds phase b, so at
+  // sample s exactly the stragglers of the phase (period - s mod period)
+  // band move — one contiguous block per sample.
+  ImbalanceOptions options;
+  options.num_tasks = 256;
+  options.straggler_stride = 32;
+  options.drift_block = 32;
+  options.drift_period = 8;
+  options.evolution = TraceEvolution::kDrift;
+  const ImbalanceApp app(options);
+
+  for (std::uint32_t b = 0; b < 8; ++b) {
+    EXPECT_EQ(app.drift_phase(TaskId(b * 32)), b);
+    EXPECT_EQ(app.drift_phase(TaskId(b * 32 + 31)), b);
+  }
+
+  for (std::uint32_t s = 1; s < 10; ++s) {
+    std::vector<std::uint32_t> moved;
+    for (std::uint32_t t = 0; t < 256; ++t) {
+      const bool drifted =
+          app.stack(TaskId(t), 0, s) != app.stack(TaskId(t), 0, s - 1);
+      EXPECT_EQ(drifted, app.drifts_at(TaskId(t), s))
+          << "task " << t << " sample " << s;
+      if (drifted) moved.push_back(t);
+    }
+    // Exactly one straggler (stride 32 in a 32-task block) moves per
+    // sample, and nothing moves at sample 0 by definition.
+    ASSERT_EQ(moved.size(), 1u) << "sample " << s;
+    EXPECT_EQ(app.drift_phase(TaskId(moved[0])),
+              (8 - s % 8) % 8);
+  }
+}
+
+TEST(Evolution, HangOnsetFlipsTheRingSignatureAtTheScriptedSample) {
+  RingHangOptions options;
+  options.num_tasks = 64;
+  options.evolution = TraceEvolution::kDrift;
+  options.hang_onset_sample = 3;
+  const RingHangApp ring(options);
+
+  // Before the onset tasks 1 and 2 sit in the barrier; at the onset they
+  // flip to the hang signature and stay there — one change, at sample 3.
+  for (const std::uint32_t task : {1u, 2u}) {
+    const auto before = ring.stack(TaskId(task), 0, 0);
+    const auto after = ring.stack(TaskId(task), 0, 3);
+    EXPECT_NE(before, after);
+    EXPECT_EQ(ring.stack(TaskId(task), 0, 2), before);
+    EXPECT_EQ(ring.stack(TaskId(task), 0, 5), after);
+  }
+  // Bystanders never change under drift.
+  EXPECT_EQ(ring.stack(TaskId(7), 0, 0), ring.stack(TaskId(7), 0, 5));
+}
+
+TEST(Evolution, OomCascadeFrontAdvancesUnderDrift) {
+  OomCascadeOptions options;
+  options.num_tasks = 128;
+  options.victim_task = TaskId(64);
+  options.kill_sample = 2;
+  options.neighbour_radius = 4;
+  options.evolution = TraceEvolution::kDrift;
+  const OomCascadeApp app(options);
+
+  // A neighbour keeps its healthy trace until its distance-dependent onset,
+  // then flips to the inherited-traffic signature.
+  const TaskId neighbour(66);  // distance 2 -> onset = kill + (2+1)/2 = 3
+  ASSERT_TRUE(app.is_neighbour(neighbour));
+  const std::uint32_t onset = app.cascade_onset(neighbour);
+  EXPECT_EQ(onset, 3u);
+  EXPECT_EQ(app.stack(neighbour, 0, onset - 1),
+            app.stack(neighbour, 0, 0));
+  EXPECT_NE(app.stack(neighbour, 0, onset), app.stack(neighbour, 0, 0));
+  // The victim's allocation spiral deepens every sample up to the kill.
+  EXPECT_NE(app.stack(TaskId(64), 0, 0), app.stack(TaskId(64), 0, 1));
+}
+
 TEST(Binaries, StaticLayoutIsOneImage) {
   const auto spec = ring_binaries_static("/nfs/home/user");
   ASSERT_EQ(spec.images.size(), 1u);

@@ -121,6 +121,20 @@ std::vector<Cell> cells() {
     out.push_back(c);
   }
   {
+    // Streaming deltas under drift: per-round incremental merges, signature
+    // checks, and cache folds all run through the worker pool; every
+    // per-round stat must still match the serial run exactly.
+    Cell c{"bgl_imbalance_hier_bgl2_stream", machine::bgl(), {}, {}};
+    c.job.num_tasks = 4096;
+    c.options.topology = tbon::TopologySpec::bgl(2);
+    c.options.repr = TaskSetRepr::kHierarchical;
+    c.options.launcher = LauncherKind::kCiodPatched;
+    c.options.app = AppKind::kImbalance;
+    c.options.evolution = app::TraceEvolution::kDrift;
+    c.options.stream_samples = 5;
+    out.push_back(c);
+  }
+  {
     // OOM cascade: the victim rank's daemon dies pre-sampling, survivors
     // produce the allocation-spiral / retransmit / barrier classes.
     Cell c{"atlas_oomcascade_hier_2deep", machine::atlas(), {}, {}};
@@ -179,6 +193,24 @@ void expect_identical(const StatRunResult& serial, const StatRunResult& parallel
   EXPECT_EQ(a.health_sweeps, b.health_sweeps);
   EXPECT_EQ(a.failure_detect_latency, b.failure_detect_latency);
   EXPECT_EQ(a.recovery_remerge_time, b.recovery_remerge_time);
+  // Streaming rounds: every per-round stat, in order (empty in classic mode).
+  EXPECT_EQ(a.stream_rounds, b.stream_rounds);
+  EXPECT_EQ(a.stream_changed_rounds, b.stream_changed_rounds);
+  ASSERT_EQ(serial.stream_samples.size(), parallel.stream_samples.size());
+  for (std::size_t i = 0; i < serial.stream_samples.size(); ++i) {
+    SCOPED_TRACE("round " + std::to_string(i));
+    const StreamSampleStats& s = serial.stream_samples[i];
+    const StreamSampleStats& p = parallel.stream_samples[i];
+    EXPECT_EQ(s.sample, p.sample);
+    EXPECT_EQ(s.sample_time, p.sample_time);
+    EXPECT_EQ(s.merge_time, p.merge_time);
+    EXPECT_EQ(s.merge_bytes, p.merge_bytes);
+    EXPECT_EQ(s.merge_messages, p.merge_messages);
+    EXPECT_EQ(s.changed_daemons, p.changed_daemons);
+    EXPECT_EQ(s.remerged_procs, p.remerged_procs);
+    EXPECT_EQ(s.cached_procs, p.cached_procs);
+    EXPECT_EQ(s.changed, p.changed);
+  }
   // Per-daemon sampling statistics accumulate in event order, which the
   // engine keeps deterministic — bitwise-equal floating point, not "close".
   EXPECT_EQ(a.daemon_sample_seconds.count(), b.daemon_sample_seconds.count());

@@ -500,6 +500,109 @@ TEST(ScenarioRecovery, PetascaleReducerKillAcceptance) {
 }
 
 // --------------------------------------------------------------------------
+// Mid-stream failure recovery: a kill during a --stream run must invalidate
+// every ancestor cache the re-parenting touches, so post-kill rounds equal a
+// from-scratch merge of the survivors (the --stream-full-remerge twin).
+
+stat::StatOptions streaming_options() {
+  stat::StatOptions options;
+  options.topology = tbon::TopologySpec::balanced(2);
+  options.repr = stat::TaskSetRepr::kHierarchical;
+  options.app = stat::AppKind::kImbalance;
+  options.evolution = app::TraceEvolution::kDrift;
+  options.stream_samples = 6;
+  // Fixed cadence pins round boundaries to multiples of 0.1 s in every mode
+  // (a round takes ~0.065 s), so a --fail-at lands at the same boundary with
+  // and without the delta caches.
+  options.stream_interval_seconds = 0.1;
+  return options;
+}
+
+TEST(ScenarioRecovery, MidStreamInternalKillRecoversWithNoLoss) {
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options = streaming_options();
+
+  stat::StatScenario baseline(machine::atlas(), job, options);
+  const stat::StatRunResult no_kill = baseline.run();
+  ASSERT_TRUE(no_kill.status.is_ok()) << no_kill.status.to_string();
+  ASSERT_EQ(no_kill.stream_samples.size(), 6u);
+
+  // Kill the internal comm proc at the first round boundary past 0.15 s —
+  // round 2's start, after rounds 0..1 primed its subtree's caches — detect
+  // by ping burst between rounds, recover at the next boundary.
+  options.fail_at_seconds = 0.15;
+  options.ping_period_seconds = 0.05;
+  stat::StatScenario killed_scenario(machine::atlas(), job, options);
+  const stat::StatRunResult killed = killed_scenario.run();
+  ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+  ASSERT_EQ(killed.stream_samples.size(), 6u);
+  EXPECT_EQ(killed.phases.killed_procs, 1u);
+  EXPECT_GT(killed.phases.failure_detect_latency, 0u);
+  EXPECT_LE(killed.phases.failure_detect_latency, seconds(0.5));
+  EXPECT_GT(killed.phases.orphaned_daemons, 0u);
+  EXPECT_EQ(killed.phases.lost_daemons, 0u);
+
+  // The kill actually landed mid-stream: the rounds before it ran from the
+  // caches exactly like the clean run, and the recovery round shows the
+  // re-parented subtree arriving with cold caches (every proc re-merges,
+  // nothing answers from cache, the delta traffic spikes past the clean
+  // run's band-only rounds).
+  EXPECT_EQ(killed.stream_samples[1].merge_bytes,
+            no_kill.stream_samples[1].merge_bytes);
+  EXPECT_EQ(killed.stream_samples[1].cached_procs,
+            no_kill.stream_samples[1].cached_procs);
+  bool recovery_round_seen = false;
+  for (std::size_t round = 1; round < killed.stream_samples.size(); ++round) {
+    const stat::StreamSampleStats& r = killed.stream_samples[round];
+    if (r.cached_procs == 0 &&
+        r.merge_bytes > 2 * no_kill.stream_samples[round].merge_bytes) {
+      recovery_round_seen = true;
+    }
+  }
+  EXPECT_TRUE(recovery_round_seen);
+  // After the recovery round the survivors' caches are warm again.
+  EXPECT_GT(killed.stream_samples.back().cached_procs, 0u);
+
+  // Post-kill rounds equal a from-scratch survivor merge: the twin run with
+  // the caches disabled (and the same kill) produces the identical product —
+  // including the in-flight payloads the victim took with it.
+  options.stream_full_remerge = true;
+  stat::StatScenario remerge_scenario(machine::atlas(), job, options);
+  const stat::StatRunResult remerge = remerge_scenario.run();
+  ASSERT_TRUE(remerge.status.is_ok()) << remerge.status.to_string();
+  EXPECT_EQ(remerge.phases.killed_procs, 1u);
+  expect_same_product(killed, remerge);
+}
+
+TEST(ScenarioRecovery, MidStreamLeafDeathMatchesFullRemergeSurvivors) {
+  // Flat tree: the victim is a daemon's own leaf proc, so its later samples
+  // are unrecoverable. The stream must keep completing rounds, and the
+  // product must still equal the cache-free twin with the identical kill.
+  machine::JobConfig job;
+  job.num_tasks = 256;
+  stat::StatOptions options = streaming_options();
+  options.topology = tbon::TopologySpec::flat();
+  options.fail_at_seconds = 0.15;
+  options.ping_period_seconds = 0.05;
+
+  stat::StatScenario killed_scenario(machine::atlas(), job, options);
+  const stat::StatRunResult killed = killed_scenario.run();
+  ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+  ASSERT_EQ(killed.stream_samples.size(), 6u);
+  EXPECT_EQ(killed.phases.killed_procs, 1u);
+  EXPECT_GT(killed.phases.failure_detect_latency, 0u);
+  EXPECT_EQ(killed.phases.lost_daemons, 1u);
+
+  options.stream_full_remerge = true;
+  stat::StatScenario remerge_scenario(machine::atlas(), job, options);
+  const stat::StatRunResult remerge = remerge_scenario.run();
+  ASSERT_TRUE(remerge.status.is_ok()) << remerge.status.to_string();
+  EXPECT_EQ(remerge.phases.lost_daemons, 1u);
+  expect_same_product(killed, remerge);
+}
+
+// --------------------------------------------------------------------------
 // The OOM-cascade workload end to end.
 
 TEST(ScenarioRecovery, OomCascadeKillsTheVictimsDaemonAndCascades) {

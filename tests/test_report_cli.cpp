@@ -55,6 +55,24 @@ TEST_F(ReportFixture, JsonReportIsStructurallySound) {
   EXPECT_NE(json.find("\"startup_s\""), std::string::npos);
 }
 
+TEST_F(ReportFixture, StreamingRunsRenderPerSampleRows) {
+  options.stream_samples = 3;
+  StatScenario scenario(machine::atlas(), job, options);
+  const auto result = scenario.run();
+  ASSERT_TRUE(result.status.is_ok());
+  ASSERT_EQ(result.stream_samples.size(), 3u);
+
+  const std::string text =
+      render_text_report(result, scenario.app().frames(), /*include_tree=*/false);
+  EXPECT_NE(text.find("streaming: 3 round(s)"), std::string::npos);
+
+  const std::string json = render_json_report(result, scenario.app().frames());
+  EXPECT_NE(json.find("\"stream_samples\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream_rounds\": 3"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
 TEST(JsonEscape, EscapesSpecials) {
   EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
@@ -172,6 +190,50 @@ TEST(Cli, FeShardsFlag) {
   EXPECT_FALSE(parse_cli(args({"--fe-shards", "0"})).is_ok());
   EXPECT_FALSE(parse_cli(args({"--fe-shards", "128"})).is_ok());
   EXPECT_FALSE(parse_cli(args({"--fe-shards"})).is_ok());
+}
+
+TEST(Cli, StreamFlagParsesCountAndOptionalInterval) {
+  const auto bare = parse_cli(args({"--stream", "5"}));
+  ASSERT_TRUE(bare.is_ok()) << bare.status().to_string();
+  EXPECT_EQ(bare.value().options.stream_samples, 5u);
+
+  const auto timed = parse_cli(args({"--stream", "5:0.25"}));
+  ASSERT_TRUE(timed.is_ok()) << timed.status().to_string();
+  EXPECT_EQ(timed.value().options.stream_samples, 5u);
+  EXPECT_DOUBLE_EQ(timed.value().options.stream_interval_seconds, 0.25);
+
+  // Classic batched pipeline unless the user opts into streaming.
+  const auto defaults = parse_cli({});
+  ASSERT_TRUE(defaults.is_ok());
+  EXPECT_EQ(defaults.value().options.stream_samples, 0u);
+  EXPECT_FALSE(defaults.value().options.stream_full_remerge);
+}
+
+TEST(Cli, StreamFlagRejectsMalformedRequests) {
+  EXPECT_FALSE(parse_cli(args({"--stream"})).is_ok());  // missing value
+  EXPECT_FALSE(parse_cli(args({"--stream", "0"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--stream", "abc"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--stream", "5:"})).is_ok());  // empty interval
+  EXPECT_FALSE(parse_cli(args({"--stream", "5:fast"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--stream", "20000"})).is_ok());  // out of range
+}
+
+TEST(Cli, StreamFullRemergeAndEvolveFlags) {
+  const auto remerge =
+      parse_cli(args({"--stream", "4", "--stream-full-remerge"}));
+  ASSERT_TRUE(remerge.is_ok());
+  EXPECT_TRUE(remerge.value().options.stream_full_remerge);
+
+  const auto drift = parse_cli(args({"--evolve", "drift"}));
+  ASSERT_TRUE(drift.is_ok());
+  EXPECT_EQ(drift.value().options.evolution, app::TraceEvolution::kDrift);
+
+  const auto jitter = parse_cli(args({"--evolve", "jitter"}));
+  ASSERT_TRUE(jitter.is_ok());
+  EXPECT_EQ(jitter.value().options.evolution, app::TraceEvolution::kJitter);
+
+  EXPECT_FALSE(parse_cli(args({"--evolve", "static"})).is_ok());
+  EXPECT_FALSE(parse_cli(args({"--evolve"})).is_ok());
 }
 
 TEST(Cli, RejectsJobsThatDoNotFit) {

@@ -382,6 +382,67 @@ INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixReducerTree,
                          ::testing::ValuesIn(reducer_tree_sample_cases()),
                          param_name);
 
+// --- Streaming sub-matrix: incremental deltas == full re-merge, bit for bit -
+// A sampled sub-matrix (every machine/mode/repr/topology/launcher cell, with
+// a static app and the drifting-imbalance app) runs 4 streaming rounds twice:
+// once with the incremental delta/cache pipeline and once with
+// --stream-full-remerge. The products — canonical trees, equivalence classes
+// — must be bit-identical; the caches may only change what moves on the wire,
+// never what the front end reports.
+std::vector<MatrixCase> streaming_sample_cases() {
+  std::vector<MatrixCase> cases = valid_cases();
+  std::erase_if(cases, [](const MatrixCase& c) {
+    return c.app != AppKind::kRingHang && c.app != AppKind::kImbalance;
+  });
+  return cases;
+}
+
+class ScenarioMatrixStreaming : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ScenarioMatrixStreaming, IncrementalMatchesFullRemergeBitForBit) {
+  const MatrixCase& c = GetParam();
+  StatOptions options = options_for(c);
+  options.stream_samples = 4;
+  options.evolution = app::TraceEvolution::kDrift;
+
+  StatScenario incremental_scenario(machine_for(c), job_for(c), options);
+  const StatRunResult incremental = incremental_scenario.run();
+  ASSERT_TRUE(incremental.status.is_ok()) << incremental.status.to_string();
+  ASSERT_EQ(incremental.stream_samples.size(), 4u);
+  EXPECT_EQ(incremental.phases.stream_rounds, 4u);
+
+  options.stream_full_remerge = true;
+  StatScenario full_scenario(machine_for(c), job_for(c), options);
+  const StatRunResult full = full_scenario.run();
+  ASSERT_TRUE(full.status.is_ok()) << full.status.to_string();
+  ASSERT_EQ(full.stream_samples.size(), 4u);
+
+  EXPECT_EQ(incremental.tree_2d, full.tree_2d);
+  EXPECT_EQ(incremental.tree_3d, full.tree_3d);
+  ASSERT_EQ(incremental.classes.size(), full.classes.size());
+  for (std::size_t i = 0; i < incremental.classes.size(); ++i) {
+    EXPECT_EQ(incremental.classes[i].path, full.classes[i].path);
+    EXPECT_TRUE(incremental.classes[i].tasks == full.classes[i].tasks);
+  }
+  EXPECT_EQ(class_signature(incremental), class_signature(full));
+
+  // Past the priming round the caches must pay for themselves: unchanged
+  // subtrees answer with bare-header acks, so the delta traffic is strictly
+  // below a from-scratch merge and the round never costs more.
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    const StreamSampleStats& inc = incremental.stream_samples[round];
+    const StreamSampleStats& ref = full.stream_samples[round];
+    EXPECT_EQ(inc.sample, ref.sample) << "round " << round;
+    if (round == 0) continue;  // priming round: everything is new either way
+    EXPECT_LT(inc.merge_bytes, ref.merge_bytes) << "round " << round;
+    EXPECT_LE(inc.merge_time, ref.merge_time) << "round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sampled, ScenarioMatrixStreaming,
+                         ::testing::ValuesIn(streaming_sample_cases()),
+                         param_name);
+
 // --- Failure sub-matrix: mid-merge death across machines and shard counts ---
 // A separate suite (the 120-cell pruning lock above must not move): each cell
 // runs

@@ -5,7 +5,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/serializer.hpp"
 #include "machine/cost_model.hpp"
+#include "tbon/multicast.hpp"
 #include "tbon/reduction.hpp"
 #include "tbon/topology.hpp"
 
@@ -760,6 +762,149 @@ TEST(Multicast, LeafServingSeveralDaemonsCountsOnce) {
   simulator.run();
   EXPECT_TRUE(fired);
   EXPECT_EQ(network.total_messages(), 1u);
+}
+
+TEST(SampleRequestWire, RoundTripsThroughTheVersionedEnvelope) {
+  SampleRequest request;
+  request.cursor = 7;
+  request.count = 12;
+  request.interval = 250 * kMillisecond;
+  ByteSink sink;
+  request.encode(sink);
+  ASSERT_EQ(sink.size(), SampleRequest::wire_bytes());
+
+  ByteSource source(sink.bytes());
+  const auto decoded = SampleRequest::decode(source);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().cursor, 7u);
+  EXPECT_EQ(decoded.value().count, 12u);
+  EXPECT_EQ(decoded.value().interval, 250 * kMillisecond);
+}
+
+TEST(SampleRequestWire, TruncationAndSkewDecodeDistinctly) {
+  SampleRequest request;
+  request.count = 4;
+  ByteSink sink;
+  request.encode(sink);
+  const auto bytes = sink.take();
+
+  // Every proper prefix is truncation, not UB and not version skew.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteSource source(std::span(bytes.data(), cut));
+    const auto decoded = SampleRequest::decode(source);
+    ASSERT_FALSE(decoded.is_ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  // A bumped leading version byte is skew, reported as FAILED_PRECONDITION
+  // so an old daemon meeting a new front end fails loudly.
+  auto skewed = bytes;
+  skewed[0] = static_cast<std::uint8_t>(skewed[0] + 1);
+  ByteSource source(skewed);
+  const auto decoded = SampleRequest::decode(source);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SampleRequestWire, ZeroSampleRequestRejected) {
+  SampleRequest request;
+  request.count = 0;
+  ByteSink sink;
+  request.encode(sink);
+  ByteSource source(sink.bytes());
+  const auto decoded = SampleRequest::decode(source);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeltaHeaderWire, RoundTripsBothAckAndChangedForms) {
+  for (const bool changed : {false, true}) {
+    DeltaHeader header;
+    header.cursor = 3;
+    header.changed = changed;
+    header.signature = 0xfeedfacecafebeefull;
+    ByteSink sink;
+    header.encode(sink);
+    ASSERT_EQ(sink.size(), kDeltaHeaderBytes);
+
+    ByteSource source(sink.bytes());
+    const auto decoded = DeltaHeader::decode(source);
+    ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+    EXPECT_EQ(decoded.value().cursor, 3u);
+    EXPECT_EQ(decoded.value().changed, changed);
+    EXPECT_EQ(decoded.value().signature, 0xfeedfacecafebeefull);
+  }
+}
+
+TEST(DeltaHeaderWire, CorruptChangedFlagRejected) {
+  DeltaHeader header;
+  ByteSink sink;
+  header.encode(sink);
+  auto bytes = sink.take();
+  bytes[5] = 2;  // version u8 + cursor u32, then the changed flag
+  ByteSource source(bytes);
+  const auto decoded = DeltaHeader::decode(source);
+  ASSERT_FALSE(decoded.is_ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Broadcast, ArmsEveryLeafAndChargesControlCpu) {
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 1024);
+  const auto topo =
+      build_topology(m, layout, TopologySpec::balanced(2)).value();
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  const machine::StreamCosts costs;
+
+  SampleRequest request;
+  request.count = 5;
+  std::vector<std::uint32_t> armed;
+  BroadcastReport report;
+  bool done_fired = false;
+  broadcast(simulator, network, topo, costs, request,
+            [&](std::uint32_t leaf, SimTime at) {
+              armed.push_back(leaf);
+              // Every leaf arms after the decode CPU of each proc on its
+              // root-to-leaf path (FE + comm + leaf on a 2-deep tree).
+              EXPECT_GE(at, 3 * machine::control_packet_cost(costs));
+            },
+            [&](BroadcastReport r) {
+              done_fired = true;
+              report = r;
+            });
+  simulator.run();
+
+  ASSERT_TRUE(done_fired);
+  EXPECT_EQ(armed.size(), layout.num_daemons);
+  // One message per tree edge, every one the envelope's exact wire size.
+  EXPECT_EQ(report.messages, topo.procs.size() - 1);
+  EXPECT_EQ(report.bytes, (topo.procs.size() - 1) * SampleRequest::wire_bytes());
+  EXPECT_EQ(network.total_messages(), topo.procs.size() - 1);
+  EXPECT_GT(report.finished_at, 0u);
+}
+
+TEST(Broadcast, DeeperTreesArmLater) {
+  // Each added level costs one more decode + hop before the leaves arm.
+  const auto m = machine::atlas();
+  const auto layout = layout_of(m, 1024);
+  sim::Simulator simulator;
+  net::Network network(simulator, m, net::default_network_params(m));
+  const machine::StreamCosts costs;
+  SampleRequest request;
+
+  std::vector<SimTime> finished;
+  for (const std::uint32_t depth : {1u, 3u}) {
+    const auto topo =
+        build_topology(m, layout, TopologySpec::balanced(depth)).value();
+    broadcast(simulator, network, topo, costs, request, nullptr,
+              [&](BroadcastReport r) { finished.push_back(r.finished_at); });
+    const SimTime started = simulator.now();
+    simulator.run();
+    finished.back() -= started;
+  }
+  ASSERT_EQ(finished.size(), 2u);
+  EXPECT_GT(finished[1], finished[0]);
 }
 
 TEST(TopologySpecNames, AreDescriptive) {
