@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <string>
+#include <unordered_map>
 
 #include "app/appmodel.hpp"
 #include "fs/filesystem.hpp"
@@ -192,26 +195,110 @@ void stream_profile_with_label(const app::AppModel& app,
   profile.leaf_tree_nodes = leaf_nodes_sum / merged_daemons;
 }
 
+// --- Probe memoization -----------------------------------------------------
+// One process-wide cache for both probe kinds (batched payloads and streaming
+// snapshots), keyed on every input that determines the synthesized traces.
+// Deliberately global (see the profile_workload contract in the header): the
+// probes are pure functions of the key, so caching them never couples
+// co-resident sessions.
+
+struct ProfileCache {
+  std::mutex mu;
+  std::unordered_map<std::string, WorkloadProfile> entries;
+  ProfileCacheCounters counters;
+};
+
+ProfileCache& profile_cache() {
+  static ProfileCache cache;
+  return cache;
+}
+
+/// Everything the synthesized probe traces depend on: the app model's inputs
+/// (kind, seed, evolution, binary layout, machine shape via bgl_frames and
+/// the daemon layout), the task map, and the sampling window. Login-tier
+/// capacity fields are deliberately absent — the service scheduler prices
+/// sessions against contended "effective machines" that differ only in those,
+/// and the probes are identical across them.
+std::string profile_cache_key(const char* kind,
+                              const machine::MachineConfig& machine,
+                              const machine::JobConfig& job,
+                              const stat::StatOptions& options) {
+  std::string key(kind);
+  key += '|';
+  key += machine.name;
+  const auto add = [&key](std::uint64_t v) {
+    key += '|';
+    key += std::to_string(v);
+  };
+  add(machine.compute_nodes);
+  add(machine.cores_per_compute_node);
+  add(static_cast<std::uint64_t>(machine.daemon_placement));
+  add(machine.compute_nodes_per_io_node);
+  add(machine.io_nodes);
+  add(machine.static_binary ? 1 : 0);
+  add(job.num_tasks);
+  add(static_cast<std::uint64_t>(job.mode));
+  add(job.threads_per_task);
+  add(static_cast<std::uint64_t>(options.app));
+  add(options.seed);
+  add(options.num_samples);
+  add(static_cast<std::uint64_t>(options.repr));
+  add(options.shuffle_task_map ? 1 : 0);
+  add(options.statbench_classes);
+  add(options.slim_binaries ? 1 : 0);
+  add(static_cast<std::uint64_t>(options.evolution));
+  add(options.drift_period);
+  return key;
+}
+
+template <typename Measure>
+WorkloadProfile cached_profile(const char* kind,
+                               const machine::MachineConfig& machine,
+                               const machine::JobConfig& job,
+                               const stat::StatOptions& options,
+                               Measure measure) {
+  const std::string key = profile_cache_key(kind, machine, job, options);
+  ProfileCache& cache = profile_cache();
+  {
+    std::lock_guard<std::mutex> lock(cache.mu);
+    auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) {
+      ++cache.counters.hits;
+      return it->second;
+    }
+  }
+  // Synthesize outside the lock: probes are deterministic, so a racing miss
+  // on the same key just computes the same value twice.
+  WorkloadProfile profile = measure();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  ++cache.counters.misses;
+  cache.entries.emplace(key, profile);
+  return profile;
+}
+
 /// Measures the single-sample snapshot sizes the streaming delta rounds
 /// move — the --stream counterpart of profile_workload (which measures the
-/// batched 2D+3D payload across all samples).
+/// batched 2D+3D payload across all samples). Memoized like it, too.
 WorkloadProfile profile_stream_workload(const machine::MachineConfig& machine,
                                         const machine::JobConfig& job,
                                         const machine::DaemonLayout& layout,
                                         const stat::StatOptions& options) {
-  WorkloadProfile profile;
-  const auto app = stat::make_app_model(machine, job, options);
-  const stat::TaskMap task_map =
-      options.shuffle_task_map ? stat::TaskMap::shuffled(layout, options.seed)
-                               : stat::TaskMap::identity(layout);
-  if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
-    stream_profile_with_label<stat::GlobalLabel>(*app, layout, task_map,
+  return cached_profile("stream", machine, job, options, [&]() {
+    WorkloadProfile profile;
+    const auto app = stat::make_app_model(machine, job, options);
+    const stat::TaskMap task_map =
+        options.shuffle_task_map
+            ? stat::TaskMap::shuffled(layout, options.seed)
+            : stat::TaskMap::identity(layout);
+    if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
+      stream_profile_with_label<stat::GlobalLabel>(*app, layout, task_map,
+                                                   profile);
+    } else {
+      stream_profile_with_label<stat::HierLabel>(*app, layout, task_map,
                                                  profile);
-  } else {
-    stream_profile_with_label<stat::HierLabel>(*app, layout, task_map,
-                                               profile);
-  }
-  return profile;
+    }
+    return profile;
+  });
 }
 
 }  // namespace
@@ -220,25 +307,41 @@ WorkloadProfile profile_workload(const machine::MachineConfig& machine,
                                  const machine::JobConfig& job,
                                  const machine::DaemonLayout& layout,
                                  const stat::StatOptions& options) {
-  WorkloadProfile profile;
-  const auto app = stat::make_app_model(machine, job, options);
-  const stat::TaskMap task_map =
-      options.shuffle_task_map ? stat::TaskMap::shuffled(layout, options.seed)
-                               : stat::TaskMap::identity(layout);
-  if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
-    profile_with_label<stat::GlobalLabel>(*app, layout, task_map, options,
+  return cached_profile("batched", machine, job, options, [&]() {
+    WorkloadProfile profile;
+    const auto app = stat::make_app_model(machine, job, options);
+    const stat::TaskMap task_map =
+        options.shuffle_task_map
+            ? stat::TaskMap::shuffled(layout, options.seed)
+            : stat::TaskMap::identity(layout);
+    if (options.repr == stat::TaskSetRepr::kDenseGlobal) {
+      profile_with_label<stat::GlobalLabel>(*app, layout, task_map, options,
+                                            profile);
+    } else {
+      profile_with_label<stat::HierLabel>(*app, layout, task_map, options,
                                           profile);
-  } else {
-    profile_with_label<stat::HierLabel>(*app, layout, task_map, options,
-                                        profile);
-  }
-  for (const auto& image : app->binaries().images) {
-    profile.symbol_image_bytes += image.bytes;
-    if (image.path.rfind("/nfs", 0) == 0) {
-      profile.shared_fs_image_bytes += image.bytes;
     }
-  }
-  return profile;
+    for (const auto& image : app->binaries().images) {
+      profile.symbol_image_bytes += image.bytes;
+      if (image.path.rfind("/nfs", 0) == 0) {
+        profile.shared_fs_image_bytes += image.bytes;
+      }
+    }
+    return profile;
+  });
+}
+
+ProfileCacheCounters profile_cache_counters() {
+  ProfileCache& cache = profile_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  return cache.counters;
+}
+
+void reset_profile_cache() {
+  ProfileCache& cache = profile_cache();
+  std::lock_guard<std::mutex> lock(cache.mu);
+  cache.entries.clear();
+  cache.counters = ProfileCacheCounters{};
 }
 
 // ---------------------------------------------------------------------------

@@ -68,9 +68,31 @@ struct WorkloadProfile {
 
 /// Measures the profile for this scenario configuration by synthesizing the
 /// traces of up to 8 probe daemons through the real tree/label code.
+///
+/// Memoized process-wide on the trace-determining inputs (machine shape, job
+/// size/mode, app kind, seed, representation, sampling options): every
+/// PhasePredictor::create re-measures the same workload, and the service
+/// scheduler creates a predictor per admitted session, so identical probes
+/// would otherwise be re-synthesized many times per process. The cache is the
+/// one deliberate exception to the "no process-global mutable state" rule of
+/// the re-entrant session refactor: it is a pure function cache — entries are
+/// deterministic in their key and never depend on co-resident sessions — and
+/// it is mutex-guarded, so concurrent sessions stay bit-identical to solo
+/// runs.
 [[nodiscard]] WorkloadProfile profile_workload(
     const machine::MachineConfig& machine, const machine::JobConfig& job,
     const machine::DaemonLayout& layout, const stat::StatOptions& options);
+
+/// Observability for the profile_workload memoization (tests assert the
+/// miss-then-hit pattern; benches report the synthesis work saved).
+struct ProfileCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+[[nodiscard]] ProfileCacheCounters profile_cache_counters();
+
+/// Drops every cached profile and zeroes the counters (test isolation).
+void reset_profile_cache();
 
 /// Predicted per-phase times for one topology spec.
 struct PhasePrediction {

@@ -1,0 +1,85 @@
+#include "service/ledger.hpp"
+
+namespace petastat::service {
+
+ResourceLedger::ResourceLedger(std::uint64_t comm_slot_capacity,
+                               std::uint32_t fe_connection_capacity,
+                               std::uint32_t exec_thread_capacity)
+    : comm_cap_(comm_slot_capacity),
+      fe_cap_(fe_connection_capacity),
+      exec_cap_(exec_thread_capacity) {}
+
+bool ResourceLedger::fits(const SessionDemand& demand) const {
+  return demand.comm_slots <= comm_cap_ - comm_used_ &&
+         demand.fe_connections <= fe_cap_ - fe_used_ &&
+         demand.exec_threads <= exec_cap_ - exec_used_;
+}
+
+void ResourceLedger::advance(SimTime to) {
+  const double dt = to_seconds(to - last_change_);
+  comm_busy_slot_seconds_ += dt * static_cast<double>(comm_used_);
+  fe_busy_conn_seconds_ += dt * static_cast<double>(fe_used_);
+  exec_busy_thread_seconds_ += dt * static_cast<double>(exec_used_);
+  last_change_ = to;
+}
+
+void ResourceLedger::acquire(const SessionDemand& demand, SimTime at) {
+  check(fits(demand), "ResourceLedger::acquire without a fits() check");
+  advance(at);
+  comm_used_ += demand.comm_slots;
+  fe_used_ += demand.fe_connections;
+  exec_used_ += demand.exec_threads;
+}
+
+void ResourceLedger::release(const SessionDemand& demand, SimTime at) {
+  check(demand.comm_slots <= comm_used_ &&
+            demand.fe_connections <= fe_used_ &&
+            demand.exec_threads <= exec_used_,
+        "ResourceLedger::release of more than is in use");
+  advance(at);
+  comm_used_ -= demand.comm_slots;
+  fe_used_ -= demand.fe_connections;
+  exec_used_ -= demand.exec_threads;
+}
+
+SessionDemand ResourceLedger::free() const {
+  SessionDemand d;
+  d.comm_slots = comm_cap_ - comm_used_;
+  d.fe_connections = fe_cap_ - fe_used_;
+  d.exec_threads = exec_cap_ - exec_used_;
+  return d;
+}
+
+namespace {
+double utilization(double busy_unit_seconds, double capacity, SimTime horizon) {
+  const double horizon_s = to_seconds(horizon);
+  if (capacity <= 0.0 || horizon_s <= 0.0) return 0.0;
+  return busy_unit_seconds / (capacity * horizon_s);
+}
+}  // namespace
+
+double ResourceLedger::comm_slot_utilization(SimTime horizon) const {
+  double busy = comm_busy_slot_seconds_;
+  if (horizon > last_change_) {
+    busy += to_seconds(horizon - last_change_) * static_cast<double>(comm_used_);
+  }
+  return utilization(busy, static_cast<double>(comm_cap_), horizon);
+}
+
+double ResourceLedger::fe_connection_utilization(SimTime horizon) const {
+  double busy = fe_busy_conn_seconds_;
+  if (horizon > last_change_) {
+    busy += to_seconds(horizon - last_change_) * static_cast<double>(fe_used_);
+  }
+  return utilization(busy, static_cast<double>(fe_cap_), horizon);
+}
+
+double ResourceLedger::exec_thread_utilization(SimTime horizon) const {
+  double busy = exec_busy_thread_seconds_;
+  if (horizon > last_change_) {
+    busy += to_seconds(horizon - last_change_) * static_cast<double>(exec_used_);
+  }
+  return utilization(busy, static_cast<double>(exec_cap_), horizon);
+}
+
+}  // namespace petastat::service

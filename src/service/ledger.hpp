@@ -1,0 +1,71 @@
+// Shared-resource ledger for the multi-session service: how many login-node
+// comm-process slots, front-end tool connections, and execution-engine
+// worker threads are in use across every running session.
+//
+// The ledger is pure bookkeeping — acquire/release never block and never
+// talk to the simulator. The scheduler copies it freely to ask "what if"
+// questions (the backfill reservation walks a copy through future
+// completions), and it integrates busy-time so utilization falls out of the
+// final report without replaying the timeline.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "service/session.hpp"
+
+namespace petastat::service {
+
+class ResourceLedger {
+ public:
+  ResourceLedger(std::uint64_t comm_slot_capacity,
+                 std::uint32_t fe_connection_capacity,
+                 std::uint32_t exec_thread_capacity);
+
+  /// Whether `demand` fits in the free capacity right now.
+  [[nodiscard]] bool fits(const SessionDemand& demand) const;
+
+  /// Reserves `demand` at virtual time `at`. check-fails when it does not
+  /// fit — the scheduler must gate on fits() first.
+  void acquire(const SessionDemand& demand, SimTime at);
+
+  /// Returns `demand` at virtual time `at`.
+  void release(const SessionDemand& demand, SimTime at);
+
+  [[nodiscard]] std::uint64_t comm_slot_capacity() const { return comm_cap_; }
+  [[nodiscard]] std::uint32_t fe_connection_capacity() const { return fe_cap_; }
+  [[nodiscard]] std::uint32_t exec_thread_capacity() const { return exec_cap_; }
+
+  [[nodiscard]] std::uint64_t comm_slots_in_use() const { return comm_used_; }
+  [[nodiscard]] std::uint32_t fe_connections_in_use() const { return fe_used_; }
+  [[nodiscard]] std::uint32_t exec_threads_in_use() const { return exec_used_; }
+
+  /// The free capacity as a demand (the elementwise "extra" the backfill
+  /// reservation subtracts from).
+  [[nodiscard]] SessionDemand free() const;
+
+  /// Time-averaged busy fraction of each dimension over [0, horizon]:
+  /// busy-integral / (capacity * horizon). Zero-capacity dimensions and a
+  /// zero horizon report 0.
+  [[nodiscard]] double comm_slot_utilization(SimTime horizon) const;
+  [[nodiscard]] double fe_connection_utilization(SimTime horizon) const;
+  [[nodiscard]] double exec_thread_utilization(SimTime horizon) const;
+
+ private:
+  void advance(SimTime to);
+
+  std::uint64_t comm_cap_;
+  std::uint32_t fe_cap_;
+  std::uint32_t exec_cap_;
+
+  std::uint64_t comm_used_ = 0;
+  std::uint32_t fe_used_ = 0;
+  std::uint32_t exec_used_ = 0;
+
+  SimTime last_change_ = 0;
+  double comm_busy_slot_seconds_ = 0.0;
+  double fe_busy_conn_seconds_ = 0.0;
+  double exec_busy_thread_seconds_ = 0.0;
+};
+
+}  // namespace petastat::service

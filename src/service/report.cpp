@@ -1,0 +1,133 @@
+#include "service/report.hpp"
+
+#include <cstdio>
+
+#include "stat/report.hpp"
+
+namespace petastat::service {
+
+namespace {
+
+std::string fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+std::string session_outcome(const SessionStats& s) {
+  if (!s.admitted) return "rejected: " + s.status.to_string();
+  if (!s.status.is_ok()) return "failed: " + s.status.to_string();
+  return "ok";
+}
+
+}  // namespace
+
+std::string render_service_text(const ServiceReport& report) {
+  std::string out;
+  out += "service: machine=" + report.machine +
+         " policy=" + scheduler_policy_name(report.policy) + " sessions=" +
+         std::to_string(report.sessions.size()) + "\n";
+  out += "ledger: comm_slots=" + std::to_string(report.comm_slot_capacity) +
+         " fe_connections=" + std::to_string(report.fe_connection_capacity) +
+         " exec_threads=" + std::to_string(report.exec_thread_capacity) + "\n\n";
+
+  char row[256];
+  std::snprintf(row, sizeof(row), "%-18s %4s %9s %9s %9s %9s %6s %s\n", "name",
+                "prio", "arrive_s", "start_s", "done_s", "wait_s", "bfill",
+                "outcome");
+  out += row;
+  for (const SessionStats& s : report.sessions) {
+    if (s.admitted) {
+      std::snprintf(row, sizeof(row),
+                    "%-18s %4u %9.2f %9.2f %9.2f %9.2f %6s %s\n",
+                    s.name.c_str(), s.priority, to_seconds(s.arrival),
+                    to_seconds(s.start), to_seconds(s.completion),
+                    to_seconds(s.queue_wait), s.backfilled ? "yes" : "no",
+                    session_outcome(s).c_str());
+    } else {
+      std::snprintf(row, sizeof(row), "%-18s %4u %9.2f %9s %9s %9s %6s %s\n",
+                    s.name.c_str(), s.priority, to_seconds(s.arrival), "-", "-",
+                    "-", "-", session_outcome(s).c_str());
+    }
+    out += row;
+  }
+
+  out += "\ncompleted " + std::to_string(report.completed) + ", failed " +
+         std::to_string(report.failed) + ", rejected " +
+         std::to_string(report.rejected) + ", backfilled " +
+         std::to_string(report.backfilled) + "\n";
+  out += "makespan          " + fmt("%.2f s", to_seconds(report.makespan)) +
+         "\n";
+  out += "sessions/hour     " + fmt("%.2f", report.sessions_per_hour) + "\n";
+  out += "utilization       comm " +
+         fmt("%.1f%%", 100.0 * report.comm_slot_utilization) + ", fe " +
+         fmt("%.1f%%", 100.0 * report.fe_connection_utilization) + ", exec " +
+         fmt("%.1f%%", 100.0 * report.exec_thread_utilization) + "\n";
+  out += "queue wait        mean " +
+         fmt("%.2f s", report.mean_queue_wait_seconds) + ", max " +
+         fmt("%.2f s", report.max_queue_wait_seconds) + "\n";
+  out += "turnaround        mean " +
+         fmt("%.2f s", report.mean_turnaround_seconds) + "\n";
+  return out;
+}
+
+std::string render_service_json(const ServiceReport& report) {
+  std::string out = "{\n";
+  out += "  \"machine\": \"" + stat::json_escape(report.machine) + "\",\n";
+  out += "  \"policy\": \"" +
+         std::string(scheduler_policy_name(report.policy)) + "\",\n";
+  out += "  \"ledger\": {\"comm_slots\": " +
+         std::to_string(report.comm_slot_capacity) + ", \"fe_connections\": " +
+         std::to_string(report.fe_connection_capacity) +
+         ", \"exec_threads\": " + std::to_string(report.exec_thread_capacity) +
+         "},\n";
+  out += "  \"sessions\": [\n";
+  for (std::size_t i = 0; i < report.sessions.size(); ++i) {
+    const SessionStats& s = report.sessions[i];
+    out += "    {\"name\": \"" + stat::json_escape(s.name) + "\"";
+    out += ", \"priority\": " + std::to_string(s.priority);
+    out += ", \"arrival_s\": " + fmt("%.6f", to_seconds(s.arrival));
+    out += ", \"admitted\": " + std::string(s.admitted ? "true" : "false");
+    if (s.admitted) {
+      out += ", \"backfilled\": " +
+             std::string(s.backfilled ? "true" : "false");
+      out += ", \"start_s\": " + fmt("%.6f", to_seconds(s.start));
+      out += ", \"completion_s\": " + fmt("%.6f", to_seconds(s.completion));
+      out += ", \"queue_wait_s\": " + fmt("%.6f", to_seconds(s.queue_wait));
+      out += ", \"turnaround_s\": " + fmt("%.6f", to_seconds(s.turnaround));
+      out += ", \"topology\": \"" + stat::json_escape(s.topology) + "\"";
+      out += ", \"comm_slots\": " + std::to_string(s.demand.comm_slots);
+      out +=
+          ", \"fe_connections\": " + std::to_string(s.demand.fe_connections);
+      out += ", \"exec_threads\": " + std::to_string(s.demand.exec_threads);
+      out += ", \"classes\": " + std::to_string(s.result.classes.size());
+    }
+    out += ", \"status\": \"" + stat::json_escape(s.status.to_string()) + "\"}";
+    out += (i + 1 < report.sessions.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+  out += "  \"completed\": " + std::to_string(report.completed) + ",\n";
+  out += "  \"failed\": " + std::to_string(report.failed) + ",\n";
+  out += "  \"rejected\": " + std::to_string(report.rejected) + ",\n";
+  out += "  \"backfilled\": " + std::to_string(report.backfilled) + ",\n";
+  out += "  \"makespan_s\": " + fmt("%.6f", to_seconds(report.makespan)) +
+         ",\n";
+  out += "  \"sessions_per_hour\": " + fmt("%.6f", report.sessions_per_hour) +
+         ",\n";
+  out += "  \"comm_slot_utilization\": " +
+         fmt("%.6f", report.comm_slot_utilization) + ",\n";
+  out += "  \"fe_connection_utilization\": " +
+         fmt("%.6f", report.fe_connection_utilization) + ",\n";
+  out += "  \"exec_thread_utilization\": " +
+         fmt("%.6f", report.exec_thread_utilization) + ",\n";
+  out += "  \"mean_queue_wait_s\": " +
+         fmt("%.6f", report.mean_queue_wait_seconds) + ",\n";
+  out += "  \"max_queue_wait_s\": " +
+         fmt("%.6f", report.max_queue_wait_seconds) + ",\n";
+  out += "  \"mean_turnaround_s\": " +
+         fmt("%.6f", report.mean_turnaround_seconds) + "\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace petastat::service

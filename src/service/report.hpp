@@ -1,0 +1,18 @@
+// Rendering for ServiceReport: per-session and aggregate stats as text or
+// JSON (the `--service` mode's counterpart of stat/report).
+#pragma once
+
+#include <string>
+
+#include "service/scheduler.hpp"
+
+namespace petastat::service {
+
+/// Human-readable table: one row per session (submission order), then the
+/// aggregate block (makespan, sessions/hour, utilization, waits).
+[[nodiscard]] std::string render_service_text(const ServiceReport& report);
+
+/// Machine-readable twin of the text report.
+[[nodiscard]] std::string render_service_json(const ServiceReport& report);
+
+}  // namespace petastat::service

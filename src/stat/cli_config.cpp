@@ -97,7 +97,14 @@ std::string cli_usage() {
       "                                  bit-identical at any thread count)\n"
       "  --format text|csv|json          report format (default text)\n"
       "  --print-tree                    include the 3D tree in the report\n"
-      "  --dot PATH                      write the 3D tree as Graphviz DOT\n";
+      "  --dot PATH                      write the 3D tree as Graphviz DOT\n"
+      "  --service PATH                  multi-session service mode: replay\n"
+      "                                  the JSON arrival trace at PATH\n"
+      "                                  through the session scheduler (other\n"
+      "                                  scenario flags are ignored; --format\n"
+      "                                  text|json selects the report)\n"
+      "  --service-policy fifo|backfill  override the trace's scheduling\n"
+      "                                  policy\n";
 }
 
 Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
@@ -355,6 +362,20 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
       auto value = next();
       if (!value.is_ok()) return value.status();
       config.dot_path = std::string(value.value());
+    } else if (flag == "--service") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value().empty()) {
+        return bad("--service expects a trace file path");
+      }
+      config.service_trace_path = std::string(value.value());
+    } else if (flag == "--service-policy") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value() != "fifo" && value.value() != "backfill") {
+        return bad("--service-policy expects fifo|backfill");
+      }
+      config.service_policy = std::string(value.value());
     } else {
       return bad("unknown flag '" + std::string(flag) + "'");
     }

@@ -21,6 +21,14 @@ struct CliConfig {
   OutputFormat format = OutputFormat::kText;
   bool print_tree = false;
   std::string dot_path;  // write the 3D tree as DOT when non-empty
+  /// Multi-session service mode: replay this arrival trace through the
+  /// service::SessionScheduler instead of running one scenario. Kept as a
+  /// path string here (stat/ does not depend on service/); the driver
+  /// dispatches on it.
+  std::string service_trace_path;
+  /// Scheduler policy override for service mode ("fifo"/"backfill"; empty =
+  /// whatever the trace says). Validated at parse time.
+  std::string service_policy;
 };
 
 /// Usage text for --help.

@@ -128,11 +128,22 @@ fs::NfsParams shared_nfs_params(const machine::MachineConfig& machine) {
 
 StatScenario::StatScenario(machine::MachineConfig machine,
                            machine::JobConfig job, StatOptions options)
+    : StatScenario(std::move(machine), job, std::move(options),
+                   /*executor=*/nullptr) {}
+
+StatScenario::StatScenario(machine::MachineConfig machine,
+                           machine::JobConfig job, StatOptions options,
+                           sim::Executor* executor)
     : machine_(std::move(machine)),
       job_(job),
       options_(std::move(options)),
-      costs_(machine::default_cost_model(machine_)),
-      exec_(options_.exec_threads) {
+      costs_(machine::default_cost_model(machine_)) {
+  if (executor != nullptr) {
+    exec_ = executor;
+  } else {
+    owned_exec_ = std::make_unique<sim::Executor>(options_.exec_threads);
+    exec_ = owned_exec_.get();
+  }
   auto layout = machine::layout_daemons(machine_, job_);
   check(layout.is_ok(), "StatScenario: job does not fit the machine");
   layout_ = layout.value();
@@ -233,7 +244,7 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   app_ = make_app_model(machine_, job_, options_);
   walker_ = std::make_unique<stackwalker::StackWalker>(
       sim_, machine_, costs_.sampling, *files_, *app_, layout_, run_seed);
-  walker_->set_executor(&exec_);
+  walker_->set_executor(exec_);
   lmon_ = std::make_unique<launchmon::LaunchMonSession>(sim_, machine_, *net_,
                                                         layout_);
 }
@@ -241,6 +252,25 @@ StatScenario::StatScenario(machine::MachineConfig machine,
 StatScenario::~StatScenario() = default;
 
 StatRunResult StatScenario::run() {
+  if (ran_) {
+    StatRunResult result;
+    result.layout = layout_;
+    result.topology = options_.topology;
+    result.status = failed_precondition(
+        "StatScenario::run() is single-shot: construct a fresh scenario per "
+        "session");
+    return result;
+  }
+  ran_ = true;
+  StatRunResult result = run_impl();
+  // The scenario clock only ever advances inside this run, so "now" is the
+  // session's total virtual duration — including the phases a failure cut
+  // short.
+  result.total_virtual_time = sim_.now();
+  return result;
+}
+
+StatRunResult StatScenario::run_impl() {
   StatRunResult result;
   result.layout = layout_;
   result.topology = options_.topology;
@@ -550,7 +580,7 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   const SimTime merge_start = sim_.now();
   tbon::Reduction<StatPayload<Label>> reduction(
       sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx),
-      &exec_);
+      exec_);
   reduction.set_dead_daemons(daemon_dead);
 
   // Mid-merge failure recovery: the monitor's ping sweep runs only while a
@@ -628,10 +658,10 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
     sim_.schedule_in(phases.remap_time, []() {});
     // The two trees remap independently; overlap them across workers while
     // the modelled remap duration elapses.
-    auto remap_2d = exec_.run(
+    auto remap_2d = exec_->run(
         [&]() { result.tree_2d = remap_tree(merged->tree_2d, task_map); });
     result.tree_3d = remap_tree(merged->tree_3d, task_map);
-    exec_.wait(remap_2d);
+    exec_->wait(remap_2d);
     sim_.run();
   } else {
     result.tree_2d = std::move(merged->tree_2d);
@@ -666,7 +696,7 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
   tbon::StreamingReduction<StreamSnapshot<Label>> streaming(
       sim_, *net_, topology,
       make_stream_ops<Label>(costs_.merge, costs_.stream, frames, ctx),
-      &exec_);
+      exec_);
   streaming.set_dead_daemons(daemon_dead);
   streaming.set_full_remerge(options_.stream_full_remerge);
 
@@ -842,9 +872,9 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
     }
     sim_.schedule_in(phases.remap_time, []() {});
     auto remap_2d =
-        exec_.run([&]() { result.tree_2d = remap_tree(acc_2d, task_map); });
+        exec_->run([&]() { result.tree_2d = remap_tree(acc_2d, task_map); });
     result.tree_3d = remap_tree(acc_3d, task_map);
-    exec_.wait(remap_2d);
+    exec_->wait(remap_2d);
     sim_.run();
   } else {
     result.tree_2d = std::move(acc_2d);

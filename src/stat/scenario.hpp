@@ -220,6 +220,11 @@ struct StatRunResult {
   Status status = Status::ok();  // first failing phase's status
   /// The topology the run actually used (what `--topology auto` resolved to).
   tbon::TopologySpec topology;
+  /// The scenario simulator's clock when run() returned — the session's total
+  /// virtual duration across every phase that executed (including partial
+  /// runs that stopped at a failing phase). The service scheduler uses this
+  /// to place a session's completion on the shared service clock.
+  SimTime total_virtual_time = 0;
   PhaseBreakdown phases;
   GlobalTree tree_2d;
   GlobalTree tree_3d;
@@ -234,10 +239,25 @@ struct StatRunResult {
   std::vector<std::uint32_t> dead_daemons;
 };
 
+/// A StatScenario is a *re-entrant session object*: every piece of mutable
+/// state it touches — simulator, executor, network, file systems, app model,
+/// RNG streams — is owned by (or borrowed explicitly into) the instance, so
+/// any number of scenarios can coexist in one process and produce results
+/// bit-identical to running each alone. The one process-wide exception is
+/// plan::profile_workload's memoized probe cache, which is deterministic and
+/// mutex-guarded (see src/plan/predictor.hpp).
 class StatScenario {
  public:
   StatScenario(machine::MachineConfig machine, machine::JobConfig job,
                StatOptions options);
+  /// Multi-session form: run this scenario's real computations on a shared,
+  /// caller-owned executor instead of spawning a private worker pool.
+  /// `executor` must outlive the scenario; `options.exec_threads` is ignored.
+  /// Virtual timings are unaffected — the executor only overlaps the real
+  /// work between modelled timestamps — so results stay bit-identical to a
+  /// privately-pooled run.
+  StatScenario(machine::MachineConfig machine, machine::JobConfig job,
+               StatOptions options, sim::Executor* executor);
   ~StatScenario();
 
   StatScenario(const StatScenario&) = delete;
@@ -245,7 +265,8 @@ class StatScenario {
 
   /// Runs all phases to completion inside the simulator. A failed phase
   /// stops the pipeline; the result carries the failure and the timings of
-  /// the phases that did run.
+  /// the phases that did run. A scenario runs once: a second call returns
+  /// FAILED_PRECONDITION (construct a fresh scenario per run).
   [[nodiscard]] StatRunResult run();
 
   /// Tuning knobs, to be adjusted before run().
@@ -254,7 +275,18 @@ class StatScenario {
   [[nodiscard]] const app::AppModel& app() const { return *app_; }
   [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
 
+  /// Construction-time validation/auto-resolution outcome, readable without
+  /// running. The service scheduler rejects sessions here before admitting.
+  [[nodiscard]] const Status& config_status() const { return config_status_; }
+  /// The options after construction resolved `--topology auto` /
+  /// `--fe-shards auto`: `resolved_options().topology` is the spec the run
+  /// will use, which is what the service ledger prices a session's demand
+  /// from. Meaningless when config_status() is not OK.
+  [[nodiscard]] const StatOptions& resolved_options() const { return options_; }
+
  private:
+  [[nodiscard]] StatRunResult run_impl();
+
   template <typename Label>
   void run_merge_phase(const tbon::TbonTopology& topology, StatRunResult& result,
                        std::vector<StatPayload<Label>> payloads,
@@ -278,7 +310,11 @@ class StatScenario {
   machine::DaemonLayout layout_;
 
   sim::Simulator sim_;
-  sim::Executor exec_;  // before everything that may hold submitted work
+  /// Private pool (empty when a shared executor was borrowed), declared
+  /// before everything that may hold submitted work.
+  std::unique_ptr<sim::Executor> owned_exec_;
+  sim::Executor* exec_ = nullptr;  // the pool in use (owned or borrowed)
+  bool ran_ = false;               // run() is single-shot
   std::unique_ptr<net::Network> net_;
   std::unique_ptr<fs::FileSystem> shared_fs_;
   std::unique_ptr<fs::FileSystem> local_fs_;

@@ -7,9 +7,51 @@
 #include <string_view>
 #include <vector>
 
+#include "service/report.hpp"
+#include "service/scheduler.hpp"
+#include "service/trace.hpp"
 #include "stat/cli_config.hpp"
 #include "stat/report.hpp"
 #include "stat/scenario.hpp"
+
+namespace {
+
+/// `--service trace.json`: replay the arrival trace through the session
+/// scheduler and emit the service report instead of a single-run report.
+int run_service_mode(const petastat::stat::CliConfig& config) {
+  using namespace petastat;
+  auto trace = service::load_service_trace(config.service_trace_path);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "error: %s\n", trace.status().to_string().c_str());
+    return 2;
+  }
+  if (config.format == stat::OutputFormat::kCsv) {
+    std::fprintf(stderr, "error: service mode reports text or json, not csv\n");
+    return 2;
+  }
+  service::ServiceConfig service_config = trace.value().config;
+  if (!config.service_policy.empty()) {
+    service_config.policy =
+        service::parse_scheduler_policy(config.service_policy).value();
+  }
+
+  service::SessionScheduler scheduler(service_config);
+  for (const auto& request : trace.value().sessions) {
+    if (Status s = scheduler.submit(request); !s.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", s.to_string().c_str());
+      return 2;
+    }
+  }
+  const service::ServiceReport report = scheduler.run();
+  std::fputs((config.format == stat::OutputFormat::kJson
+                  ? service::render_service_json(report)
+                  : service::render_service_text(report))
+                 .c_str(),
+             stdout);
+  return report.rejected == 0 && report.failed == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace petastat;
@@ -30,6 +72,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   const stat::CliConfig& config = parsed.value();
+  if (!config.service_trace_path.empty()) return run_service_mode(config);
 
   stat::StatScenario scenario(config.machine, config.job, config.options);
   const stat::StatRunResult result = scenario.run();
