@@ -1,0 +1,150 @@
+// Ablation: reducer placement against the switch graph.
+//
+// The petascale preset's login tier is deliberately oversubscribed: each
+// service leaf funnels four 1.2 GB/s login NICs through a single 2.4 GB/s
+// service uplink, so where the shard reducers land decides which link
+// saturates during the merge. This bench runs the dense petascale merge
+// (131,072 VN-mode tasks = 256 daemons) at K in {16, 64} shards under the
+// three placements and records, per cell:
+//   * merge time — pack/spread/route barely differ here (the merge is
+//     latency-dominated at this payload size), which is the point: the
+//     placements trade *contention*, visible only per link;
+//   * the busy time of the busiest link (max-link-load) from the per-link
+//     stats, where the placements separate cleanly: pack serializes on one
+//     login NIC, spread floods the aggregation core, route keeps both the
+//     access links and the trunks below either.
+// Shape checks: route's busiest link is strictly the least busy of the
+// three at both K, and `--topology auto` (the predictor-ranked search over
+// the full spec space, placements included) simulates within 5% of the best
+// simulated cell of this sweep.
+#include <algorithm>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "plan/search.hpp"
+
+using namespace petastat;
+using namespace petastat::bench;
+
+namespace {
+
+struct NetworkPoint {
+  double merge_s = -1.0;  // < 0 = failed
+  double max_link_busy_s = -1.0;
+  double startup_merge_remap_s = -1.0;
+  std::string busiest_link;
+  std::string note;
+};
+
+NetworkPoint run_placement(std::uint32_t shards,
+                           tbon::ReducerPlacement placement) {
+  stat::StatOptions options;
+  options.repr = stat::TaskSetRepr::kDenseGlobal;
+  options.launcher = stat::LauncherKind::kCiodPatched;
+  options.topology =
+      tbon::TopologySpec::flat().with_shards(shards).with_placement(placement);
+
+  NetworkPoint point;
+  const stat::StatRunResult result =
+      run_scenario(machine::petascale(), 131072,
+                   machine::BglMode::kVirtualNode, options);
+  if (!result.status.is_ok()) {
+    point.note = status_code_name(result.status.code());
+    return point;
+  }
+  point.merge_s = to_seconds(result.phases.merge_time);
+  point.startup_merge_remap_s =
+      to_seconds(result.phases.startup_total + result.phases.merge_time +
+                 result.phases.remap_time);
+  if (!result.phases.merge_links.empty()) {
+    point.max_link_busy_s = to_seconds(result.phases.merge_links.front().busy);
+    point.busiest_link = result.phases.merge_links.front().link;
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  title("Ablation",
+        "Wiring-aware reducer placement: merge time and busiest-link busy "
+        "time for pack/spread/route on the oversubscribed petascale fabric");
+
+  const std::vector<std::uint32_t> ks = {16, 64};
+  const std::vector<std::pair<const char*, tbon::ReducerPlacement>>
+      placements = {{"pack", tbon::ReducerPlacement::kPack},
+                    {"spread", tbon::ReducerPlacement::kSpread},
+                    {"route", tbon::ReducerPlacement::kRoute}};
+
+  std::vector<Series> merge_series;
+  std::vector<Series> link_series;
+  for (const auto& [name, placement] : placements) {
+    merge_series.emplace_back(std::string("dense-") + name);
+    link_series.emplace_back(std::string("maxlink-") + name);
+  }
+
+  bool route_least_contended = true;
+  double best_cell_s = -1.0;
+  for (const std::uint32_t k : ks) {
+    double pack_busy = -1.0, spread_busy = -1.0, route_busy = -1.0;
+    for (std::size_t p = 0; p < placements.size(); ++p) {
+      const NetworkPoint point = run_placement(k, placements[p].second);
+      merge_series[p].add(k, point.merge_s, point.note);
+      link_series[p].add(k, point.max_link_busy_s,
+                         point.note.empty() ? point.busiest_link : point.note);
+      if (point.startup_merge_remap_s >= 0 &&
+          (best_cell_s < 0 || point.startup_merge_remap_s < best_cell_s)) {
+        best_cell_s = point.startup_merge_remap_s;
+      }
+      if (p == 0) pack_busy = point.max_link_busy_s;
+      if (p == 1) spread_busy = point.max_link_busy_s;
+      if (p == 2) route_busy = point.max_link_busy_s;
+    }
+    route_least_contended = route_least_contended && route_busy >= 0 &&
+                            pack_busy >= 0 && spread_busy >= 0 &&
+                            route_busy < pack_busy && route_busy < spread_busy;
+  }
+  print_table("petascale-merge", merge_series);
+  print_table("petascale-maxlink", link_series);
+
+  // `--topology auto`: the predictor-ranked search over the whole spec space
+  // (depths, shard counts, placements) against the same machine and job.
+  machine::JobConfig job;
+  job.num_tasks = 131072;
+  job.mode = machine::BglMode::kVirtualNode;
+  stat::StatOptions auto_options;
+  auto_options.repr = stat::TaskSetRepr::kDenseGlobal;
+  auto_options.launcher = stat::LauncherKind::kCiodPatched;
+  double auto_s = -1.0;
+  std::string auto_name = "(search failed)";
+  auto predictor = plan::PhasePredictor::create(
+      machine::petascale(), job, auto_options,
+      machine::default_cost_model(machine::petascale()));
+  if (predictor.is_ok()) {
+    auto search = plan::search_topologies(predictor.value());
+    if (search.is_ok() && !search.value().viable.empty()) {
+      const tbon::TopologySpec pick = search.value().best().spec;
+      auto_name = pick.name();
+      stat::StatOptions o = auto_options;
+      o.topology = pick;
+      const stat::StatRunResult result = run_scenario(
+          machine::petascale(), 131072, machine::BglMode::kVirtualNode, o);
+      if (result.status.is_ok()) {
+        auto_s = to_seconds(result.phases.startup_total +
+                            result.phases.merge_time +
+                            result.phases.remap_time);
+      }
+    }
+  }
+  note("--topology auto resolved to " + auto_name);
+
+  shape_check(
+      "route's busiest link is strictly the least busy of the three "
+      "placements at K in {16,64}",
+      route_least_contended);
+  shape_check(
+      "--topology auto simulates within 5% of the best cell of this sweep "
+      "(startup+merge+remap)",
+      auto_s >= 0 && best_cell_s > 0 && auto_s <= 1.05 * best_cell_s);
+  return bench::finish(argc, argv);
+}

@@ -27,7 +27,7 @@ struct GracePoint {
 GracePoint run_with_grace(SimTime grace) {
   sim::Simulator sim;
   const auto machine = machine::atlas();
-  net::Network network(sim, machine, net::default_network_params(machine));
+  net::Network network(sim, net::build_switch_graph(machine));
 
   fs::NfsParams nfs_params;
   nfs_params.background_sigma = 0;

@@ -208,9 +208,10 @@ struct CostModel {
 /// landing on `distinct_hosts` hosts: one remote-shell handshake per host,
 /// then cheap local forks for every colocated extra. This is the
 /// spawn-locality side of the reducer-placement trade — packing helpers onto
-/// few hosts makes this formula small and the merge-time per-host NIC
-/// contention (net::transfer_rate serialized per host) large; spreading does
-/// the reverse. One formulation for the simulator (StatScenario's connect
+/// few hosts makes this formula small and the merge-time link contention
+/// (every transfer serialized on each link of its net::route_between route,
+/// so colocated helpers queue on one access link) large; spreading does the
+/// reverse. One formulation for the simulator (StatScenario's connect
 /// phase) and the planner.
 [[nodiscard]] SimTime placed_spawn_time(const LaunchCosts& costs,
                                         std::uint32_t procs,

@@ -65,6 +65,22 @@ MachineConfig atlas() {
   m.daemon_shares_cpu = true;                 // spin-waiting MPI ranks
   m.supports_rsh = true;
   m.supports_ssh = false;  // Sec. IV-A: Atlas compute nodes have no sshd
+
+  // 2-level fat-tree over DDR Infiniband: 24-port leaf switches for the
+  // compute nodes, full-bisection uplinks into one core, and a service leaf
+  // holding the front end and both login nodes. Access rates carry over the
+  // old per-role NIC rates (compute 1.4 GB/s IB, service 1.1 GB/s).
+  m.interconnect.shape = InterconnectShape::kFatTree;
+  m.interconnect.frontend_access = {4 * kMicrosecond, 1.1e9};
+  m.interconnect.login_access = {4 * kMicrosecond, 1.1e9};
+  m.interconnect.compute_access = {2 * kMicrosecond, 1.4e9};
+  m.interconnect.io_access = {4 * kMicrosecond, 1.1e9};  // no I/O tier
+  m.interconnect.hosts_per_leaf = 24;  // 48 leaves for 1,152 nodes
+  m.interconnect.logins_per_service_leaf = 4;
+  m.interconnect.leaves_per_agg = 0;  // 2-level: leaves attach to the core
+  m.interconnect.leaf_uplink = {kMicrosecond, 24 * 1.4e9};  // full bisection
+  m.interconnect.service_uplink = {kMicrosecond, 4.4e9};
+  m.interconnect.per_message_overhead = 30 * kMicrosecond;
   return m;
 }
 
@@ -88,6 +104,25 @@ MachineConfig bgl() {
   // with the "> limit rejects" boundary semantic that means the front end
   // survives 255.
   m.max_tool_connections = 255;
+
+  // BG/L's tool traffic rides the functional GigE tree: each rack's 16 I/O
+  // nodes hang off a rack switch, rack switches uplink into one functional
+  // core, and the login nodes share a service leaf on the same core. Compute
+  // nodes reach their rack's I/O nodes over the collective network and other
+  // racks over the torus passthrough vertex. Access rates carry over the old
+  // NIC rates (I/O 95 MB/s, login 110 MB/s, compute collective 340 MB/s);
+  // the login->I/O route latency sums to the old 120 us.
+  m.interconnect.shape = InterconnectShape::kIoTorusTiers;
+  m.interconnect.frontend_access = {30 * kMicrosecond, 110e6};
+  m.interconnect.login_access = {30 * kMicrosecond, 110e6};
+  m.interconnect.io_access = {6 * kMicrosecond, 95e6};
+  m.interconnect.compute_access = {5 * kMicrosecond, 340e6};
+  m.interconnect.io_nodes_per_rack = 16;  // 104 racks
+  m.interconnect.rack_uplink = {59 * kMicrosecond, 1.0e9};
+  m.interconnect.service_uplink = {25 * kMicrosecond, 1.0e9};
+  m.interconnect.collective_link = {4 * kMicrosecond, 340e6};
+  m.interconnect.torus_link = {2 * kMicrosecond, 175e6};
+  m.interconnect.per_message_overhead = 60 * kMicrosecond;
   return m;
 }
 
@@ -106,6 +141,26 @@ MachineConfig petascale() {
   m.daemon_shares_cpu = false;
   m.supports_rsh = false;
   m.supports_ssh = false;
+
+  // Oversubscribed 3-level fat-tree: 64 I/O leaves (32 I/O nodes each, with
+  // the 131,072 compute nodes block-attached 2,048 per leaf), 8 service
+  // leaves of 4 logins, 4 aggregation switches, one core. The I/O side gets
+  // full-bisection uplinks; the service leaves are 2:1 oversubscribed
+  // (4 x 1.2 GB/s of access demand into a 2.4 GB/s trunk), so reducers
+  // packed behind one service leaf contend on its uplink — the wiring effect
+  // route-aware placement exists to dodge.
+  m.interconnect.shape = InterconnectShape::kFatTree;
+  m.interconnect.frontend_access = {8 * kMicrosecond, 1.2e9};
+  m.interconnect.login_access = {8 * kMicrosecond, 1.2e9};
+  m.interconnect.io_access = {8 * kMicrosecond, 1.2e9};
+  m.interconnect.compute_access = {4 * kMicrosecond, 2.0e9};
+  m.interconnect.hosts_per_leaf = 32;         // 64 I/O leaves
+  m.interconnect.logins_per_service_leaf = 4; // 8 service leaves
+  m.interconnect.leaves_per_agg = 16;         // 4 aggs over the I/O leaves
+  m.interconnect.leaf_uplink = {5 * kMicrosecond, 32 * 1.2e9};
+  m.interconnect.service_uplink = {5 * kMicrosecond, 2.4e9};  // oversubscribed
+  m.interconnect.agg_uplink = {5 * kMicrosecond, 76.8e9};
+  m.interconnect.per_message_overhead = 20 * kMicrosecond;
   return m;
 }
 

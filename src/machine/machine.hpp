@@ -65,6 +65,69 @@ enum class DaemonPlacement : std::uint8_t {
   kPerIoNode,       // BG/L: daemon on a dedicated I/O node
 };
 
+// --- Interconnect description ----------------------------------------------
+//
+// The network is a graph of switches with hosts hanging off them; net::
+// builds a net::SwitchGraph from this description. machine:: only *describes*
+// the wiring (shape + per-tier link parameters) so that it stays independent
+// of the simulation layer.
+
+/// One physical link class: propagation latency plus serialized bandwidth.
+struct LinkSpec {
+  SimTime latency = 5 * kMicrosecond;
+  double bytes_per_sec = 1.0e9;
+};
+
+/// Wiring shape of the machine's interconnect.
+enum class InterconnectShape : std::uint8_t {
+  /// Every host attaches to one core switch. The default for ad hoc
+  /// MachineConfigs: timing reduces to per-host access links, closest to the
+  /// old per-role NIC model.
+  kCrossbar,
+  /// Leaf/aggregation/core fat-tree (Atlas: 2-level over IB; petascale:
+  /// oversubscribed 3-level). Compute or I/O hosts pack onto data leaves;
+  /// front end + logins pack onto service leaves.
+  kFatTree,
+  /// BG/L: per-rack I/O tier on the functional GigE tree, per-rack collective
+  /// vertices for compute nodes, and a torus passthrough vertex for
+  /// rack-to-rack compute traffic.
+  kIoTorusTiers,
+};
+
+/// Parameters net:: uses to synthesize the switch graph for a machine.
+struct InterconnectConfig {
+  InterconnectShape shape = InterconnectShape::kCrossbar;
+
+  /// Host access links, one class per tier. The bytes_per_sec values carry
+  /// over the old per-role NIC rates, so uncontended point-to-point transfer
+  /// rates match the previous model.
+  LinkSpec frontend_access;
+  LinkSpec login_access;
+  LinkSpec io_access;
+  LinkSpec compute_access;
+
+  // kFatTree shape:
+  std::uint32_t hosts_per_leaf = 32;          // data hosts per leaf switch
+  std::uint32_t logins_per_service_leaf = 4;  // logins per service leaf; the
+                                              // front end rides service leaf 0
+  std::uint32_t leaves_per_agg = 0;  // 0 = 2-level (leaves attach to the core)
+  LinkSpec leaf_uplink;              // data leaf -> agg/core trunk
+  LinkSpec service_uplink;  // service leaf -> agg/core trunk. The petascale
+                            // oversubscription knob: sized below
+                            // logins_per_service_leaf * login_access so
+                            // colocated reducer streams contend.
+  LinkSpec agg_uplink;      // agg -> core trunk (3-level only)
+
+  // kIoTorusTiers shape:
+  std::uint32_t io_nodes_per_rack = 16;
+  LinkSpec rack_uplink;      // rack I/O switch -> functional GigE core
+  LinkSpec collective_link;  // rack collective vertex -> rack I/O switch
+  LinkSpec torus_link;       // rack collective vertex -> torus passthrough
+
+  /// Fixed software cost per message, independent of route.
+  SimTime per_message_overhead = 25 * kMicrosecond;
+};
+
 /// Static description of a platform.
 struct MachineConfig {
   std::string name;
@@ -105,6 +168,10 @@ struct MachineConfig {
   /// cannot hold 256 daemon connections under full-job bit vectors, so the
   /// BG/L preset survives 255.
   std::uint32_t max_tool_connections = 1024;
+
+  /// Wiring description; net::build_switch_graph turns it into routes and
+  /// shared link devices.
+  InterconnectConfig interconnect;
 
   [[nodiscard]] NodeId front_end() const { return make_node(NodeRole::kFrontEnd, 0); }
   [[nodiscard]] NodeId login_node(std::uint32_t i) const {

@@ -357,7 +357,7 @@ PhasePredictor::PhasePredictor(machine::MachineConfig machine,
       options_(std::move(options)),
       costs_(costs),
       layout_(layout),
-      net_(net::default_network_params(machine_)),
+      graph_(net::build_switch_graph(machine_)),
       profile_(profile_workload(machine_, job_, layout_, options_)),
       stream_profile_(
           profile_stream_workload(machine_, job_, layout_, options_)) {
@@ -535,23 +535,24 @@ Result<PhasePrediction> PhasePredictor::predict(
   }
 
   // Level-by-level critical path of the reduction: within one level, each
-  // parent's single core unpacks/merges its children serially and its NIC
-  // drains their transfers serially (the Network's congestion mechanism);
-  // parents work in parallel except where they share a host (BG/L login
-  // nodes). Levels complete bottom-up.
+  // parent's single core unpacks/merges its children serially, and every
+  // link device a child's route crosses drains its serialization serially
+  // (the Network's congestion mechanism — host access links subsume the old
+  // per-NIC queueing, shared trunks add the wiring contention: two children
+  // behind one oversubscribed uplink queue on it even when their parents
+  // differ). Levels complete bottom-up.
   struct LevelCost {
     double worst_cpu_s = 0.0;
     double worst_latency_s = 0.0;
-    std::vector<std::pair<NodeId, double>> nic_s;  // per parent host
+    std::unordered_map<std::uint64_t, double> device_s;  // per link device
   };
   std::vector<LevelCost> levels(topo.depth);
-  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  const double msg_overhead_s = to_seconds(graph_.per_message_overhead());
   for (std::size_t i = 0; i < n; ++i) {
     const auto& parent = topo.procs[i];
     if (parent.children.empty()) continue;
     LevelCost& level = levels[parent.level];
     double cpu_s = 0.0;
-    double nic_s = 0.0;
     for (const std::uint32_t c : parent.children) {
       const double child_bytes = bytes_of(c);
       const auto wire = static_cast<std::uint64_t>(child_bytes);
@@ -568,13 +569,15 @@ Result<PhasePrediction> PhasePredictor::predict(
         cpu_s += to_seconds(machine::filter_merge_cost(
             costs_.merge, static_cast<std::uint64_t>(nodes_of(c)), wire));
       }
-      nic_s += child_bytes / net::transfer_rate(net_, topo.procs[c].host,
-                                                parent.host);
-      level.worst_latency_s = std::max(
-          level.worst_latency_s,
-          to_seconds(
-              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
-              msg_overhead_s);
+      const net::Route route =
+          net::route_between(graph_, topo.procs[c].host, parent.host);
+      const double ser_s = child_bytes / net::bottleneck_rate(route);
+      for (const net::RouteHop& hop : route) {
+        level.device_s[hop.device] += ser_s;
+      }
+      level.worst_latency_s =
+          std::max(level.worst_latency_s,
+                   to_seconds(net::route_latency(route)) + msg_overhead_s);
     }
     if (parent.parent >= 0) {
       // Internal procs pack their accumulator before forwarding it.
@@ -582,25 +585,19 @@ Result<PhasePrediction> PhasePredictor::predict(
           costs_.merge, static_cast<std::uint64_t>(bytes_of(i))));
     }
     level.worst_cpu_s = std::max(level.worst_cpu_s, cpu_s);
-    auto it = std::find_if(level.nic_s.begin(), level.nic_s.end(),
-                           [&](const auto& e) { return e.first == parent.host; });
-    if (it == level.nic_s.end()) {
-      level.nic_s.emplace_back(parent.host, nic_s);
-    } else {
-      it->second += nic_s;  // comm procs sharing one host share its NIC
-    }
   }
 
-  // Leaves pack in parallel, then each level gates the next.
+  // Leaves pack in parallel, then each level gates the next, its network
+  // side bounded by the single most-contended link device.
   double merge_s = to_seconds(machine::packet_codec_cost(
       costs_.merge, static_cast<std::uint64_t>(profile_.leaf_payload_bytes)));
   for (std::size_t l = levels.size(); l-- > 0;) {
     const LevelCost& level = levels[l];
-    double worst_nic_s = 0.0;
-    for (const auto& [host, s] : level.nic_s) {
-      worst_nic_s = std::max(worst_nic_s, s);
+    double worst_link_s = 0.0;
+    for (const auto& [device, s] : level.device_s) {
+      worst_link_s = std::max(worst_link_s, s);
     }
-    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_nic_s);
+    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_link_s);
   }
   p.merge = seconds(merge_s);
 
@@ -615,6 +612,58 @@ Result<PhasePrediction> PhasePredictor::predict(
   return p;
 }
 
+Result<std::vector<LinkBytesPrediction>>
+PhasePredictor::predict_merge_link_bytes(const tbon::TopologySpec& spec) const {
+  auto topo_result = tbon::build_topology(machine_, layout_, spec);
+  if (!topo_result.is_ok()) return topo_result.status();
+  const tbon::TbonTopology& topo = topo_result.value();
+
+  const std::size_t n = topo.procs.size();
+  std::vector<double> daemons_under(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    const auto& proc = topo.procs[i];
+    if (proc.is_leaf()) {
+      daemons_under[i] = 1.0;
+    } else {
+      for (const std::uint32_t c : proc.children) {
+        daemons_under[i] += daemons_under[c];
+      }
+    }
+  }
+
+  // One upward transfer per tree edge — exactly the merge phase's traffic —
+  // charged to every device along the child->parent route, the same walk
+  // Network::transfer reserves.
+  std::unordered_map<std::uint64_t, LinkBytesPrediction> priced;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& parent = topo.procs[i];
+    for (const std::uint32_t c : parent.children) {
+      const double child_bytes =
+          topo.procs[c].is_leaf() ? profile_.leaf_payload_bytes
+                                  : profile_.payload_bytes_for(daemons_under[c]);
+      for (const net::RouteHop& hop :
+           net::route_between(graph_, topo.procs[c].host, parent.host)) {
+        LinkBytesPrediction& entry = priced[hop.device];
+        entry.device = hop.device;
+        entry.bytes += child_bytes;
+        ++entry.messages;
+      }
+    }
+  }
+
+  std::vector<LinkBytesPrediction> out;
+  out.reserve(priced.size());
+  for (auto& [device, entry] : priced) {
+    entry.link = graph_.device_name(device);
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LinkBytesPrediction& a, const LinkBytesPrediction& b) {
+              return a.device < b.device;
+            });
+  return out;
+}
+
 Result<RecoveryPrediction> PhasePredictor::predict_recovery(
     const tbon::TopologySpec& spec, SimTime ping_period) const {
   auto topo_result = tbon::build_topology(machine_, layout_, spec);
@@ -624,22 +673,22 @@ Result<RecoveryPrediction> PhasePredictor::predict_recovery(
 
   RecoveryPrediction r;
 
-  // One ping round trip: fan-out level by level (worst link latency plus the
+  // One ping round trip: fan-out level by level (worst route latency plus the
   // busiest parent's serialized ping sends), echo gather symmetric.
-  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  const double msg_overhead_s = to_seconds(graph_.per_message_overhead());
   std::vector<double> level_s(topo.depth, 0.0);
   for (const auto& parent : topo.procs) {
     if (parent.children.empty()) continue;
     double worst_link_s = 0.0;
     double nic_s = 0.0;
     for (const std::uint32_t c : parent.children) {
-      worst_link_s = std::max(
-          worst_link_s,
-          to_seconds(
-              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
-              msg_overhead_s);
+      const net::Route route =
+          net::route_between(graph_, parent.host, topo.procs[c].host);
+      worst_link_s =
+          std::max(worst_link_s,
+                   to_seconds(net::route_latency(route)) + msg_overhead_s);
       nic_s += static_cast<double>(tbon::HealthMonitor::kPingBytes) /
-               net::transfer_rate(net_, parent.host, topo.procs[c].host);
+               net::bottleneck_rate(route);
     }
     level_s[parent.level] = std::max(level_s[parent.level], worst_link_s + nic_s);
   }
@@ -682,7 +731,7 @@ Result<RecoveryPrediction> PhasePredictor::predict_recovery(
     const std::uint64_t busiest = (orphans + adopters - 1) / adopters;
     const double nic_s =
         static_cast<double>(busiest) * static_cast<double>(leaf_bytes) /
-        net::transfer_rate(net_, topo.procs[topo.leaf_of_daemon[0]].host,
+        net::transfer_rate(graph_, topo.procs[topo.leaf_of_daemon[0]].host,
                            topo.front_end().host);
     r.remerge += seconds(nic_s);
   }
@@ -757,10 +806,10 @@ Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
   struct LevelCost {
     double worst_cpu_s = 0.0;
     double worst_latency_s = 0.0;
-    std::vector<std::pair<NodeId, double>> nic_s;  // per parent host
+    std::unordered_map<std::uint64_t, double> device_s;  // per link device
   };
   std::vector<LevelCost> levels(topo.depth);
-  const double msg_overhead_s = to_seconds(net_.per_message_overhead);
+  const double msg_overhead_s = to_seconds(graph_.per_message_overhead());
   const double ack_codec_s =
       to_seconds(machine::control_packet_cost(costs_.stream));
   for (std::size_t i = 0; i < n; ++i) {
@@ -768,7 +817,6 @@ Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
     if (parent.children.empty()) continue;
     LevelCost& level = levels[parent.level];
     double cpu_s = 0.0;
-    double nic_s = 0.0;
     for (const std::uint32_t c : parent.children) {
       const double snap_bytes = bytes_of(c);
       const auto snap_wire = static_cast<std::uint64_t>(snap_bytes);
@@ -789,13 +837,16 @@ Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
         cpu_s += ack_codec_s;
       }
       p.delta_bytes += wire;
-      nic_s += static_cast<double>(wire) /
-               net::transfer_rate(net_, topo.procs[c].host, parent.host);
-      level.worst_latency_s = std::max(
-          level.worst_latency_s,
-          to_seconds(
-              net::link_between(net_, topo.procs[c].host, parent.host).latency) +
-              msg_overhead_s);
+      const net::Route route =
+          net::route_between(graph_, topo.procs[c].host, parent.host);
+      const double ser_s =
+          static_cast<double>(wire) / net::bottleneck_rate(route);
+      for (const net::RouteHop& hop : route) {
+        level.device_s[hop.device] += ser_s;
+      }
+      level.worst_latency_s =
+          std::max(level.worst_latency_s,
+                   to_seconds(net::route_latency(route)) + msg_overhead_s);
     }
     if (parent.parent >= 0) {
       cpu_s += dirty[i]
@@ -811,13 +862,6 @@ Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
           costs_.merge, static_cast<std::uint64_t>(bytes_of(i))));
     }
     level.worst_cpu_s = std::max(level.worst_cpu_s, cpu_s);
-    auto it = std::find_if(level.nic_s.begin(), level.nic_s.end(),
-                           [&](const auto& e) { return e.first == parent.host; });
-    if (it == level.nic_s.end()) {
-      level.nic_s.emplace_back(parent.host, nic_s);
-    } else {
-      it->second += nic_s;  // comm procs sharing one host share its NIC
-    }
   }
 
   // Every leaf hashes its snapshot before sending; the slowest leaf is a
@@ -836,11 +880,11 @@ Result<StreamSamplePrediction> PhasePredictor::predict_stream_sample(
   }
   for (std::size_t l = levels.size(); l-- > 0;) {
     const LevelCost& level = levels[l];
-    double worst_nic_s = 0.0;
-    for (const auto& [host, s] : level.nic_s) {
-      worst_nic_s = std::max(worst_nic_s, s);
+    double worst_link_s = 0.0;
+    for (const auto& [device, s] : level.device_s) {
+      worst_link_s = std::max(worst_link_s, s);
     }
-    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_nic_s);
+    merge_s += level.worst_latency_s + std::max(level.worst_cpu_s, worst_link_s);
   }
   p.merge = seconds(merge_s);
   return p;

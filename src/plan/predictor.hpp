@@ -7,8 +7,9 @@
 // consumes the exact formulation the simulated services use:
 //   * the analytic launch/sampling/merge formulas in machine/cost_model
 //     (the services draw their per-run noise *around* these),
-//   * the link/NIC rate selection in net::transfer_rate (what the simulated
-//     Network charges per transfer),
+//   * the switch-graph route pricing in net::route_between /
+//     net::bottleneck_rate (the exact links the simulated Network reserves
+//     per transfer, shared trunks included),
 //   * the process tree from tbon::build_topology (the same placement and
 //     fanouts the reduction runs over).
 // The only empirical input is the WorkloadProfile: payload sizes and prefix
@@ -138,6 +139,14 @@ struct RecoveryPrediction {
   [[nodiscard]] SimTime total() const { return detection + remerge; }
 };
 
+/// Priced traffic of one link device (see predict_merge_link_bytes).
+struct LinkBytesPrediction {
+  std::uint64_t device = 0;
+  std::string link;  // SwitchGraph::device_name()
+  double bytes = 0.0;
+  std::uint64_t messages = 0;
+};
+
 class PhasePredictor {
  public:
   /// Fails when the job does not fit the machine.
@@ -180,9 +189,18 @@ class PhasePredictor {
   [[nodiscard]] Result<StreamSamplePrediction> predict_stream_sample(
       const tbon::TopologySpec& spec, double changed_fraction) const;
 
+  /// Per-link merge-phase traffic the predictor prices for `spec`: every
+  /// tree edge's payload charged to every link device along its route —
+  /// the byte-level half of the shared formulation. The simulated merge
+  /// phase's link deltas (stat::PhaseBreakdown::merge_links) must agree:
+  /// message counts exactly, bytes within per-edge float truncation.
+  [[nodiscard]] Result<std::vector<LinkBytesPrediction>>
+  predict_merge_link_bytes(const tbon::TopologySpec& spec) const;
+
   [[nodiscard]] const machine::MachineConfig& machine() const {
     return machine_;
   }
+  [[nodiscard]] const net::SwitchGraph& graph() const { return graph_; }
   [[nodiscard]] const machine::DaemonLayout& layout() const { return layout_; }
   [[nodiscard]] const WorkloadProfile& profile() const { return profile_; }
   [[nodiscard]] const stat::StatOptions& options() const { return options_; }
@@ -200,7 +218,7 @@ class PhasePredictor {
   stat::StatOptions options_;
   machine::CostModel costs_;
   machine::DaemonLayout layout_;
-  net::NetworkParams net_;
+  net::SwitchGraph graph_;
   WorkloadProfile profile_;
   /// Single-sample snapshot sizes (stat::StreamSnapshot — one tree, not the
   /// batched 2D+3D payload): what the streaming delta rounds actually move.

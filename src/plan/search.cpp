@@ -9,15 +9,17 @@ namespace petastat::plan {
 
 namespace {
 
-/// The placement dimension for one shard count: pack vs spread for K > 1
-/// (kCommLike coincides with pack on compute-allocation machines and with
-/// spread on login tiers, so the pair covers the space without duplicate
-/// candidates); comm-like alone when unsharded. One definition for
-/// enumerate_specs and choose_fe_shards, so the two auto paths can never
-/// search different placement spaces.
+/// The placement dimension for one shard count: pack vs spread vs route for
+/// K > 1 (kCommLike coincides with pack on compute-allocation machines and
+/// with spread on login tiers, so the trio covers the space without
+/// duplicate candidates; route sees the switch graph and can differ from
+/// both on oversubscribed fabrics). Comm-like alone when unsharded. One
+/// definition for enumerate_specs and choose_fe_shards, so the two auto
+/// paths can never search different placement spaces.
 std::vector<tbon::ReducerPlacement> placements_for(std::uint32_t shards) {
   if (shards > 1) {
-    return {tbon::ReducerPlacement::kPack, tbon::ReducerPlacement::kSpread};
+    return {tbon::ReducerPlacement::kPack, tbon::ReducerPlacement::kSpread,
+            tbon::ReducerPlacement::kRoute};
   }
   return {tbon::ReducerPlacement::kCommLike};
 }

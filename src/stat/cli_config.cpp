@@ -61,11 +61,13 @@ std::string cli_usage() {
       "                                  unsharded; N > 8 builds a reducer\n"
       "                                  tree); auto picks the predicted-\n"
       "                                  fastest K in {1,2,4,8,16,32,64}\n"
-      "  --reducer-placement comm|pack|spread\n"
+      "  --reducer-placement comm|pack|spread|route\n"
       "                                  host policy for reducers/combiners\n"
       "                                  (default comm = the machine's comm-\n"
-      "                                  process rule; auto modes rank pack\n"
-      "                                  vs spread themselves)\n"
+      "                                  process rule; route greedily\n"
+      "                                  minimizes max link load over the\n"
+      "                                  switch graph; auto modes rank pack\n"
+      "                                  vs spread vs route themselves)\n"
       "  --repr dense|hier               edge-label representation\n"
       "  --launcher rsh|ssh|launchmon|ciod|ciod-unpatched\n"
       "  --samples N                     traces per task (default 10)\n"
@@ -203,8 +205,10 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
         config.options.reducer_placement = tbon::ReducerPlacement::kPack;
       } else if (value.value() == "spread") {
         config.options.reducer_placement = tbon::ReducerPlacement::kSpread;
+      } else if (value.value() == "route") {
+        config.options.reducer_placement = tbon::ReducerPlacement::kRoute;
       } else {
-        return bad("--reducer-placement expects comm|pack|spread");
+        return bad("--reducer-placement expects comm|pack|spread|route");
       }
     } else if (flag == "--repr") {
       auto value = next();

@@ -29,8 +29,7 @@ HeavyweightReport run_heavyweight_debugger(
   }
 
   sim::Simulator sim;
-  net::Network network(sim, machine,
-                       net::default_network_params(machine));
+  net::Network network(sim, net::build_switch_graph(machine));
   const machine::DaemonLayout& l = layout.value();
   const std::uint32_t per_node = machine::tasks_per_compute_node(machine, job.mode);
 

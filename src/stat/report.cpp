@@ -1,5 +1,6 @@
 #include "stat/report.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/strings.hpp"
@@ -47,6 +48,15 @@ std::string render_text_report(const StatRunResult& result,
          format_duration(p.remap_time) + " remap), " +
          format_bytes(p.merge_bytes) + " over " +
          std::to_string(p.merge_messages) + " messages\n";
+  const std::vector<net::LinkStat>& links =
+      p.stream_rounds > 0 ? p.stream_links : p.merge_links;
+  if (!links.empty()) {
+    const net::LinkStat& busiest = links.front();
+    out += "  network:   " + std::to_string(links.size()) +
+           " link(s) carried traffic; busiest " + busiest.link + " busy " +
+           format_duration(busiest.busy) + ", " + format_bytes(busiest.bytes) +
+           " over " + std::to_string(busiest.messages) + " messages\n";
+  }
   if (p.killed_procs > 0) {
     out += "  recovery:  " + std::to_string(p.killed_procs) +
            " proc(s) killed mid-merge, detected in " +
@@ -173,6 +183,25 @@ std::string render_json_report(const StatRunResult& result,
   out += "    \"stream_changed_rounds\": " +
          std::to_string(p.stream_changed_rounds) + "\n";
   out += "  },\n";
+  const std::vector<net::LinkStat>& links =
+      p.stream_rounds > 0 ? p.stream_links : p.merge_links;
+  if (!links.empty()) {
+    // Busiest-first (the first entry is the max-contention link); capped so
+    // huge fabrics don't swamp the report — "links_total" records the cut.
+    constexpr std::size_t kMaxLinks = 16;
+    const std::size_t shown = std::min(links.size(), kMaxLinks);
+    out += "  \"links_total\": " + std::to_string(links.size()) + ",\n";
+    out += "  \"links\": [\n";
+    for (std::size_t i = 0; i < shown; ++i) {
+      const net::LinkStat& l = links[i];
+      out += "    {\"link\": \"" + json_escape(l.link) +
+             "\", \"busy_s\": " + seconds_field(l.busy) +
+             ", \"bytes\": " + std::to_string(l.bytes) +
+             ", \"messages\": " + std::to_string(l.messages) + "}";
+      out += (i + 1 < shown) ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+  }
   if (!result.stream_samples.empty()) {
     out += "  \"stream_samples\": [\n";
     for (std::size_t i = 0; i < result.stream_samples.size(); ++i) {

@@ -30,6 +30,36 @@ const char* task_set_repr_name(TaskSetRepr repr) {
 
 namespace {
 constexpr const char* kSharedBase = "/nfs/home/user";
+
+/// Per-link traffic since `before` (a link_stats() snapshot), busiest first
+/// (ties to the lower device key), links with no new traffic dropped.
+std::vector<net::LinkStat> link_stats_since(
+    const net::Network& network, const std::vector<net::LinkStat>& before) {
+  std::vector<net::LinkStat> delta = network.link_stats();
+  // Both snapshots are sorted by device key, and devices are only ever
+  // added, so a linear pairwise walk lines them up.
+  std::size_t b = 0;
+  for (net::LinkStat& stat : delta) {
+    while (b < before.size() && before[b].device < stat.device) ++b;
+    if (b < before.size() && before[b].device == stat.device) {
+      stat.bytes -= before[b].bytes;
+      stat.messages -= before[b].messages;
+      stat.busy -= before[b].busy;
+    }
+  }
+  delta.erase(std::remove_if(delta.begin(), delta.end(),
+                             [](const net::LinkStat& s) {
+                               return s.messages == 0 && s.bytes == 0 &&
+                                      s.busy == 0;
+                             }),
+              delta.end());
+  std::stable_sort(delta.begin(), delta.end(),
+                   [](const net::LinkStat& lhs, const net::LinkStat& rhs) {
+                     if (lhs.busy != rhs.busy) return lhs.busy > rhs.busy;
+                     return lhs.device < rhs.device;
+                   });
+  return delta;
+}
 }  // namespace
 
 std::unique_ptr<app::AppModel> make_app_model(
@@ -212,8 +242,7 @@ StatScenario::StatScenario(machine::MachineConfig machine,
     }
   }
 
-  net_ = std::make_unique<net::Network>(sim_, machine_,
-                                        net::default_network_params(machine_));
+  net_ = std::make_unique<net::Network>(sim_, net::build_switch_graph(machine_));
 
   // Per-run noise streams are salted with the configuration so that
   // "essentially identical" runs under different topologies draw different
@@ -578,6 +607,7 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   }
 
   const SimTime merge_start = sim_.now();
+  const std::vector<net::LinkStat> links_before = net_->link_stats();
   tbon::Reduction<StatPayload<Label>> reduction(
       sim_, *net_, topology, make_stat_reduce_ops<Label>(costs_.merge, frames, ctx),
       exec_);
@@ -623,6 +653,7 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
                   });
   sim_.run();
   phases.health_sweeps = monitor.sweeps_completed();
+  phases.merge_links = link_stats_since(*net_, links_before);
   if (!merged.has_value()) {
     // The victim died holding state the recovery could not rebuild (or died
     // where no sibling could adopt). The tool reports the stall instead of
@@ -679,6 +710,8 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
   const app::FrameTable& frames = app_->frames();
   const std::uint32_t num_daemons = layout_.num_daemons;
   const std::uint32_t rounds = options_.stream_samples;
+
+  const std::vector<net::LinkStat> links_before = net_->link_stats();
 
   // Control plane: one versioned SampleRequest announces the whole window —
   // cursor 0, round count, cadence — to every leaf before the first round.
@@ -794,6 +827,7 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
       phases.merge_status = unavailable(
           "stream stalled: a tool process died mid-stream and round " +
           std::to_string(s) + " could never complete");
+      phases.stream_links = link_stats_since(*net_, links_before);
       return;
     }
 
@@ -852,6 +886,7 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
     }
   }
   phases.health_sweeps = monitor.sweeps_completed();
+  phases.stream_links = link_stats_since(*net_, links_before);
 
   // Finalization: identical to the classic merge phase, except survivors
   // are judged after mid-stream losses (a daemon whose leaf died mid-stream

@@ -187,6 +187,14 @@ struct PhaseBreakdown {
   std::uint64_t merge_bytes = 0;
   std::uint64_t merge_messages = 0;
   std::uint64_t leaf_payload_bytes = 0;  // one daemon's serialized trees
+  /// Per-link traffic of the merge phase — the delta of the network's
+  /// link_stats() across the reduction — busiest (longest busy time) first.
+  /// Empty when the merge never ran. The front entry is the max-contention
+  /// link the report surfaces; plan::PhasePredictor::predict_merge_link_bytes
+  /// prices the same per-device byte totals analytically.
+  std::vector<net::LinkStat> merge_links;
+  /// Same delta across the whole streaming phase (--stream), busiest first.
+  std::vector<net::LinkStat> stream_links;
 
   // Mid-merge failure recovery (fail_at_seconds armed). merge_bytes then
   // also counts the monitor's ping traffic.

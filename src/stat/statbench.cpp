@@ -26,8 +26,7 @@ StatBenchResult run_with_label(const StatBenchConfig& config,
 
   sim::Simulator sim;
   sim::Executor exec(config.exec_threads);
-  net::Network network(sim, config.machine,
-                       net::default_network_params(config.machine));
+  net::Network network(sim, net::build_switch_graph(config.machine));
 
   // Each daemon synthesizes traces for its virtual task block and builds its
   // local trees — exactly the tool-side work, minus the StackWalker. Daemons

@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "net/network.hpp"
 
 namespace petastat::tbon {
 
@@ -138,6 +145,100 @@ Result<std::vector<std::uint32_t>> derive_level_widths(
   return std::move(levels).value().widths;
 }
 
+namespace {
+
+/// Lazily-built state for ReducerPlacement::kRoute: the machine's switch
+/// graph plus the occupancy-weighted load every placed route-proc has
+/// charged to the link devices its payloads traverse. Each crossing charges
+/// 1/rate — the wire time a unit payload occupies that link — so a hop on a
+/// fat aggregated trunk costs a fraction of one on a thin access or
+/// oversubscribed uplink, matching how Network::transfer now bills devices.
+/// The greedy score of a candidate host is the max weighted load any of
+/// those links would reach — minimizing it spreads helpers across leaf
+/// switches and steers each one toward the aggregation domain its
+/// children's payloads already live in.
+struct RoutePlacementState {
+  net::SwitchGraph graph;
+  std::unordered_map<std::uint64_t, double> link_load;
+
+  explicit RoutePlacementState(const machine::MachineConfig& machine)
+      : graph(net::build_switch_graph(machine)) {}
+
+  /// Only candidate-dependent devices count: the trunks a route crosses and
+  /// the candidate host's own access link. The far endpoint's access link
+  /// (the shared parent's, a fixed daemon's) carries the same load whichever
+  /// candidate wins, so scoring it saturates every candidate at that shared
+  /// load — degenerating the greedy into lowest-index (pack) fill.
+  [[nodiscard]] static bool scores(const net::RouteHop& hop,
+                                   std::uint64_t own_access) {
+    return hop.device < net::SwitchGraph::kAccessDeviceBase ||
+           hop.device == own_access;
+  }
+
+  /// Wire time a unit payload occupies this hop, in GB-seconds: the metric
+  /// the busiest-link report uses, scaled to dodge denormal territory.
+  [[nodiscard]] static double weight(const net::RouteHop& hop) {
+    return 1.0e9 / hop.link.bytes_per_sec;
+  }
+
+  /// Weighted link load *after* placing the proc here, as a lexicographic
+  /// (max, sum) pair over the devices this candidate touches: existing load
+  /// plus every route of this proc that crosses the link. The max is the
+  /// objective proper; the sum breaks the ties that arise once one shared
+  /// trunk (every candidate's route to the same parent crosses it) holds
+  /// the global max — without it the greedy cannot tell a fresh login from
+  /// a loaded one and degenerates into lowest-index fill. A one-crossing
+  /// lookahead would let a candidate that funnels all its children over one
+  /// trunk tie with one that adds a single crossing — the whole
+  /// contribution must count.
+  [[nodiscard]] std::pair<double, double> score(
+      const std::vector<net::Route>& routes, std::uint64_t own_access) const {
+    std::unordered_map<std::uint64_t, double> contribution;
+    for (const auto& route : routes) {
+      for (const auto& hop : route) {
+        if (scores(hop, own_access)) contribution[hop.device] += weight(hop);
+      }
+    }
+    double worst = 0.0;
+    double total = 0.0;
+    for (const auto& [device, added] : contribution) {
+      const auto it = link_load.find(device);
+      const double load = it == link_load.end() ? 0.0 : it->second;
+      worst = std::max(worst, load + added);
+      total += load + added;
+    }
+    return {worst, total};
+  }
+
+  /// Charging records *every* hop, including the far endpoints' access
+  /// links the score skips: a parent's rx load is candidate-invariant while
+  /// scoring, but it is real wire time that must repel later procs whose
+  /// own access would be that same device.
+  void charge(const std::vector<net::Route>& routes) {
+    for (const auto& route : routes) {
+      for (const auto& hop : route) link_load[hop.device] += weight(hop);
+    }
+  }
+
+  /// The routes a proc on `host` will load: up to its parent, plus down from
+  /// each already-known child (the leaf daemons, when the proc sits on the
+  /// last internal level). Children on inner levels are placed later, so
+  /// they cannot be priced yet.
+  [[nodiscard]] std::vector<net::Route> routes_for(
+      NodeId host, NodeId parent_host,
+      const std::vector<NodeId>& child_hosts) const {
+    std::vector<net::Route> routes;
+    routes.reserve(child_hosts.size() + 1);
+    routes.push_back(net::route_between(graph, host, parent_host));
+    for (const NodeId child : child_hosts) {
+      routes.push_back(net::route_between(graph, child, host));
+    }
+    return routes;
+  }
+};
+
+}  // namespace
+
 Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
                                     const machine::DaemonLayout& layout,
                                     const TopologySpec& spec) {
@@ -189,39 +290,118 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
   // Comm-process levels. Shard-machinery levels (combiners + reducers) come
   // first and honor spec.reducer_placement; the spec's own levels always use
   // the machine's comm-process rule. Placement counters:
-  //   comm_seq     core-packing / round-robin position of packed procs,
-  //   spread_nodes whole compute nodes consumed by kSpread shard procs
-  //                (packed procs start after them),
-  //   shard_seq    shard procs placed so far (kPack's login fill order).
+  //   comm_seq       core-packing / round-robin position of packed procs,
+  //   consumed_nodes whole compute nodes taken by kSpread/kRoute shard procs
+  //                  (packed procs fill the free nodes around them),
+  //   shard_seq      shard procs placed so far (kPack's login fill order).
   std::vector<std::uint32_t> prev_level_indices{0};
   std::uint32_t comm_seq = 0;
-  std::uint32_t spread_nodes = 0;
+  std::set<std::uint32_t> consumed_nodes;
   std::uint32_t shard_seq = 0;
   std::vector<std::uint32_t> login_load(machine.login_nodes, 0);
+  std::optional<RoutePlacementState> route_state;
+  const auto route_placement = [&]() -> RoutePlacementState& {
+    if (!route_state) route_state.emplace(machine);
+    return *route_state;
+  };
+  // The n-th compute node (ascending) past the daemon block that no
+  // whole-node proc holds. With no kRoute procs the consumed set is the
+  // contiguous run right after the daemons, so this reduces exactly to the
+  // historical `num_daemons + spread_nodes + n` arithmetic.
+  const auto nth_free_node = [&](std::uint32_t n) -> std::uint32_t {
+    for (std::uint32_t node = layout.num_daemons; node < machine.compute_nodes;
+         ++node) {
+      if (consumed_nodes.count(node) != 0) continue;
+      if (n == 0) return node;
+      --n;
+    }
+    return machine.compute_nodes;  // exhausted; caller reports
+  };
   std::uint32_t level_no = 1;
   for (const auto width : widths) {
     const bool shard_level = level_no <= shard_levels;
     const ReducerPlacement placement = shard_level
                                            ? spec.reducer_placement
                                            : ReducerPlacement::kCommLike;
+    const bool last_internal_level =
+        level_no == static_cast<std::uint32_t>(widths.size());
     std::vector<std::uint32_t> this_level;
     this_level.reserve(width);
     for (std::uint32_t i = 0; i < width; ++i) {
       TbonTopology::Proc proc;
+      // Parent: spread evenly over the previous level. Resolved before
+      // placement so route scoring can price the uplink toward it.
+      const auto parent_slot = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(i) * prev_level_indices.size() / width);
+      const std::uint32_t parent_index = prev_level_indices[parent_slot];
+      const NodeId parent_host = topo.procs[parent_index].host;
+      // The leaf daemons that will hang off slot i of the last internal
+      // level — the only children whose hosts are known before they are
+      // placed, and the bulk of the traffic route placement should steer.
+      std::vector<NodeId> child_hosts;
+      if (placement == ReducerPlacement::kRoute && last_internal_level) {
+        const std::uint64_t daemons = layout.num_daemons;
+        for (std::uint64_t d = (i * daemons + width - 1) / width;
+             d < daemons && d * width / daemons == i; ++d) {
+          child_hosts.push_back(machine::daemon_host(
+              machine, DaemonId(static_cast<std::uint32_t>(d))));
+        }
+      }
       if (machine.comm_procs_on_compute_allocation) {
         // Cluster: separate compute allocation. Packed procs take one core
-        // each; spread shard procs take a whole node each.
-        const std::uint32_t node_index =
-            placement == ReducerPlacement::kSpread
-                ? layout.num_daemons + spread_nodes
-                : layout.num_daemons + spread_nodes +
-                      comm_seq / machine.cores_per_compute_node;
+        // each; spread and route shard procs take a whole node each — route
+        // picks its node by link load, so consumed nodes need not be
+        // contiguous.
+        std::uint32_t node_index;
+        if (placement == ReducerPlacement::kSpread) {
+          node_index = nth_free_node(0);
+        } else if (placement == ReducerPlacement::kRoute) {
+          RoutePlacementState& rs = route_placement();
+          // One candidate per leaf switch suffices: free nodes behind the
+          // same switch share a route shape, and the lowest index wins ties.
+          std::vector<std::uint32_t> first_free(
+              rs.graph.num_switches(), machine.compute_nodes);
+          for (std::uint32_t node = layout.num_daemons;
+               node < machine.compute_nodes; ++node) {
+            if (consumed_nodes.count(node) != 0) continue;
+            const std::uint32_t s =
+                rs.graph.switch_of(machine.compute_node(node));
+            if (first_free[s] == machine.compute_nodes) first_free[s] = node;
+          }
+          std::vector<std::uint32_t> candidates;
+          for (const std::uint32_t node : first_free) {
+            if (node < machine.compute_nodes) candidates.push_back(node);
+          }
+          std::sort(candidates.begin(), candidates.end());
+          node_index = machine.compute_nodes;
+          std::pair<double, double> best_score{
+              std::numeric_limits<double>::infinity(), 0.0};
+          std::vector<net::Route> best_routes;
+          for (const std::uint32_t node : candidates) {
+            const NodeId host = machine.compute_node(node);
+            const std::uint64_t access = net::SwitchGraph::access_device(host);
+            std::vector<net::Route> routes =
+                rs.routes_for(host, parent_host, child_hosts);
+            const std::pair<double, double> score = rs.score(routes, access);
+            if (score < best_score) {
+              best_score = score;
+              node_index = node;
+              best_routes = std::move(routes);
+            }
+          }
+          if (node_index < machine.compute_nodes) {
+            rs.charge(best_routes);
+          }
+        } else {
+          node_index = nth_free_node(comm_seq / machine.cores_per_compute_node);
+        }
         if (node_index >= machine.compute_nodes) {
           return resource_exhausted("comm-process allocation exceeds cluster");
         }
         proc.host = machine.compute_node(node_index);
-        if (placement == ReducerPlacement::kSpread) {
-          ++spread_nodes;
+        if (placement == ReducerPlacement::kSpread ||
+            placement == ReducerPlacement::kRoute) {
+          consumed_nodes.insert(node_index);
         } else {
           ++comm_seq;
         }
@@ -235,6 +415,36 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
         std::uint32_t login = 0;
         if (placement == ReducerPlacement::kPack) {
           login = shard_seq / machine.max_comm_procs_per_login;
+        } else if (placement == ReducerPlacement::kRoute) {
+          // Least-max-link-load login with a free helper slot. The earlier
+          // capacity check guarantees a free slot exists at every step.
+          RoutePlacementState& rs = route_placement();
+          bool found = false;
+          std::pair<double, double> best_score{
+              std::numeric_limits<double>::infinity(), 0.0};
+          std::vector<net::Route> best_routes;
+          for (std::uint32_t l = 0; l < machine.login_nodes; ++l) {
+            if (login_load[l] >= machine.max_comm_procs_per_login) continue;
+            const NodeId host = machine.login_node(l);
+            const std::uint64_t access = net::SwitchGraph::access_device(host);
+            std::vector<net::Route> routes =
+                rs.routes_for(host, parent_host, child_hosts);
+            const std::pair<double, double> score = rs.score(routes, access);
+            if (score < best_score) {
+              best_score = score;
+              login = l;
+              found = true;
+              best_routes = std::move(routes);
+            }
+          }
+          if (!found) {
+            // Unreachable after the capacity check; degrade to least-loaded.
+            for (std::uint32_t l = 1; l < machine.login_nodes; ++l) {
+              if (login_load[l] < login_load[login]) login = l;
+            }
+          } else {
+            rs.charge(best_routes);
+          }
         } else {
           for (std::uint32_t l = 1; l < machine.login_nodes; ++l) {
             if (login_load[l] < login_load[login]) login = l;
@@ -244,10 +454,7 @@ Result<TbonTopology> build_topology(const machine::MachineConfig& machine,
         ++login_load[login];
       }
       if (shard_level) ++shard_seq;
-      // Parent: spread evenly over the previous level.
-      const auto parent_slot = static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(i) * prev_level_indices.size() / width);
-      proc.parent = static_cast<std::int32_t>(prev_level_indices[parent_slot]);
+      proc.parent = static_cast<std::int32_t>(parent_index);
       proc.level = level_no;
       const auto index = static_cast<std::uint32_t>(topo.procs.size());
       topo.procs.push_back(proc);

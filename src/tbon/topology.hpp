@@ -29,8 +29,11 @@ namespace petastat::tbon {
 /// helpers onto few hosts makes the serial spawn burst cheap (one remote
 /// shell handshake per host, local forks after that) but leaves them sharing
 /// each host's NIC during the merge; spreading buys each helper its own NIC
-/// at the price of one handshake per host. plan::TopologySearch prices both
-/// through the shared machine/cost_model + net::transfer_rate formulas.
+/// at the price of one handshake per host. plan::TopologySearch prices every
+/// mode through the shared machine/cost_model + net:: route-pricing
+/// formulas (route_between / bottleneck_rate over the machine's switch
+/// graph), so the trade includes the trunk links the helpers share, not
+/// just their hosts' NICs.
 enum class ReducerPlacement : std::uint8_t {
   /// Inherit the machine's comm-process rule (the pre-placement behaviour):
   /// round-robin over the login tier on BG/L-style machines, core-packing on
@@ -40,6 +43,13 @@ enum class ReducerPlacement : std::uint8_t {
   kPack,
   /// One helper per host while hosts last (round-robin once they run out).
   kSpread,
+  /// Wiring-aware: each helper lands on the candidate host that minimizes
+  /// the maximum per-trunk-link load over the routes from every placed
+  /// helper to the front end (ties to the lowest host index). On
+  /// oversubscribed fabrics this spreads helpers across leaf switches, not
+  /// just across hosts — kSpread can still pile every helper behind one
+  /// saturated uplink.
+  kRoute,
 };
 
 [[nodiscard]] constexpr const char* reducer_placement_name(ReducerPlacement p) {
@@ -47,6 +57,7 @@ enum class ReducerPlacement : std::uint8_t {
     case ReducerPlacement::kCommLike: return "comm";
     case ReducerPlacement::kPack: return "pack";
     case ReducerPlacement::kSpread: return "spread";
+    case ReducerPlacement::kRoute: return "route";
   }
   return "?";
 }

@@ -33,7 +33,7 @@ TEST(EdgeCases, SingleDaemonReduction) {
   EXPECT_EQ(topo.procs.size(), 2u);  // FE + one leaf
 
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   tbon::ReduceOps<int> ops;
   ops.merge_cpu = [](const int&) { return SimTime{0}; };
   ops.merge_into = [](int& acc, int&& child) { acc += child; };
@@ -123,7 +123,7 @@ TEST(EdgeCases, MulticastOverSingleLeaf) {
   const auto topo =
       tbon::build_topology(m, layout, tbon::TopologySpec::flat()).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   bool fired = false;
   tbon::multicast(simulator, network, topo, 32, [&](SimTime) { fired = true; });
   simulator.run();

@@ -12,7 +12,7 @@ namespace {
 struct FabricFixture {
   sim::Simulator sim;
   machine::MachineConfig machine = machine::atlas();
-  net::Network net{sim, machine, net::default_network_params(machine)};
+  net::Network net{sim, net::build_switch_graph(machine)};
 
   machine::DaemonLayout layout_of(std::uint32_t daemons) {
     machine::DaemonLayout l;
@@ -88,7 +88,7 @@ TEST(BackEndFabric, MasterHostFollowsPlacement) {
 struct SbrsFixture {
   sim::Simulator sim;
   machine::MachineConfig machine = machine::atlas();
-  net::Network net{sim, machine, net::default_network_params(machine)};
+  net::Network net{sim, net::build_switch_graph(machine)};
   fs::NfsFileSystem nfs;
   fs::RamDiskFileSystem ram;
   fs::RamDiskFileSystem local;

@@ -1,31 +1,56 @@
-// Unit tests for the network model: transfer math, NIC contention, link
-// selection, and async delivery.
+// Unit tests for the switch-graph network model: route resolution, per-link
+// serialization, cut-through timing, async delivery, and the machine-preset
+// invariants (symmetry, reachability, preserved NIC rates).
 #include <gtest/gtest.h>
+
+#include <set>
 
 #include "machine/machine.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "tbon/topology.hpp"
 
 namespace petastat::net {
 namespace {
 
 using machine::NodeRole;
 
-NetworkParams flat_params() {
-  NetworkParams p;
-  const LinkParams link{1000 /*1us*/, 1.0e9};
-  p.fe_to_login = p.login_to_login = p.login_to_io = p.io_to_compute =
-      p.compute_fabric = p.fe_to_compute = link;
-  p.frontend_nic_bytes_per_sec = p.login_nic_bytes_per_sec =
-      p.io_nic_bytes_per_sec = p.compute_nic_bytes_per_sec = 1.0e9;
-  p.per_message_overhead = 0;
-  return p;
+/// One switch, every tier attached at 1 GB/s with 500 ns access latency and
+/// no per-message overhead: a transfer costs serialization + 2 access hops.
+SwitchGraph flat_graph() {
+  SwitchGraph g;
+  const std::uint32_t core = g.add_switch("core");
+  const LinkParams access{500, 1.0e9};
+  g.set_attach_rule(NodeRole::kFrontEnd, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kLogin, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kIo, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kCompute, {core, 1, 0, access});
+  g.set_per_message_overhead(0);
+  g.seal();
+  return g;
+}
+
+/// Two compute hosts behind one leaf, front end on the core, joined by a
+/// single 1 GB/s trunk — the minimal shared-uplink contention shape.
+SwitchGraph shared_uplink_graph() {
+  SwitchGraph g;
+  const std::uint32_t leaf = g.add_switch("leaf");
+  const std::uint32_t core = g.add_switch("core");
+  g.add_edge(leaf, core, {1000, 1.0e9});
+  const LinkParams fast_access{500, 10.0e9};
+  g.set_attach_rule(NodeRole::kFrontEnd, {core, 1, 0, fast_access});
+  g.set_attach_rule(NodeRole::kLogin, {core, 1, 0, fast_access});
+  g.set_attach_rule(NodeRole::kIo, {core, 1, 0, fast_access});
+  g.set_attach_rule(NodeRole::kCompute, {leaf, 1, 0, fast_access});
+  g.set_per_message_overhead(0);
+  g.seal();
+  return g;
 }
 
 TEST(Network, SingleTransferTiming) {
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
-  // 1 MB at 1 GB/s = 1 ms serialization + 1 us latency.
+  Network net(s, flat_graph());
+  // 1 MB at 1 GB/s = 1 ms serialization, cut through two 500 ns access hops.
   const SimTime done = net.transfer(machine::make_node(NodeRole::kCompute, 0),
                                     machine::make_node(NodeRole::kCompute, 1),
                                     1'000'000);
@@ -34,9 +59,19 @@ TEST(Network, SingleTransferTiming) {
   EXPECT_EQ(net.total_messages(), 1ull);
 }
 
-TEST(Network, SenderNicSerializesOutgoingTransfers) {
+TEST(Network, SelfTransferOccupiesAccessTwice) {
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
+  Network net(s, flat_graph());
+  // tx + rx on the same half-duplex access device: 2x serialization. The rx
+  // pass queues behind the tx pass, so only the final hop latency surfaces.
+  const NodeId host = machine::make_node(NodeRole::kCompute, 0);
+  const SimTime done = net.transfer(host, host, 1'000'000);
+  EXPECT_EQ(done, 2'000'000ull + 500ull);
+}
+
+TEST(Network, SenderAccessLinkSerializesOutgoingTransfers) {
+  sim::Simulator s;
+  Network net(s, flat_graph());
   const NodeId src = machine::make_node(NodeRole::kCompute, 0);
   const SimTime d1 = net.transfer(src, machine::make_node(NodeRole::kCompute, 1),
                                   1'000'000);
@@ -45,23 +80,65 @@ TEST(Network, SenderNicSerializesOutgoingTransfers) {
   EXPECT_GE(d2, d1 + 1'000'000ull);  // second waits for the first to drain
 }
 
-TEST(Network, ReceiverNicIsTheFanInBottleneck) {
-  // Many senders, one receiver: completions serialize on the receiver NIC.
+TEST(Network, ReceiverAccessLinkIsTheFanInBottleneck) {
+  // Many senders, one receiver: completions serialize on the receiver's
+  // access link.
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
+  Network net(s, flat_graph());
   const NodeId dst = machine::make_node(NodeRole::kFrontEnd, 0);
   SimTime last = 0;
   for (std::uint32_t i = 0; i < 16; ++i) {
     last = std::max(last, net.transfer(machine::make_node(NodeRole::kCompute, i),
                                        dst, 1'000'000));
   }
-  // 16 MB into a 1 GB/s NIC >= 16 ms regardless of sender parallelism.
+  // 16 MB into a 1 GB/s access link >= 16 ms regardless of sender parallelism.
   EXPECT_GE(last, 16'000'000ull);
+}
+
+TEST(Network, SharedTrunkSerializesTransfersFromDifferentHosts) {
+  // Two senders on *different* hosts behind the same uplink: the old
+  // per-host NIC model let these overlap fully; the trunk device must not.
+  sim::Simulator s;
+  Network net(s, shared_uplink_graph());
+  const NodeId fe = machine::make_node(NodeRole::kFrontEnd, 0);
+  const SimTime d1 = net.transfer(machine::make_node(NodeRole::kCompute, 0), fe,
+                                  1'000'000);
+  const SimTime d2 = net.transfer(machine::make_node(NodeRole::kCompute, 1), fe,
+                                  1'000'000);
+  EXPECT_GE(d2, d1 + 1'000'000ull);  // 1 ms of trunk serialization apart
+}
+
+TEST(Network, TrunkRouteTiming) {
+  sim::Simulator s;
+  Network net(s, shared_uplink_graph());
+  // 1 MB bottlenecked by the 1 GB/s trunk; latency = 500 + 1000 + 500 ns.
+  const SimTime done = net.transfer(machine::make_node(NodeRole::kCompute, 0),
+                                    machine::make_node(NodeRole::kFrontEnd, 0),
+                                    1'000'000);
+  EXPECT_EQ(done, 1'000'000ull + 2'000ull);
+}
+
+TEST(Network, PerMessageOverheadChargedOnce) {
+  SwitchGraph g;
+  const std::uint32_t core = g.add_switch("core");
+  const LinkParams access{500, 1.0e9};
+  g.set_attach_rule(NodeRole::kFrontEnd, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kLogin, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kIo, {core, 1, 0, access});
+  g.set_attach_rule(NodeRole::kCompute, {core, 1, 0, access});
+  g.set_per_message_overhead(60 * kMicrosecond);
+  g.seal();
+  sim::Simulator s;
+  Network net(s, std::move(g));
+  const SimTime done = net.transfer(machine::make_node(NodeRole::kCompute, 0),
+                                    machine::make_node(NodeRole::kCompute, 1),
+                                    1'000'000);
+  EXPECT_EQ(done, 1'000'000ull + 1'000ull + 60'000ull);
 }
 
 TEST(Network, AsyncDeliveryFiresAtComputedTime) {
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
+  Network net(s, flat_graph());
   SimTime fired_at = 0;
   const SimTime predicted = net.transfer_async(
       machine::make_node(NodeRole::kCompute, 0),
@@ -71,42 +148,43 @@ TEST(Network, AsyncDeliveryFiresAtComputedTime) {
   EXPECT_EQ(fired_at, predicted);
 }
 
-TEST(Network, SlowerLinkDominatesRate) {
+TEST(Network, LinkStatsCountPerDeviceTraffic) {
   sim::Simulator s;
-  NetworkParams p = flat_params();
-  p.login_to_io.bytes_per_sec = 1.0e8;  // 100 MB/s functional network
-  Network net(s, machine::bgl(), p);
-  const SimTime done = net.transfer(machine::make_node(NodeRole::kIo, 0),
-                                    machine::make_node(NodeRole::kLogin, 0),
-                                    1'000'000);
-  // 1 MB at 100 MB/s = 10 ms.
-  EXPECT_GE(done, 10'000'000ull);
+  Network net(s, shared_uplink_graph());
+  net.transfer(machine::make_node(NodeRole::kCompute, 0),
+               machine::make_node(NodeRole::kFrontEnd, 0), 1'000'000);
+  const std::vector<LinkStat> stats = net.link_stats();
+  ASSERT_EQ(stats.size(), 3u);  // src access, trunk, dst access
+  // Sorted by device key: trunk edge 0 first, then access devices by tier.
+  EXPECT_EQ(stats[0].link, "leaf--core");
+  for (const LinkStat& stat : stats) {
+    EXPECT_EQ(stat.bytes, 1'000'000ull);
+    EXPECT_EQ(stat.messages, 1ull);
+  }
+  // Busy is occupancy at each link's own rate: 1 MB takes 1 ms on the
+  // 1 GB/s trunk but only 100 us on the 10 GB/s access links.
+  EXPECT_EQ(stats[0].busy, 1'000'000ull);
+  EXPECT_EQ(stats[1].busy, 100'000ull);
+  EXPECT_EQ(stats[2].busy, 100'000ull);
 }
 
-TEST(Network, DefaultParamsDifferByMachine) {
-  const NetworkParams a = default_network_params(machine::atlas());
-  const NetworkParams b = default_network_params(machine::bgl());
-  // Atlas IB is much faster than BG/L's functional GigE tree.
-  EXPECT_GT(a.compute_fabric.bytes_per_sec, b.login_to_io.bytes_per_sec);
-  EXPECT_GT(b.login_to_io.latency, a.compute_fabric.latency);
-}
-
-TEST(Network, ResetClearsCountersAndNics) {
+TEST(Network, ResetClearsCountersAndDevices) {
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
+  Network net(s, flat_graph());
   net.transfer(machine::make_node(NodeRole::kCompute, 0),
                machine::make_node(NodeRole::kCompute, 1), 1000);
   net.reset();
   EXPECT_EQ(net.total_bytes_moved(), 0u);
   EXPECT_EQ(net.total_messages(), 0u);
   EXPECT_EQ(net.nic_free_at(machine::make_node(NodeRole::kCompute, 0)), 0u);
+  EXPECT_TRUE(net.link_stats().empty());
 }
 
 class TransferSizes : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TransferSizes, CompletionMonotoneInSize) {
   sim::Simulator s;
-  Network net(s, machine::atlas(), flat_params());
+  Network net(s, flat_graph());
   const SimTime small = net.transfer(machine::make_node(NodeRole::kCompute, 0),
                                      machine::make_node(NodeRole::kCompute, 1),
                                      GetParam());
@@ -120,6 +198,138 @@ TEST_P(TransferSizes, CompletionMonotoneInSize) {
 INSTANTIATE_TEST_SUITE_P(Sizes, TransferSizes,
                          ::testing::Values(1024ull, 65536ull, 1048576ull,
                                            16777216ull));
+
+// ---------------------------------------------------------------------------
+// Machine-preset invariants: every preset's graph must route between all role
+// pairs, symmetrically, without repeating a device, and preserve the NIC
+// rates the old point-to-point parameters published.
+
+struct PresetCase {
+  const char* name;
+  machine::MachineConfig machine;
+};
+
+std::vector<PresetCase> preset_cases() {
+  return {{"atlas", machine::atlas()},
+          {"bgl", machine::bgl()},
+          {"petascale", machine::petascale()}};
+}
+
+/// A few representative hosts per role, spanning the attach ranges.
+std::vector<NodeId> sample_hosts(const machine::MachineConfig& m) {
+  std::vector<NodeId> hosts;
+  hosts.push_back(m.front_end());
+  hosts.push_back(m.login_node(0));
+  if (m.login_nodes > 1) hosts.push_back(m.login_node(m.login_nodes - 1));
+  if (m.io_nodes > 0) {
+    hosts.push_back(machine::make_node(NodeRole::kIo, 0));
+    hosts.push_back(machine::make_node(NodeRole::kIo, m.io_nodes - 1));
+  }
+  hosts.push_back(m.compute_node(0));
+  hosts.push_back(m.compute_node(m.compute_nodes / 2));
+  hosts.push_back(m.compute_node(m.compute_nodes - 1));
+  return hosts;
+}
+
+TEST(SwitchGraphPresets, AllRolePairsRouteSymmetricallyWithoutLoops) {
+  for (const PresetCase& pc : preset_cases()) {
+    SCOPED_TRACE(pc.name);
+    const SwitchGraph g = build_switch_graph(pc.machine);
+    const std::vector<NodeId> hosts = sample_hosts(pc.machine);
+    for (const NodeId a : hosts) {
+      for (const NodeId b : hosts) {
+        const Route forward = route_between(g, a, b);
+        ASSERT_GE(forward.size(), 2u);
+        EXPECT_GT(bottleneck_rate(forward), 0.0);  // reachable, priced
+        // No device repeats (no routing loop). Self-transfers legitimately
+        // hold the one access device twice.
+        if (a != b) {
+          std::set<std::uint64_t> seen;
+          for (const RouteHop& hop : forward) {
+            EXPECT_TRUE(seen.insert(hop.device).second)
+                << "route repeats device " << g.device_name(hop.device);
+          }
+        }
+        // Symmetry: the reverse route crosses the same devices backwards.
+        const Route back = route_between(g, b, a);
+        ASSERT_EQ(back.size(), forward.size());
+        for (std::size_t i = 0; i < forward.size(); ++i) {
+          EXPECT_EQ(back[back.size() - 1 - i].device, forward[i].device);
+        }
+      }
+    }
+  }
+}
+
+TEST(SwitchGraphPresets, AtlasNicRatesPreserved) {
+  const machine::MachineConfig m = machine::atlas();
+  const SwitchGraph g = build_switch_graph(m);
+  // Same-leaf compute pair rides the full IB NIC rate, as the old
+  // compute_fabric published.
+  EXPECT_DOUBLE_EQ(transfer_rate(g, m.compute_node(0), m.compute_node(1)),
+                   1.4e9);
+  EXPECT_DOUBLE_EQ(g.attach_rule(NodeRole::kLogin).access.bytes_per_sec, 1.1e9);
+  EXPECT_DOUBLE_EQ(g.attach_rule(NodeRole::kFrontEnd).access.bytes_per_sec,
+                   1.1e9);
+  // Login <-> compute bottlenecks on the login NIC, as fe_to_compute did.
+  EXPECT_DOUBLE_EQ(transfer_rate(g, m.login_node(0), m.compute_node(0)), 1.1e9);
+}
+
+TEST(SwitchGraphPresets, PetascaleNicRatesPreserved) {
+  const machine::MachineConfig m = machine::petascale();
+  const SwitchGraph g = build_switch_graph(m);
+  EXPECT_DOUBLE_EQ(g.attach_rule(NodeRole::kIo).access.bytes_per_sec, 1.2e9);
+  EXPECT_DOUBLE_EQ(g.attach_rule(NodeRole::kLogin).access.bytes_per_sec, 1.2e9);
+  EXPECT_DOUBLE_EQ(g.attach_rule(NodeRole::kCompute).access.bytes_per_sec,
+                   2.0e9);
+  // The service uplink oversubscribes the 4 logins behind each service leaf:
+  // that shared trunk is the wiring the route placement exists to dodge.
+  // login 4 sits on svc-leaf1, so its route to the front end crosses it.
+  const Route r = route_between(g, m.login_node(4), m.front_end());
+  bool saw_oversubscribed_trunk = false;
+  for (const RouteHop& hop : r) {
+    if (hop.device >= SwitchGraph::kAccessDeviceBase) continue;  // access
+    if (hop.link.bytes_per_sec <
+        4 * g.attach_rule(NodeRole::kLogin).access.bytes_per_sec) {
+      saw_oversubscribed_trunk = true;
+    }
+  }
+  EXPECT_TRUE(saw_oversubscribed_trunk);
+}
+
+TEST(SwitchGraphPresets, BglFunctionalPathMatchesOldPointToPoint) {
+  const machine::MachineConfig m = machine::bgl();
+  const SwitchGraph g = build_switch_graph(m);
+  const NodeId login = m.login_node(0);
+  const NodeId io = machine::make_node(NodeRole::kIo, 0);
+  // Old login_to_io: 95 MB/s at 120 us, preserved across the tiered path
+  // (login access -> service uplink -> rack uplink -> io access).
+  const Route r = route_between(g, login, io);
+  EXPECT_DOUBLE_EQ(bottleneck_rate(r), 95.0e6);
+  EXPECT_EQ(route_latency(r), 120 * kMicrosecond);
+  // Old fe_to_login: 60 us one-way latency on the service leaf.
+  const Route fe_login = route_between(g, m.front_end(), login);
+  EXPECT_EQ(route_latency(fe_login), 60 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(bottleneck_rate(fe_login), 110.0e6);
+}
+
+TEST(SwitchGraphPresets, BglConnectionLimitStillKillsWideFlatTrees) {
+  // The Sec. V-A death: 256 I/O daemons dialing one unpatched front end
+  // exceeds the 255-connection limit. The switch-graph refactor must not
+  // soften the resource-model failure.
+  const machine::MachineConfig m = machine::bgl();
+  EXPECT_EQ(m.max_tool_connections, 255u);
+  machine::DaemonLayout layout;
+  layout.num_daemons = 256;
+  layout.num_tasks = 512;
+  layout.tasks_per_daemon = 2;
+  tbon::TopologySpec flat;
+  flat.depth = 1;
+  const auto topo = tbon::build_topology(m, layout, flat);
+  ASSERT_TRUE(topo.is_ok());
+  EXPECT_FALSE(
+      tbon::connection_viability(topo.value(), m.max_tool_connections).is_ok());
+}
 
 }  // namespace
 }  // namespace petastat::net

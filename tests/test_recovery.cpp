@@ -96,7 +96,7 @@ TEST(HealthMonitor, DetectsADeathWithinOnePeriodPlusRoundTrip) {
   const auto topo =
       tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
 
   tbon::TriggerManager triggers;
   std::vector<tbon::FailureEvent> events;
@@ -135,7 +135,7 @@ TEST(HealthMonitor, StopSilencesTheSweep) {
   const auto topo =
       tbon::build_topology(m, layout, tbon::TopologySpec::flat()).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   tbon::TriggerManager triggers;
   tbon::HealthMonitor monitor(simulator, network, topo, triggers, seconds(0.05));
   monitor.start();
@@ -194,7 +194,7 @@ TEST(ReductionRecovery, KilledInternalProcsSubtreeIsRemergedExactly) {
   ASSERT_GT(victim_leaves, 0u);
 
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
   reduction.set_retain_payloads(true);
 
@@ -233,7 +233,7 @@ TEST(ReductionRecovery, DeathAfterForwardingIsAFreeNoop) {
   const auto topo =
       tbon::build_topology(m, layout, tbon::TopologySpec::balanced(2)).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
   reduction.set_retain_payloads(true);
 
@@ -263,7 +263,7 @@ TEST(ReductionRecovery, WholeShardOfDeadDaemonsStillCompletes) {
       tbon::build_topology(m, layout,
                            tbon::TopologySpec::flat().with_shards(4)).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   tbon::Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
 
   std::vector<bool> dead(layout.num_daemons, false);

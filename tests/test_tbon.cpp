@@ -631,7 +631,7 @@ TEST_P(ReductionCorrectness, SumsAllLeavesExactlyOnce) {
       build_topology(m, layout, TopologySpec::balanced(2)).value();
 
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
 
   std::vector<SumPayload> leaves(layout.num_daemons);
@@ -666,7 +666,7 @@ TEST(Reduction, DeeperTreesReduceFrontEndWork) {
         m, layout, depth == 1 ? TopologySpec::flat() : TopologySpec::balanced(depth))
         .value();
     sim::Simulator simulator;
-    net::Network network(simulator, m, net::default_network_params(m));
+    net::Network network(simulator, net::build_switch_graph(m));
     ReduceOps<SumPayload> ops = sum_ops();
     ops.codec_cost = [](std::uint64_t) { return SimTime{1 * kMillisecond}; };
     Reduction<SumPayload> reduction(simulator, network, topo, ops);
@@ -686,7 +686,7 @@ TEST(Reduction, PayloadCountMismatchThrows) {
   const auto layout = layout_of(m, 64);
   const auto topo = build_topology(m, layout, TopologySpec::flat()).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   Reduction<SumPayload> reduction(simulator, network, topo, sum_ops());
   std::vector<SumPayload> wrong(3);
   EXPECT_THROW(reduction.start(std::move(wrong), nullptr), std::logic_error);
@@ -697,7 +697,7 @@ TEST(Multicast, ReachesEveryLeafOnce) {
   const auto layout = layout_of(m, 1024);
   const auto topo = build_topology(m, layout, TopologySpec::balanced(3)).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   SimTime finished = 0;
   bool fired = false;
   multicast(simulator, network, topo, 64, [&](SimTime t) {
@@ -720,8 +720,7 @@ TEST(Multicast, ZeroLeafTopologyCompletesAtCurrentTimeNotZero) {
   topo.procs.push_back(fe);
 
   sim::Simulator simulator;
-  net::Network network(simulator, machine::atlas(),
-                       net::default_network_params(machine::atlas()));
+  net::Network network(simulator, net::build_switch_graph(machine::atlas()));
   simulator.schedule_in(5 * kSecond, []() {});
   simulator.run();
   ASSERT_EQ(simulator.now(), 5 * kSecond);
@@ -756,7 +755,7 @@ TEST(Multicast, LeafServingSeveralDaemonsCountsOnce) {
   topo.leaf_of_daemon = {1, 1};  // two daemons share the one leaf proc
 
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   bool fired = false;
   multicast(simulator, network, topo, 64, [&](SimTime) { fired = true; });
   simulator.run();
@@ -854,7 +853,7 @@ TEST(Broadcast, ArmsEveryLeafAndChargesControlCpu) {
   const auto topo =
       build_topology(m, layout, TopologySpec::balanced(2)).value();
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   const machine::StreamCosts costs;
 
   SampleRequest request;
@@ -889,7 +888,7 @@ TEST(Broadcast, DeeperTreesArmLater) {
   const auto m = machine::atlas();
   const auto layout = layout_of(m, 1024);
   sim::Simulator simulator;
-  net::Network network(simulator, m, net::default_network_params(m));
+  net::Network network(simulator, net::build_switch_graph(m));
   const machine::StreamCosts costs;
   SampleRequest request;
 
