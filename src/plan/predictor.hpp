@@ -197,6 +197,26 @@ class PhasePredictor {
   [[nodiscard]] Result<std::vector<LinkBytesPrediction>>
   predict_merge_link_bytes(const tbon::TopologySpec& spec) const;
 
+  /// Re-anchors the payload curves to a payload size *measured by a live
+  /// run* — a SessionCheckpoint's recorded leaf bytes — instead of the probe
+  /// synthesis: every byte curve in both profiles is scaled by
+  /// measured / probed. This is the checkpoint/restart re-planning hook
+  /// (plan::replan_fe_shards): the restored session re-prices K and
+  /// placement against what the interrupted run actually moved. Node counts
+  /// and symbol I/O stay as probed; non-positive inputs are ignored.
+  void scale_payload_profile(double measured_leaf_bytes) {
+    if (measured_leaf_bytes <= 0.0 ||
+        stream_profile_.leaf_payload_bytes <= 0.0) {
+      return;
+    }
+    const double factor =
+        measured_leaf_bytes / stream_profile_.leaf_payload_bytes;
+    for (WorkloadProfile* profile : {&profile_, &stream_profile_}) {
+      profile->leaf_payload_bytes *= factor;
+      for (double& bytes : profile->merged_payload_bytes) bytes *= factor;
+    }
+  }
+
   [[nodiscard]] const machine::MachineConfig& machine() const {
     return machine_;
   }

@@ -136,18 +136,21 @@ Result<tbon::TopologySpec> choose_topology(
   return ranked.value().best().spec;
 }
 
-Result<tbon::TopologySpec> choose_fe_shards(
-    const machine::MachineConfig& machine, const machine::JobConfig& job,
-    const stat::StatOptions& options, const machine::CostModel& costs) {
-  auto predictor = PhasePredictor::create(machine, job, options, costs);
-  if (!predictor.is_ok()) return predictor.status();
+namespace {
+
+/// The K × placement sweep shared by choose_fe_shards and replan_fe_shards:
+/// one loop, so the cold path and the restore path can never rank different
+/// shard spaces.
+Result<tbon::TopologySpec> best_fe_shard_spec(
+    const PhasePredictor& predictor, const machine::MachineConfig& machine,
+    const stat::StatOptions& options) {
   std::optional<tbon::TopologySpec> best;
   SimTime best_time = 0;
   for (const std::uint32_t k : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
     for (const tbon::ReducerPlacement placement : placements_for(k)) {
       tbon::TopologySpec spec =
           options.topology.with_shards(k).with_placement(placement);
-      auto prediction = predictor.value().predict(spec);
+      auto prediction = predictor.predict(spec);
       if (!prediction.is_ok()) continue;  // not buildable at this K
       if (!prediction.value().viability.is_ok()) continue;  // predicted doomed
       const SimTime t = prediction.value().startup_plus_merge();
@@ -163,6 +166,26 @@ Result<tbon::TopologySpec> choose_fe_shards(
         options.topology.name() + " on " + machine.name);
   }
   return *best;
+}
+
+}  // namespace
+
+Result<tbon::TopologySpec> choose_fe_shards(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs) {
+  auto predictor = PhasePredictor::create(machine, job, options, costs);
+  if (!predictor.is_ok()) return predictor.status();
+  return best_fe_shard_spec(predictor.value(), machine, options);
+}
+
+Result<tbon::TopologySpec> replan_fe_shards(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs,
+    double measured_leaf_payload_bytes) {
+  auto predictor = PhasePredictor::create(machine, job, options, costs);
+  if (!predictor.is_ok()) return predictor.status();
+  predictor.value().scale_payload_profile(measured_leaf_payload_bytes);
+  return best_fe_shard_spec(predictor.value(), machine, options);
 }
 
 }  // namespace petastat::plan

@@ -61,4 +61,15 @@ struct TopologySearchResult {
     const machine::MachineConfig& machine, const machine::JobConfig& job,
     const stat::StatOptions& options, const machine::CostModel& costs);
 
+/// The checkpoint/restart re-planning hook: choose_fe_shards, but with the
+/// predictor's payload curves re-anchored to `measured_leaf_payload_bytes` —
+/// the per-daemon payload size a SessionCheckpoint recorded from the
+/// interrupted run — so the resumed session re-prices K and placement
+/// against measured traffic instead of the probe synthesis. A non-positive
+/// measurement degrades to plain choose_fe_shards.
+[[nodiscard]] Result<tbon::TopologySpec> replan_fe_shards(
+    const machine::MachineConfig& machine, const machine::JobConfig& job,
+    const stat::StatOptions& options, const machine::CostModel& costs,
+    double measured_leaf_payload_bytes);
+
 }  // namespace petastat::plan

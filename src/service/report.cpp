@@ -91,6 +91,7 @@ std::string render_service_json(const ServiceReport& report) {
     if (s.admitted) {
       out += ", \"backfilled\": " +
              std::string(s.backfilled ? "true" : "false");
+      out += ", \"restarts\": " + std::to_string(s.restarts);
       out += ", \"start_s\": " + fmt("%.6f", to_seconds(s.start));
       out += ", \"completion_s\": " + fmt("%.6f", to_seconds(s.completion));
       out += ", \"queue_wait_s\": " + fmt("%.6f", to_seconds(s.queue_wait));

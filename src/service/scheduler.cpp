@@ -4,6 +4,7 @@
 
 #include "machine/cost_model.hpp"
 #include "plan/search.hpp"
+#include "stat/checkpoint.hpp"
 
 namespace petastat::service {
 
@@ -99,6 +100,11 @@ SessionScheduler::Resolution SessionScheduler::resolve(
                    std::to_string(res.machine.max_comm_procs_per_login) + "|" +
                    std::to_string(res.machine.max_tool_connections);
   }
+  if (session.checkpoint != nullptr) {
+    // A restored leg is a different run (it resumes mid-series, possibly
+    // re-planned), so it must never reuse the pre-vacate memoized result.
+    res.eval_key += "|r" + std::to_string(session.restarts);
+  }
 
   auto layout = machine::layout_daemons(res.machine, job);
   if (!layout.is_ok()) {
@@ -115,7 +121,29 @@ SessionScheduler::Resolution SessionScheduler::resolve(
     return res;
   }
   const machine::CostModel costs = machine::default_cost_model(res.machine);
-  if (options.topology_auto) {
+  if (session.checkpoint != nullptr) {
+    // Mirror the restore-constructor's resolution: adopt the checkpointed
+    // spec, then let the auto modes re-price K/placement against the
+    // *measured* per-leaf payload bytes the checkpoint recorded.
+    spec = session.checkpoint->spec;
+    if (options.topology_auto || options.fe_shards_auto) {
+      stat::StatOptions replan_options = options;
+      replan_options.topology = spec;
+      auto chosen = plan::replan_fe_shards(
+          res.machine, job, replan_options, costs,
+          static_cast<double>(session.checkpoint->leaf_payload_bytes));
+      if (!chosen.is_ok()) {
+        res.status = chosen.status();
+        return res;
+      }
+      spec = std::move(chosen).value();
+    } else {
+      if (options.fe_shards != 1) spec.fe_shards = options.fe_shards;
+      if (options.reducer_placement != tbon::ReducerPlacement::kCommLike) {
+        spec.reducer_placement = options.reducer_placement;
+      }
+    }
+  } else if (options.topology_auto) {
     auto chosen = plan::choose_topology(res.machine, job, options, costs);
     if (!chosen.is_ok()) {
       res.status = chosen.status();
@@ -157,9 +185,16 @@ const stat::StatRunResult& SessionScheduler::evaluate(
   // The inner run is deterministic and self-contained, so evaluating a
   // session (for a backfill duration, say) *is* running it — the result is
   // reused verbatim at admission, never recomputed.
-  stat::StatScenario scenario(resolution.machine, session.request.job,
-                              session.request.options, &exec_);
-  session.evals.emplace_back(resolution.eval_key, scenario.run());
+  if (session.checkpoint != nullptr) {
+    stat::StatScenario scenario(resolution.machine, session.request.job,
+                                session.request.options, &exec_,
+                                session.checkpoint);
+    session.evals.emplace_back(resolution.eval_key, scenario.run());
+  } else {
+    stat::StatScenario scenario(resolution.machine, session.request.job,
+                                session.request.options, &exec_);
+    session.evals.emplace_back(resolution.eval_key, scenario.run());
+  }
   return session.evals.back().second;
 }
 
@@ -214,6 +249,21 @@ void SessionScheduler::complete(std::uint32_t index) {
   Session& session = sessions_[index];
   const SimTime now = sim_.now();
   ledger_.release(session.stats.demand, now);
+  if (session.stats.result.vacated &&
+      session.stats.result.checkpoint != nullptr) {
+    // Simulated front-end loss: the session vacated at a round boundary
+    // holding its checkpoint. It re-enters the queue and is re-admitted
+    // through the ledger like any arrival, resuming mid-series (possibly
+    // re-planned onto a different shard count under the then-current
+    // residual).
+    session.checkpoint = session.stats.result.checkpoint;
+    ++session.restarts;
+    session.stats.restarts = session.restarts;
+    session.request.options.vacate_at_round = -1;  // resume runs to the end
+    session.state = State::kQueued;
+    schedule_pass();
+    return;
+  }
   session.state = State::kDone;
   session.stats.completion = now;
   session.stats.turnaround = now - session.stats.arrival;

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -126,6 +127,11 @@ class SessionScheduler {
     std::uint32_t index = 0;
     State state = State::kWaiting;
     bool pinned = true;  // no auto modes: resolution is residual-independent
+    /// Set when the session was vacated (simulated front-end loss) and is
+    /// back in the queue: the next admission restores from this checkpoint
+    /// instead of starting the series over.
+    std::shared_ptr<const stat::SessionCheckpoint> checkpoint;
+    std::uint32_t restarts = 0;
     SessionStats stats;
     /// Memoized deterministic runs, keyed by Resolution::eval_key (a pinned
     /// session has exactly one entry; an auto session one per distinct

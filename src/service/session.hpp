@@ -72,6 +72,10 @@ struct SessionStats {
 
   bool admitted = false;
   bool backfilled = false;  // started ahead of a blocked higher-queue session
+  /// Times this session was vacated (simulated front-end loss) and
+  /// re-admitted from its checkpoint. `result` is the *final* leg's run —
+  /// its `restored`/`restore_cursor` fields say where it resumed.
+  std::uint32_t restarts = 0;
   SessionDemand demand;     // what the session held while running
   std::string topology;     // resolved spec name (auto modes included)
   /// Full result of the admitted run (empty for rejected sessions).

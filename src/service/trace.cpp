@@ -216,7 +216,8 @@ bool is_reserved_session_key(const std::string& key) {
   // the driver invocation.
   return key == "name" || key == "arrival" || key == "priority" ||
          key == "machine" || key == "format" || key == "print-tree" ||
-         key == "dot" || key == "service" || key == "service-policy";
+         key == "dot" || key == "service" || key == "service-policy" ||
+         key == "restore";
 }
 
 Result<SessionRequest> parse_session(const JsonValue& value,

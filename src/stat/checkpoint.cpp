@@ -1,0 +1,316 @@
+#include "stat/checkpoint.hpp"
+
+#include <cstring>
+
+#include "app/callpath.hpp"
+
+namespace petastat::stat {
+
+namespace {
+
+/// Raw bit-vector page, low bit first — the dense TaskSet page layout. The
+/// bit count is carried by the surrounding envelope, never by the page.
+void put_dense_bits(ByteSink& sink, const std::vector<bool>& bits) {
+  const std::size_t bytes = (bits.size() + 7) / 8;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    std::uint8_t b = 0;
+    for (std::size_t j = 0; j < 8; ++j) {
+      const std::size_t idx = i * 8 + j;
+      if (idx < bits.size() && bits[idx]) {
+        b |= static_cast<std::uint8_t>(1u << j);
+      }
+    }
+    sink.put_u8(b);
+  }
+}
+
+[[nodiscard]] Status get_dense_bits(ByteSource& source, std::uint64_t count,
+                                    std::vector<bool>& out) {
+  // Read the page before sizing the vector: a corrupt count header then
+  // fails as clean truncation instead of a giant allocation.
+  const std::size_t bytes = static_cast<std::size_t>((count + 7) / 8);
+  std::span<const std::uint8_t> raw;
+  if (auto s = source.get_bytes(bytes, raw); !s.is_ok()) return s;
+  out.assign(static_cast<std::size_t>(count), false);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    out[static_cast<std::size_t>(i)] = (raw[i / 8] >> (i % 8)) & 1u;
+  }
+  return Status::ok();
+}
+
+void put_blob(ByteSink& sink, const std::vector<std::uint8_t>& blob) {
+  sink.put_varint(blob.size());
+  sink.put_bytes(blob);
+}
+
+[[nodiscard]] Status get_blob(ByteSource& source,
+                              std::vector<std::uint8_t>& out) {
+  std::uint64_t len = 0;
+  if (auto s = source.get_varint(len); !s.is_ok()) return s;
+  std::span<const std::uint8_t> raw;
+  if (auto s = source.get_bytes(static_cast<std::size_t>(len), raw);
+      !s.is_ok()) {
+    return s;
+  }
+  out.assign(raw.begin(), raw.end());
+  return Status::ok();
+}
+
+/// Structural validation of a nested tree blob: decode against a scratch
+/// frame table so a corrupt blob fails here, not at restore time.
+[[nodiscard]] Status validate_tree_blob(const std::vector<std::uint8_t>& blob,
+                                        TaskSetRepr repr,
+                                        std::uint32_t num_tasks) {
+  app::FrameTable scratch;
+  const LabelContext ctx{num_tasks};
+  if (repr == TaskSetRepr::kDenseGlobal) {
+    auto tree = decode_tree_blob<GlobalLabel>(blob, scratch, ctx);
+    return tree.is_ok() ? Status::ok() : tree.status();
+  }
+  auto tree = decode_tree_blob<HierLabel>(blob, scratch, ctx);
+  return tree.is_ok() ? Status::ok() : tree.status();
+}
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_u64(std::uint64_t& h, std::uint64_t v) { fnv_mix(h, &v, 8); }
+
+void fnv_mix_str(std::uint64_t& h, const std::string& s) {
+  fnv_mix_u64(h, s.size());
+  fnv_mix(h, s.data(), s.size());
+}
+
+}  // namespace
+
+void SessionCheckpoint::encode(ByteSink& sink) const {
+  put_wire_version(sink);
+  sink.put_string(machine_name);
+  sink.put_u32(num_tasks);
+  sink.put_u32(num_daemons);
+  sink.put_u64(identity_hash);
+
+  // Resolved TopologySpec, nested unversioned (the envelope's byte covers
+  // it, per the wire-format evolution rules).
+  sink.put_u32(spec.depth);
+  sink.put_varint(spec.level_widths.size());
+  for (const std::uint32_t w : spec.level_widths) sink.put_u32(w);
+  sink.put_u8(spec.bgl_rules ? 1 : 0);
+  sink.put_u32(spec.bgl_second_level);
+  sink.put_u32(spec.fe_shards);
+  sink.put_u8(static_cast<std::uint8_t>(spec.reducer_placement));
+
+  sink.put_u32(cursor);
+  sink.put_u32(total_rounds);
+  std::uint64_t interval_bits = 0;
+  static_assert(sizeof(interval_bits) == sizeof(interval_seconds));
+  std::memcpy(&interval_bits, &interval_seconds, sizeof(interval_bits));
+  sink.put_u64(interval_bits);
+  sink.put_u8(repr == TaskSetRepr::kDenseGlobal ? 0 : 1);
+  sink.put_u64(seed);
+
+  sink.put_varint(dead_daemons.size());
+  for (const std::uint32_t d : dead_daemons) sink.put_varint(d);
+  put_dense_bits(sink, daemon_cache_valid);
+  sink.put_varint(proc_cache_complete.size());
+  put_dense_bits(sink, proc_cache_complete);
+
+  sink.put_varint(leaf_payload_bytes);
+  sink.put_varint(shard_payload_bytes.size());
+  for (const std::uint64_t b : shard_payload_bytes) sink.put_varint(b);
+
+  put_blob(sink, tree_2d_wire);
+  put_blob(sink, tree_3d_wire);
+
+  sink.put_varint(classes.size());
+  for (const ClassEntry& entry : classes) {
+    sink.put_varint(entry.frames.size());
+    for (const std::string& frame : entry.frames) sink.put_string(frame);
+    entry.tasks.encode_ranged_body(sink);
+  }
+}
+
+std::vector<std::uint8_t> SessionCheckpoint::encoded() const {
+  ByteSink sink;
+  encode(sink);
+  return sink.take();
+}
+
+Result<SessionCheckpoint> SessionCheckpoint::decode(ByteSource& source) {
+  if (auto s = check_wire_version(source); !s.is_ok()) return s;
+  SessionCheckpoint cp;
+  if (auto s = source.get_string(cp.machine_name); !s.is_ok()) return s;
+  if (auto s = source.get_u32(cp.num_tasks); !s.is_ok()) return s;
+  if (auto s = source.get_u32(cp.num_daemons); !s.is_ok()) return s;
+  if (auto s = source.get_u64(cp.identity_hash); !s.is_ok()) return s;
+  if (cp.num_tasks == 0 || cp.num_daemons == 0) {
+    return invalid_argument("checkpoint without a job: zero tasks or daemons");
+  }
+
+  if (auto s = source.get_u32(cp.spec.depth); !s.is_ok()) return s;
+  std::uint64_t width_count = 0;
+  if (auto s = source.get_varint(width_count); !s.is_ok()) return s;
+  cp.spec.level_widths.clear();
+  cp.spec.level_widths.reserve(source.clamped_count(width_count));
+  for (std::uint64_t i = 0; i < width_count; ++i) {
+    std::uint32_t w = 0;
+    if (auto s = source.get_u32(w); !s.is_ok()) return s;
+    cp.spec.level_widths.push_back(w);
+  }
+  std::uint8_t bgl = 0;
+  if (auto s = source.get_u8(bgl); !s.is_ok()) return s;
+  if (bgl > 1) return invalid_argument("checkpoint bgl_rules byte corrupt");
+  cp.spec.bgl_rules = bgl == 1;
+  if (auto s = source.get_u32(cp.spec.bgl_second_level); !s.is_ok()) return s;
+  if (auto s = source.get_u32(cp.spec.fe_shards); !s.is_ok()) return s;
+  if (cp.spec.fe_shards == 0) {
+    return invalid_argument("checkpoint spec has fe_shards 0");
+  }
+  std::uint8_t placement = 0;
+  if (auto s = source.get_u8(placement); !s.is_ok()) return s;
+  if (placement > static_cast<std::uint8_t>(tbon::ReducerPlacement::kRoute)) {
+    return invalid_argument("checkpoint reducer placement byte corrupt");
+  }
+  cp.spec.reducer_placement = static_cast<tbon::ReducerPlacement>(placement);
+
+  if (auto s = source.get_u32(cp.cursor); !s.is_ok()) return s;
+  if (auto s = source.get_u32(cp.total_rounds); !s.is_ok()) return s;
+  if (cp.total_rounds == 0) {
+    return invalid_argument("checkpoint of an empty streaming series");
+  }
+  std::uint64_t interval_bits = 0;
+  if (auto s = source.get_u64(interval_bits); !s.is_ok()) return s;
+  std::memcpy(&cp.interval_seconds, &interval_bits,
+              sizeof(cp.interval_seconds));
+  if (!(cp.interval_seconds >= 0.0)) {  // NaN and negatives both fail
+    return invalid_argument("checkpoint stream interval corrupt");
+  }
+  std::uint8_t repr = 0;
+  if (auto s = source.get_u8(repr); !s.is_ok()) return s;
+  if (repr > 1) {
+    return invalid_argument("checkpoint task-set representation byte corrupt");
+  }
+  cp.repr = repr == 0 ? TaskSetRepr::kDenseGlobal : TaskSetRepr::kHierarchical;
+  if (auto s = source.get_u64(cp.seed); !s.is_ok()) return s;
+
+  std::uint64_t dead_count = 0;
+  if (auto s = source.get_varint(dead_count); !s.is_ok()) return s;
+  cp.dead_daemons.clear();
+  cp.dead_daemons.reserve(source.clamped_count(dead_count));
+  for (std::uint64_t i = 0; i < dead_count; ++i) {
+    std::uint64_t d = 0;
+    if (auto s = source.get_varint(d); !s.is_ok()) return s;
+    if (d >= cp.num_daemons ||
+        (!cp.dead_daemons.empty() && d <= cp.dead_daemons.back())) {
+      return invalid_argument("checkpoint dead-daemon list corrupt");
+    }
+    cp.dead_daemons.push_back(static_cast<std::uint32_t>(d));
+  }
+  if (auto s = get_dense_bits(source, cp.num_daemons, cp.daemon_cache_valid);
+      !s.is_ok()) {
+    return s;
+  }
+  std::uint64_t proc_count = 0;
+  if (auto s = source.get_varint(proc_count); !s.is_ok()) return s;
+  if (auto s = get_dense_bits(source, proc_count, cp.proc_cache_complete);
+      !s.is_ok()) {
+    return s;
+  }
+
+  if (auto s = source.get_varint(cp.leaf_payload_bytes); !s.is_ok()) return s;
+  std::uint64_t shard_count = 0;
+  if (auto s = source.get_varint(shard_count); !s.is_ok()) return s;
+  cp.shard_payload_bytes.clear();
+  cp.shard_payload_bytes.reserve(source.clamped_count(shard_count));
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    std::uint64_t b = 0;
+    if (auto s = source.get_varint(b); !s.is_ok()) return s;
+    cp.shard_payload_bytes.push_back(b);
+  }
+
+  if (auto s = get_blob(source, cp.tree_2d_wire); !s.is_ok()) return s;
+  if (auto s = get_blob(source, cp.tree_3d_wire); !s.is_ok()) return s;
+  if (auto s = validate_tree_blob(cp.tree_2d_wire, cp.repr, cp.num_tasks);
+      !s.is_ok()) {
+    return s;
+  }
+  if (auto s = validate_tree_blob(cp.tree_3d_wire, cp.repr, cp.num_tasks);
+      !s.is_ok()) {
+    return s;
+  }
+
+  std::uint64_t class_count = 0;
+  if (auto s = source.get_varint(class_count); !s.is_ok()) return s;
+  cp.classes.clear();
+  cp.classes.reserve(source.clamped_count(class_count));
+  for (std::uint64_t i = 0; i < class_count; ++i) {
+    ClassEntry entry;
+    std::uint64_t frame_count = 0;
+    if (auto s = source.get_varint(frame_count); !s.is_ok()) return s;
+    entry.frames.reserve(source.clamped_count(frame_count));
+    for (std::uint64_t f = 0; f < frame_count; ++f) {
+      std::string name;
+      if (auto s = source.get_string(name); !s.is_ok()) return s;
+      entry.frames.push_back(std::move(name));
+    }
+    auto tasks = TaskSet::decode_ranged_body(source);
+    if (!tasks.is_ok()) return tasks.status();
+    entry.tasks = std::move(tasks).value();
+    cp.classes.push_back(std::move(entry));
+  }
+  return cp;
+}
+
+bool operator==(const SessionCheckpoint::ClassEntry& a,
+                const SessionCheckpoint::ClassEntry& b) {
+  return a.frames == b.frames && a.tasks == b.tasks;
+}
+
+bool SessionCheckpoint::operator==(const SessionCheckpoint& other) const {
+  return machine_name == other.machine_name && num_tasks == other.num_tasks &&
+         num_daemons == other.num_daemons &&
+         identity_hash == other.identity_hash &&
+         spec.depth == other.spec.depth &&
+         spec.level_widths == other.spec.level_widths &&
+         spec.bgl_rules == other.spec.bgl_rules &&
+         spec.bgl_second_level == other.spec.bgl_second_level &&
+         spec.fe_shards == other.spec.fe_shards &&
+         spec.reducer_placement == other.spec.reducer_placement &&
+         cursor == other.cursor && total_rounds == other.total_rounds &&
+         interval_seconds == other.interval_seconds && repr == other.repr &&
+         seed == other.seed && dead_daemons == other.dead_daemons &&
+         daemon_cache_valid == other.daemon_cache_valid &&
+         proc_cache_complete == other.proc_cache_complete &&
+         leaf_payload_bytes == other.leaf_payload_bytes &&
+         shard_payload_bytes == other.shard_payload_bytes &&
+         tree_2d_wire == other.tree_2d_wire &&
+         tree_3d_wire == other.tree_3d_wire && classes == other.classes;
+}
+
+std::uint64_t session_identity_hash(const machine::MachineConfig& machine,
+                                    const machine::JobConfig& job,
+                                    const StatOptions& options) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix_str(h, machine.name);
+  fnv_mix_u64(h, job.num_tasks);
+  fnv_mix_u64(h, static_cast<std::uint64_t>(job.mode));
+  fnv_mix_u64(h, job.threads_per_task);
+  fnv_mix_u64(h, options.seed);
+  fnv_mix_u64(h, options.repr == TaskSetRepr::kDenseGlobal ? 0 : 1);
+  fnv_mix_u64(h, static_cast<std::uint64_t>(options.app));
+  fnv_mix_u64(h, options.statbench_classes);
+  fnv_mix_u64(h, static_cast<std::uint64_t>(options.evolution));
+  fnv_mix_u64(h, options.drift_period);
+  fnv_mix_u64(h, options.shuffle_task_map ? 1 : 0);
+  return h;
+}
+
+}  // namespace petastat::stat

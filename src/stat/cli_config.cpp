@@ -100,6 +100,18 @@ std::string cli_usage() {
       "  --format text|csv|json          report format (default text)\n"
       "  --print-tree                    include the 3D tree in the report\n"
       "  --dot PATH                      write the 3D tree as Graphviz DOT\n"
+      "  --checkpoint-period N[:PATH]    streaming runs only: capture a\n"
+      "                                  resumable SessionCheckpoint every N\n"
+      "                                  round boundaries; with :PATH the last\n"
+      "                                  one is written to PATH\n"
+      "  --vacate-at R[:PATH]            streaming runs only: checkpoint at\n"
+      "                                  round boundary R, then vacate (a\n"
+      "                                  simulated front-end loss); with :PATH\n"
+      "                                  the checkpoint is written to PATH\n"
+      "  --restore PATH                  resume a vacated run from the\n"
+      "                                  SessionCheckpoint at PATH (same\n"
+      "                                  machine/job/seed; auto modes may\n"
+      "                                  re-shard against measured payloads)\n"
       "  --service PATH                  multi-session service mode: replay\n"
       "                                  the JSON arrival trace at PATH\n"
       "                                  through the session scheduler (other\n"
@@ -366,6 +378,54 @@ Result<CliConfig> parse_cli(std::span<const std::string_view> args) {
       auto value = next();
       if (!value.is_ok()) return value.status();
       config.dot_path = std::string(value.value());
+    } else if (flag == "--checkpoint-period") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      std::string_view count_text = value.value();
+      std::string_view path_text;
+      if (const auto colon = count_text.find(':');
+          colon != std::string_view::npos) {
+        path_text = count_text.substr(colon + 1);
+        count_text = count_text.substr(0, colon);
+        if (path_text.empty()) {
+          return bad("--checkpoint-period N:PATH has an empty path");
+        }
+      }
+      auto n = parse_number(flag, count_text);
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > 10000) {
+        return bad("--checkpoint-period out of range");
+      }
+      config.options.checkpoint_period = static_cast<std::uint32_t>(n.value());
+      if (!path_text.empty()) config.checkpoint_path = std::string(path_text);
+    } else if (flag == "--vacate-at") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      std::string_view round_text = value.value();
+      std::string_view path_text;
+      if (const auto colon = round_text.find(':');
+          colon != std::string_view::npos) {
+        path_text = round_text.substr(colon + 1);
+        round_text = round_text.substr(0, colon);
+        if (path_text.empty()) {
+          return bad("--vacate-at R:PATH has an empty path");
+        }
+      }
+      auto n = parse_number(flag, round_text);
+      if (!n.is_ok()) return n.status();
+      if (n.value() == 0 || n.value() > 10000) {
+        return bad("--vacate-at out of range (interior round boundaries "
+                   "start at 1)");
+      }
+      config.options.vacate_at_round = static_cast<std::int32_t>(n.value());
+      if (!path_text.empty()) config.checkpoint_path = std::string(path_text);
+    } else if (flag == "--restore") {
+      auto value = next();
+      if (!value.is_ok()) return value.status();
+      if (value.value().empty()) {
+        return bad("--restore expects a checkpoint file path");
+      }
+      config.restore_path = std::string(value.value());
     } else if (flag == "--service") {
       auto value = next();
       if (!value.is_ok()) return value.status();

@@ -21,6 +21,11 @@ struct CliConfig {
   OutputFormat format = OutputFormat::kText;
   bool print_tree = false;
   std::string dot_path;  // write the 3D tree as DOT when non-empty
+  /// Write the last SessionCheckpoint the run captured here (from
+  /// `--checkpoint-period N:PATH` or `--vacate-at R:PATH`).
+  std::string checkpoint_path;
+  /// Resume from the SessionCheckpoint file at this path (`--restore`).
+  std::string restore_path;
   /// Multi-session service mode: replay this arrival trace through the
   /// service::SessionScheduler instead of running one scenario. Kept as a
   /// path string here (stat/ does not depend on service/); the driver
@@ -54,6 +59,9 @@ struct CliConfig {
 ///   --fail-fraction F                 --format text|csv|json
 ///   --exec-threads N                  --print-tree
 ///   --dot PATH
+///   --checkpoint-period N[:PATH]      checkpoint every N streaming rounds
+///   --vacate-at R[:PATH]              vacate (simulated FE kill) at round R
+///   --restore PATH                    resume from a checkpoint file
 [[nodiscard]] Result<CliConfig> parse_cli(std::span<const std::string_view> args);
 
 }  // namespace petastat::stat

@@ -85,6 +85,17 @@ std::string render_text_report(const StatRunResult& result,
     }
     out += "\n";
   }
+  if (result.restored) {
+    out += "  restored:  resumed at round " +
+           std::to_string(result.restore_cursor) + " of " +
+           std::to_string(p.stream_rounds) + " from a checkpoint\n";
+  }
+  if (p.checkpoints_taken > 0) {
+    out += "  checkpoint: " + std::to_string(p.checkpoints_taken) +
+           " taken, last " + format_bytes(p.checkpoint_bytes);
+    if (result.vacated) out += "; session vacated (simulated FE loss)";
+    out += "\n";
+  }
   out += "  leaf payload: " + format_bytes(p.leaf_payload_bytes) + "\n";
 
   out += "equivalence classes (" + std::to_string(result.classes.size()) + "):\n";
@@ -181,7 +192,17 @@ std::string render_json_report(const StatRunResult& result,
          seconds_field(p.recovery_remerge_time) + ",\n";
   out += "    \"stream_rounds\": " + std::to_string(p.stream_rounds) + ",\n";
   out += "    \"stream_changed_rounds\": " +
-         std::to_string(p.stream_changed_rounds) + "\n";
+         std::to_string(p.stream_changed_rounds) + ",\n";
+  out += "    \"checkpoints_taken\": " + std::to_string(p.checkpoints_taken) +
+         ",\n";
+  out += "    \"checkpoint_bytes\": " + std::to_string(p.checkpoint_bytes) +
+         ",\n";
+  out += "    \"vacated\": " + std::string(result.vacated ? "true" : "false") +
+         ",\n";
+  out += "    \"restored\": " +
+         std::string(result.restored ? "true" : "false") + ",\n";
+  out += "    \"restore_cursor\": " + std::to_string(result.restore_cursor) +
+         "\n";
   out += "  },\n";
   const std::vector<net::LinkStat>& links =
       p.stream_rounds > 0 ? p.stream_links : p.merge_links;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "plan/search.hpp"
+#include "stat/checkpoint.hpp"
 #include "stat/filter.hpp"
 #include "tbon/health.hpp"
 #include "tbon/multicast.hpp"
@@ -159,14 +160,28 @@ fs::NfsParams shared_nfs_params(const machine::MachineConfig& machine) {
 StatScenario::StatScenario(machine::MachineConfig machine,
                            machine::JobConfig job, StatOptions options)
     : StatScenario(std::move(machine), job, std::move(options),
-                   /*executor=*/nullptr) {}
+                   /*executor=*/nullptr, /*restore=*/nullptr) {}
 
 StatScenario::StatScenario(machine::MachineConfig machine,
                            machine::JobConfig job, StatOptions options,
                            sim::Executor* executor)
+    : StatScenario(std::move(machine), job, std::move(options), executor,
+                   /*restore=*/nullptr) {}
+
+StatScenario::StatScenario(machine::MachineConfig machine,
+                           machine::JobConfig job, StatOptions options,
+                           std::shared_ptr<const SessionCheckpoint> restore)
+    : StatScenario(std::move(machine), job, std::move(options),
+                   /*executor=*/nullptr, std::move(restore)) {}
+
+StatScenario::StatScenario(machine::MachineConfig machine,
+                           machine::JobConfig job, StatOptions options,
+                           sim::Executor* executor,
+                           std::shared_ptr<const SessionCheckpoint> restore)
     : machine_(std::move(machine)),
       job_(job),
       options_(std::move(options)),
+      restore_(std::move(restore)),
       costs_(machine::default_cost_model(machine_)) {
   if (executor != nullptr) {
     exec_ = executor;
@@ -177,6 +192,14 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   auto layout = machine::layout_daemons(machine_, job_);
   check(layout.is_ok(), "StatScenario: job does not fit the machine");
   layout_ = layout.value();
+
+  // The streaming window is part of the checkpoint, not the restore-side
+  // options: normalize it so the resumed series is the interrupted one.
+  if (restore_ != nullptr) {
+    options_.stream_samples = restore_->total_rounds;
+    options_.stream_interval_seconds = restore_->interval_seconds;
+    options_.run_through = RunThrough::kFull;
+  }
 
   // Explicit zeros are configuration errors, not requests for a default: a
   // front end with no connections and a merge with no shards both mean the
@@ -199,6 +222,44 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   } else if (options_.stream_interval_seconds < 0.0) {
     config_status_ =
         invalid_argument("stream_interval_seconds must be >= 0");
+  } else if ((options_.checkpoint_period > 0 || options_.vacate_at_round >= 0) &&
+             (options_.stream_samples == 0 ||
+              options_.run_through != RunThrough::kFull)) {
+    config_status_ = invalid_argument(
+        "checkpoint_period/vacate_at_round require a streaming run "
+        "(--stream)");
+  } else if (options_.vacate_at_round == 0 ||
+             (options_.vacate_at_round > 0 &&
+              static_cast<std::uint32_t>(options_.vacate_at_round) >=
+                  options_.stream_samples)) {
+    config_status_ = invalid_argument(
+        "vacate_at_round must be an interior round boundary in "
+        "[1, stream_samples)");
+  }
+
+  // Restore validation: the checkpoint must describe *this* session (stale
+  // hash → FAILED_PRECONDITION) and a resumable point in it.
+  if (config_status_.is_ok() && restore_ != nullptr) {
+    if (restore_->cursor == 0 || restore_->cursor >= restore_->total_rounds) {
+      config_status_ = invalid_argument(
+          "restore: checkpoint cursor beyond series (cursor " +
+          std::to_string(restore_->cursor) + " of " +
+          std::to_string(restore_->total_rounds) + " rounds)");
+    } else if (restore_->num_tasks != layout_.num_tasks ||
+               restore_->num_daemons != layout_.num_daemons) {
+      config_status_ = invalid_argument(
+          "restore: checkpoint job shape does not match the machine layout");
+    } else if (session_identity_hash(machine_, job_, options_) !=
+               restore_->identity_hash) {
+      config_status_ = failed_precondition(
+          "restore: stale session hash — the checkpoint was captured under a "
+          "different machine/job/seed/app configuration");
+    } else if (options_.vacate_at_round >= 0 &&
+               static_cast<std::uint32_t>(options_.vacate_at_round) <=
+                   restore_->cursor) {
+      config_status_ = invalid_argument(
+          "vacate_at_round must be past the restore cursor");
+    }
   }
 
   // The per-run connection override *is* the machine's ceiling for this run:
@@ -213,7 +274,36 @@ StatScenario::StatScenario(machine::MachineConfig machine,
   // Resolve `--topology auto` / `--fe-shards auto` up front so the run-seed
   // salting below (and everything seeded from it) sees the spec the run will
   // actually use.
-  if (config_status_.is_ok()) {
+  if (config_status_.is_ok() && restore_ != nullptr) {
+    // A restore adopts the interrupted run's resolved spec — then the auto
+    // modes re-price K and placement against the *measured* payload bytes
+    // the checkpoint recorded (the cheap re-planning hook: a resumed session
+    // may legally re-shard), and an explicit CLI re-shard folds in as usual.
+    options_.topology = restore_->spec;
+    if (options_.topology_auto || options_.fe_shards_auto) {
+      auto chosen = plan::replan_fe_shards(
+          machine_, job_, options_, costs_,
+          static_cast<double>(restore_->leaf_payload_bytes));
+      if (chosen.is_ok()) {
+        options_.topology = std::move(chosen).value();
+      } else {
+        config_status_ = chosen.status();
+      }
+    } else {
+      if (options_.fe_shards != 1) {
+        options_.topology.fe_shards = options_.fe_shards;
+      }
+      if (options_.reducer_placement != tbon::ReducerPlacement::kCommLike) {
+        options_.topology.reducer_placement = options_.reducer_placement;
+      }
+    }
+    // Reject a spec the machine cannot build (a K incompatible with this
+    // layout) at construction, where the scheduler screens sessions.
+    if (config_status_.is_ok()) {
+      auto topo = tbon::build_topology(machine_, layout_, options_.topology);
+      if (!topo.is_ok()) config_status_ = topo.status();
+    }
+  } else if (config_status_.is_ok()) {
     if (options_.topology_auto) {
       // The search enumerates the shard dimension itself (K in {1,2,4,8}
       // under `--fe-shards auto`, the pinned K otherwise).
@@ -328,7 +418,15 @@ StatRunResult StatScenario::run_impl() {
   result.num_comm_procs = topology.num_comm_procs();
 
   // --- Phase 1: startup --------------------------------------------------------
+  // A restored session skips the launch: the daemons survived the front-end
+  // loss and stay attached. Only the front end's half is rebuilt below —
+  // comm/shard process spawn plus MRNet instantiation (connect_time).
+  if (restore_ != nullptr) {
+    result.restored = true;
+    result.restore_cursor = restore_->cursor;
+  }
   std::unique_ptr<rm::DaemonLauncher> launcher;
+  if (restore_ == nullptr) {
   switch (options_.launcher) {
     case LauncherKind::kMrnetRsh:
       launcher = std::make_unique<rm::RemoteShellLauncher>(
@@ -370,6 +468,7 @@ StatRunResult StatScenario::run_impl() {
     phases.startup_total = sim_.now();
     return result;
   }
+  }  // restore_ == nullptr
 
   // MRNet comm processes — the shard machinery included — are spawned
   // serially from the front end, then the whole network instantiates level
@@ -388,8 +487,8 @@ StatRunResult StatScenario::run_impl() {
   phases.startup_total = sim_.now();
   if (options_.run_through == RunThrough::kStartup) return result;
 
-  // --- Phase 2a: SBRS (optional) ----------------------------------------------
-  if (options_.use_sbrs) {
+  // --- Phase 2a: SBRS (optional; already done before the checkpoint) -----------
+  if (options_.use_sbrs && restore_ == nullptr) {
     sbrs::Sbrs service(sim_, machine_, layout_, *files_, lmon_->fabric(),
                        sbrs::SbrsParams{});
     service.relocate(app_->binaries(), [&phases](const sbrs::SbrsReport& report) {
@@ -426,7 +525,15 @@ StatRunResult StatScenario::run_impl() {
 
   // Failure injection: decide casualties up front (dead before sampling).
   std::vector<bool> daemon_dead(num_daemons, false);
-  if (options_.daemon_failure_probability >= 1.0) {
+  if (restore_ != nullptr) {
+    // The checkpoint's dead set already carries the original injection, the
+    // OOM-cascade victim, and any mid-stream losses; re-drawing here would
+    // kill a different set than the run being resumed.
+    for (const std::uint32_t d : restore_->dead_daemons) {
+      daemon_dead[d] = true;
+      ++phases.failed_daemons;
+    }
+  } else if (options_.daemon_failure_probability >= 1.0) {
     // Certain death is certain: no RNG draw, so every seed reports the same
     // total loss.
     std::fill(daemon_dead.begin(), daemon_dead.end(), true);
@@ -443,7 +550,7 @@ StatRunResult StatScenario::run_impl() {
   // The OOM cascade kills its victim's compute node outright: the daemon
   // serving the first-killed rank is gone before sampling starts (the tool
   // sees the hole, not the OOM).
-  if (options_.app == AppKind::kOomCascade) {
+  if (options_.app == AppKind::kOomCascade && restore_ == nullptr) {
     const auto& oom = dynamic_cast<const app::OomCascadeApp&>(*app_);
     const std::uint32_t victim_rank = oom.victim_task().value();
     bool found = false;
@@ -700,6 +807,102 @@ void StatScenario::run_merge_phase(const tbon::TbonTopology& topology,
   }
 }
 
+namespace {
+
+/// Builds a SessionCheckpoint at round boundary `boundary` (rounds
+/// [0, boundary) are folded into the accumulators) and charges its virtual
+/// write time. Timing only — the trees are timing-independent, so the
+/// bit-identity contract is unaffected.
+template <typename Label>
+void capture_session_checkpoint(
+    sim::Simulator& sim, const machine::MachineConfig& machine,
+    const machine::JobConfig& job, const machine::DaemonLayout& layout,
+    const StatOptions& options, const app::FrameTable& frames,
+    const LabelContext& ctx, const tbon::TbonTopology& topology,
+    const tbon::StreamingReduction<StreamSnapshot<Label>>& streaming,
+    const PrefixTree<Label>& acc_2d, const PrefixTree<Label>& acc_3d,
+    const TaskMap& task_map, std::uint32_t boundary, StatRunResult& result) {
+  auto cp = std::make_shared<SessionCheckpoint>();
+  cp->machine_name = machine.name;
+  cp->num_tasks = layout.num_tasks;
+  cp->num_daemons = layout.num_daemons;
+  cp->identity_hash = session_identity_hash(machine, job, options);
+  cp->spec = options.topology;
+  cp->cursor = boundary;
+  cp->total_rounds = options.stream_samples;
+  cp->interval_seconds = options.stream_interval_seconds;
+  cp->repr = options.repr;
+  cp->seed = options.seed;
+  const std::vector<bool>& dead = streaming.dead_daemons();
+  for (std::uint32_t d = 0; d < dead.size(); ++d) {
+    if (dead[d]) cp->dead_daemons.push_back(d);
+  }
+  cp->daemon_cache_valid = streaming.daemon_cache_valid();
+  cp->proc_cache_complete = streaming.proc_cache_complete();
+  cp->leaf_payload_bytes = result.phases.leaf_payload_bytes;
+
+  // Estimated per-shard inbound bytes: the measured per-daemon payload
+  // scaled by each shard's surviving task share (one entry = the unsharded
+  // front end). The restore-side re-planner's measured input.
+  const double per_task =
+      layout.tasks_per_daemon > 0
+          ? static_cast<double>(cp->leaf_payload_bytes) /
+                layout.tasks_per_daemon
+          : 0.0;
+  if (topology.sharded()) {
+    for (const std::uint64_t tasks :
+         tbon::shard_task_counts(topology, layout, dead)) {
+      cp->shard_payload_bytes.push_back(
+          static_cast<std::uint64_t>(per_task * static_cast<double>(tasks)));
+    }
+  } else {
+    std::uint64_t surviving = 0;
+    for (std::uint32_t d = 0; d < layout.num_daemons; ++d) {
+      if (!dead[d]) surviving += layout.tasks_of(DaemonId(d));
+    }
+    cp->shard_payload_bytes.push_back(
+        static_cast<std::uint64_t>(per_task * static_cast<double>(surviving)));
+  }
+
+  ByteSink sink_2d;
+  acc_2d.encode(sink_2d, frames, ctx);
+  cp->tree_2d_wire = sink_2d.take();
+  ByteSink sink_3d;
+  acc_3d.encode(sink_3d, frames, ctx);
+  cp->tree_3d_wire = sink_3d.take();
+
+  // Classes at the boundary, name-based. Rank order needs the remap for the
+  // hierarchical representation; dense labels already carry global ranks.
+  std::vector<EquivalenceClass> classes;
+  if constexpr (std::is_same_v<Label, HierLabel>) {
+    classes = equivalence_classes(remap_tree(acc_3d, task_map));
+  } else {
+    classes = equivalence_classes(acc_3d);
+  }
+  cp->classes.reserve(classes.size());
+  for (const EquivalenceClass& cls : classes) {
+    SessionCheckpoint::ClassEntry entry;
+    entry.frames.reserve(cls.path.size());
+    for (const FrameId frame : cls.path) {
+      entry.frames.emplace_back(frames.name(frame));
+    }
+    entry.tasks = cls.tasks;
+    cp->classes.push_back(std::move(entry));
+  }
+
+  const std::vector<std::uint8_t> bytes = cp->encoded();
+  result.phases.checkpoint_bytes = bytes.size();
+  ++result.phases.checkpoints_taken;
+  // The front end streams the envelope to its local disk at RAM-disk
+  // bandwidth before the next round starts.
+  sim.schedule_in(seconds(static_cast<double>(bytes.size()) / 150.0e6),
+                  []() {});
+  sim.run();
+  result.checkpoint = std::move(cp);
+}
+
+}  // namespace
+
 template <typename Label>
 void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
                                     StatRunResult& result,
@@ -710,21 +913,10 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
   const app::FrameTable& frames = app_->frames();
   const std::uint32_t num_daemons = layout_.num_daemons;
   const std::uint32_t rounds = options_.stream_samples;
+  // A restored session re-arms the series at the checkpoint's cursor.
+  const std::uint32_t start = restore_ != nullptr ? restore_->cursor : 0;
 
   const std::vector<net::LinkStat> links_before = net_->link_stats();
-
-  // Control plane: one versioned SampleRequest announces the whole window —
-  // cursor 0, round count, cadence — to every leaf before the first round.
-  tbon::SampleRequest request;
-  request.cursor = 0;
-  request.count = rounds;
-  request.interval = seconds(options_.stream_interval_seconds);
-  tbon::broadcast(sim_, *net_, topology, costs_.stream, request, {},
-                  [&phases](tbon::BroadcastReport report) {
-                    phases.merge_bytes += report.bytes;
-                    phases.merge_messages += report.messages;
-                  });
-  sim_.run();
 
   tbon::StreamingReduction<StreamSnapshot<Label>> streaming(
       sim_, *net_, topology,
@@ -763,16 +955,52 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
       });
     });
   }
-
-  PrefixTree<Label> acc_2d;
-  PrefixTree<Label> acc_3d;
-  result.stream_samples.reserve(rounds);
-  for (std::uint32_t s = 0; s < rounds; ++s) {
+  const auto maybe_kill = [&]() {
     if (kill_armed && phases.killed_procs == 0 && sim_.now() >= kill_at) {
       streaming.mark_dead(victim);
       monitor.mark_dead(victim, sim_.now());
       ++phases.killed_procs;
     }
+  };
+  // Ordering pin: a --fail-at landing exactly on a round boundary (t = 0
+  // included) must drain *before* the next SampleRequest broadcast, not race
+  // the boundary sweep below it — so the kill check runs once here, ahead of
+  // the window announcement, and then at every boundary inside the loop.
+  maybe_kill();
+
+  // Control plane: one versioned SampleRequest announces the whole window —
+  // the cursor to resume at, the remaining round count, the cadence — to
+  // every leaf before the first round.
+  tbon::SampleRequest request;
+  request.cursor = start;
+  request.count = rounds - start;
+  request.interval = seconds(options_.stream_interval_seconds);
+  tbon::broadcast(sim_, *net_, topology, costs_.stream, request, {},
+                  [&phases](tbon::BroadcastReport report) {
+                    phases.merge_bytes += report.bytes;
+                    phases.merge_messages += report.messages;
+                  });
+  sim_.run();
+
+  // A restore seeds the accumulators from the checkpoint's tree blobs —
+  // frame names re-intern idempotently against this session's table. The
+  // resumed rounds then merge on top; the canonical merge keeps the final
+  // trees bit-identical to the never-killed run.
+  PrefixTree<Label> acc_2d;
+  PrefixTree<Label> acc_3d;
+  if (restore_ != nullptr) {
+    auto tree_2d = decode_tree_blob<Label>(restore_->tree_2d_wire,
+                                           app_->frames(), ctx);
+    check(tree_2d.is_ok(), "restore: checkpoint 2D tree blob failed to decode");
+    acc_2d = std::move(tree_2d).value();
+    auto tree_3d = decode_tree_blob<Label>(restore_->tree_3d_wire,
+                                           app_->frames(), ctx);
+    check(tree_3d.is_ok(), "restore: checkpoint 3D tree blob failed to decode");
+    acc_3d = std::move(tree_3d).value();
+  }
+  result.stream_samples.reserve(rounds - start);
+  for (std::uint32_t s = start; s < rounds; ++s) {
+    maybe_kill();
     // --- gather round: one cursor of samples per reachable daemon ---------
     const SimTime gather_start = sim_.now();
     SimTime gather_end = gather_start;
@@ -804,7 +1032,7 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
           });
     }
     sim_.run();
-    if (s == 0) {
+    if (s == start) {
       std::uint32_t first_alive = 0;
       while (first_alive < num_daemons && unreachable[first_alive]) {
         ++first_alive;
@@ -863,6 +1091,29 @@ void StatScenario::run_stream_phase(const tbon::TbonTopology& topology,
       acc_3d = std::move(merged->payload.tree);
     } else {
       acc_3d.merge(merged->payload.tree);
+    }
+
+    // --- round boundary: durability hooks ---------------------------------
+    const std::uint32_t boundary = s + 1;
+    const bool vacate_here =
+        options_.vacate_at_round >= 0 &&
+        boundary == static_cast<std::uint32_t>(options_.vacate_at_round);
+    if (vacate_here ||
+        (options_.checkpoint_period > 0 && boundary < rounds &&
+         boundary % options_.checkpoint_period == 0)) {
+      capture_session_checkpoint<Label>(sim_, machine_, job_, layout_,
+                                        options_, frames, ctx, topology,
+                                        streaming, acc_2d, acc_3d, task_map,
+                                        boundary, result);
+    }
+    if (vacate_here) {
+      // Simulated front-end loss: the session stops here, unfinalized (the
+      // checkpoint just captured is what resumes it). Status stays OK — a
+      // vacate is an operation, not a failure.
+      result.vacated = true;
+      phases.health_sweeps = monitor.sweeps_completed();
+      phases.stream_links = link_stats_since(*net_, links_before);
+      return;
     }
 
     if (s + 1 == rounds) break;

@@ -69,6 +69,8 @@ enum class AppKind {
 /// How far the pipeline runs (startup benches skip sampling/merge).
 enum class RunThrough { kStartup, kSampling, kFull };
 
+struct SessionCheckpoint;  // stat/checkpoint.hpp
+
 struct StatOptions {
   tbon::TopologySpec topology = tbon::TopologySpec::flat();
   /// Ignore `topology` and let the plan::TopologySearch pick the predicted
@@ -120,6 +122,18 @@ struct StatOptions {
   /// merge through the same code path. The bit-identity baseline and the
   /// incremental-vs-full bench comparator.
   bool stream_full_remerge = false;
+  /// Capture a SessionCheckpoint every N round boundaries of a streaming
+  /// run (the CLI's `--checkpoint-period N`). 0 = never. The latest capture
+  /// is returned in StatRunResult::checkpoint; its virtual write time
+  /// (local-disk bandwidth) is charged to the session. Requires --stream.
+  std::uint32_t checkpoint_period = 0;
+  /// Simulated front-end loss at this round boundary (the scheduler's
+  /// vacate operation, modelled on SLURM's checkpoint/vacate pair): the run
+  /// completes rounds [0, R), captures a checkpoint with cursor R, and
+  /// returns early with StatRunResult::vacated set — no finalization, empty
+  /// trees, status OK. Valid range [1, stream_samples); on a restored run,
+  /// (restore cursor, stream_samples). Negative = disabled.
+  std::int32_t vacate_at_round = -1;
   /// How traces evolve across samples (the CLI's `--evolve`): kJitter
   /// reshuffles the noise streams every sample (historical behaviour),
   /// kDrift pins the noise and moves only scripted events — hang onsets,
@@ -209,6 +223,10 @@ struct PhaseBreakdown {
   // across rounds; the per-round breakdown is StatRunResult::stream_samples.
   std::uint32_t stream_rounds = 0;          // rounds completed
   std::uint32_t stream_changed_rounds = 0;  // rounds where a payload moved
+
+  // Session durability (--checkpoint-period / --vacate-at / --restore).
+  std::uint32_t checkpoints_taken = 0;      // captures this run
+  std::uint64_t checkpoint_bytes = 0;       // latest capture's encoded size
 };
 
 /// One streaming round's outcome (--stream mode), in round order.
@@ -245,6 +263,14 @@ struct StatRunResult {
   /// victim), ascending. Mid-merge kills hit comm procs, not daemons, and
   /// are not listed here.
   std::vector<std::uint32_t> dead_daemons;
+
+  // Session durability. `checkpoint` is the latest capture (periodic or
+  // vacate); `vacated` means the run stopped at the vacate boundary without
+  // finalizing (trees empty, status OK) and `checkpoint` is what resumes it.
+  std::shared_ptr<const SessionCheckpoint> checkpoint;
+  bool vacated = false;
+  bool restored = false;            // this run resumed from a checkpoint
+  std::uint32_t restore_cursor = 0; // first round this run sampled
 };
 
 /// A StatScenario is a *re-entrant session object*: every piece of mutable
@@ -266,6 +292,25 @@ class StatScenario {
   /// privately-pooled run.
   StatScenario(machine::MachineConfig machine, machine::JobConfig job,
                StatOptions options, sim::Executor* executor);
+  /// Restore forms: resume a vacated streaming session from `restore`. The
+  /// streaming window (round count, cadence) is normalized from the
+  /// checkpoint; the session identity (machine, job, seed, app) must hash to
+  /// the checkpoint's — a mismatch is FAILED_PRECONDITION in config_status().
+  /// A cursor outside [1, total_rounds) is INVALID_ARGUMENT, and a topology
+  /// the machine cannot build (an incompatible K) fails here too. The
+  /// topology is adopted from the checkpoint, unless the auto modes are set —
+  /// then plan::replan_fe_shards re-prices K/placement against the measured
+  /// payload bytes — or the CLI re-shards explicitly. run() then skips
+  /// launch/SBRS (daemons persist across a front-end loss), re-arms the
+  /// multicast cursor at restore->cursor, and merges the resumed rounds into
+  /// the checkpointed trees; the canonical merge keeps the products
+  /// bit-identical to the never-killed run.
+  StatScenario(machine::MachineConfig machine, machine::JobConfig job,
+               StatOptions options,
+               std::shared_ptr<const SessionCheckpoint> restore);
+  StatScenario(machine::MachineConfig machine, machine::JobConfig job,
+               StatOptions options, sim::Executor* executor,
+               std::shared_ptr<const SessionCheckpoint> restore);
   ~StatScenario();
 
   StatScenario(const StatScenario&) = delete;
@@ -311,6 +356,8 @@ class StatScenario {
   machine::MachineConfig machine_;
   machine::JobConfig job_;
   StatOptions options_;
+  /// Checkpoint this session resumes from (null for a cold run).
+  std::shared_ptr<const SessionCheckpoint> restore_;
   /// Construction-time outcome: option validation plus `--topology auto` /
   /// `--fe-shards auto` resolution. run() reports it without simulating.
   Status config_status_ = Status::ok();

@@ -135,6 +135,37 @@ class StreamingReduction {
     return dead_daemons_;
   }
 
+  /// Per daemon: the leaf holds a baseline payload for the delta protocol.
+  /// Recorded into a SessionCheckpoint at round boundaries; a restored run
+  /// starts cold (first resumed round is a full merge) so the bits document
+  /// warmth, they are not replayed.
+  [[nodiscard]] std::vector<bool> daemon_cache_valid() const {
+    std::vector<bool> valid(last_payload_.size(), false);
+    for (std::size_t d = 0; d < last_payload_.size(); ++d) {
+      valid[d] = last_payload_[d] != nullptr;
+    }
+    return valid;
+  }
+
+  /// Per proc: every child that contributed last round has a cached payload
+  /// (a clean round can be answered from cache). Leaves report false — they
+  /// hold no child caches.
+  [[nodiscard]] std::vector<bool> proc_cache_complete() const {
+    std::vector<bool> complete(caches_.size(), false);
+    for (std::size_t i = 0; i < caches_.size(); ++i) {
+      if (topo_.procs[i].is_leaf() || last_contrib_[i].empty()) continue;
+      bool all = true;
+      for (const std::uint32_t child : last_contrib_[i]) {
+        if (caches_[i].by_child.count(child) == 0) {
+          all = false;
+          break;
+        }
+      }
+      complete[i] = all;
+    }
+    return complete;
+  }
+
   /// Marks a proc dead, effective at the next round boundary.
   void mark_dead(std::uint32_t proc_index) {
     pending_ops_.push_back(Op{OpKind::kDeath, proc_index, {}});

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "stat/checkpoint.hpp"
 #include "stat/scenario.hpp"
 #include "stat/statbench.hpp"
 
@@ -228,6 +229,42 @@ TEST_P(ParallelDeterminism, MatchesSerialBitForBit) {
     expect_identical(serial, parallel,
                      std::string(cell.name) + " x" + std::to_string(threads));
   }
+}
+
+// A restored session introduces no thread-sensitive state: the resumed
+// streaming rounds (cold caches, re-armed mid-series cursor, seeded trees)
+// at any thread count must match the serial restore bit for bit.
+TEST_P(ParallelDeterminism, RestoredRunMatchesSerialBitForBit) {
+  const std::uint32_t threads = GetParam();
+  Cell cell{"atlas_stream_restore", machine::atlas(), {}, {}};
+  cell.job.num_tasks = 512;
+  cell.options.topology = tbon::TopologySpec::flat();
+  cell.options.fe_shards = 16;
+  cell.options.repr = TaskSetRepr::kHierarchical;
+  cell.options.evolution = app::TraceEvolution::kDrift;
+  cell.options.stream_samples = 5;
+
+  // Vacate at round 2 (serial) to capture the checkpoint both restores share.
+  StatOptions vacate = cell.options;
+  vacate.exec_threads = 1;
+  vacate.vacate_at_round = 2;
+  StatScenario vacate_scenario(cell.machine, cell.job, vacate);
+  const StatRunResult killed = vacate_scenario.run();
+  ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+  ASSERT_NE(killed.checkpoint, nullptr);
+
+  const auto run_restore = [&](std::uint32_t n) {
+    StatOptions options = cell.options;
+    options.exec_threads = n;
+    StatScenario scenario(cell.machine, cell.job, options, killed.checkpoint);
+    return scenario.run();
+  };
+  const StatRunResult serial = run_restore(1);
+  const StatRunResult parallel = run_restore(threads);
+  EXPECT_TRUE(serial.restored);
+  EXPECT_TRUE(parallel.restored);
+  expect_identical(serial, parallel,
+                   "restore x" + std::to_string(threads));
 }
 
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDeterminism,

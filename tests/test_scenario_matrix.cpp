@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "stat/checkpoint.hpp"
 #include "stat/scenario.hpp"
 
 namespace petastat::stat {
@@ -603,6 +604,166 @@ INSTANTIATE_TEST_SUITE_P(
                       FailureCell{FailureMachine::kPetascale, 16},
                       FailureCell{FailureMachine::kPetascale, 64}),
     failure_cell_name);
+
+// --- Checkpoint/restart sub-matrix: kill at every round boundary ------------
+// A separate suite (the 120-cell pruning lock below must not move): for each
+// {machine} x {K} cell of the failure matrix's grid, a streaming session is
+// checkpointed, killed (vacated — the simulated front-end loss), and restored
+// at *every* interior round boundary, and the resumed run's products must be
+// bit-identical to the never-killed run. A re-sharded resume (the restore
+// folds a different explicit K over the checkpointed spec) is held to the
+// same bit-identity bar: traces come from the app model alone, and the
+// canonical merge is associative, so K only moves timings.
+std::uint32_t checkpoint_rounds(const FailureCell& c) {
+  return c.machine == FailureMachine::kPetascale ? 3 : 4;
+}
+
+StatOptions checkpoint_options(const FailureCell& c) {
+  StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = c.fe_shards;
+  options.repr = TaskSetRepr::kHierarchical;
+  if (c.machine == FailureMachine::kBgl) {
+    options.launcher = LauncherKind::kCiodPatched;
+  }
+  options.stream_samples = checkpoint_rounds(c);
+  options.evolution = app::TraceEvolution::kDrift;
+  options.exec_threads = exec_threads_from_env();
+  return options;
+}
+
+/// Uninterrupted streaming baseline, memoized per cell: every boundary's
+/// restore run compares against the same never-killed product.
+const StatRunResult& checkpoint_baseline(const FailureCell& c) {
+  static std::map<std::string, StatRunResult>& cache =
+      *new std::map<std::string, StatRunResult>();
+  const std::string key =
+      std::to_string(static_cast<int>(c.machine)) + "_k" +
+      std::to_string(c.fe_shards);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  StatScenario scenario(failure_machine(c), failure_job(c),
+                        checkpoint_options(c));
+  return cache.emplace(key, scenario.run()).first->second;
+}
+
+void expect_same_product(const StatRunResult& resumed,
+                         const StatRunResult& baseline) {
+  EXPECT_TRUE(resumed.tree_2d == baseline.tree_2d);
+  EXPECT_TRUE(resumed.tree_3d == baseline.tree_3d);
+  ASSERT_EQ(resumed.classes.size(), baseline.classes.size());
+  for (std::size_t i = 0; i < resumed.classes.size(); ++i) {
+    EXPECT_EQ(resumed.classes[i].path, baseline.classes[i].path);
+    EXPECT_TRUE(resumed.classes[i].tasks == baseline.classes[i].tasks);
+  }
+  EXPECT_EQ(class_signature(resumed), class_signature(baseline));
+}
+
+class CheckpointRestartMatrix : public ::testing::TestWithParam<FailureCell> {};
+
+TEST_P(CheckpointRestartMatrix, KillAtEveryBoundaryRestoresBitIdentical) {
+  const FailureCell& c = GetParam();
+  const machine::MachineConfig m = failure_machine(c);
+  const machine::JobConfig job = failure_job(c);
+  const StatRunResult& baseline = checkpoint_baseline(c);
+  ASSERT_TRUE(baseline.status.is_ok()) << baseline.status.to_string();
+
+  const std::uint32_t rounds = checkpoint_rounds(c);
+  for (std::uint32_t boundary = 1; boundary < rounds; ++boundary) {
+    StatOptions options = checkpoint_options(c);
+    options.vacate_at_round = static_cast<std::int32_t>(boundary);
+    StatScenario killed_scenario(m, job, options);
+    const StatRunResult killed = killed_scenario.run();
+    ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+    ASSERT_TRUE(killed.vacated);
+    ASSERT_NE(killed.checkpoint, nullptr);
+    EXPECT_EQ(killed.checkpoint->cursor, boundary);
+    EXPECT_EQ(killed.checkpoint->total_rounds, rounds);
+    EXPECT_TRUE(killed.classes.empty());  // vacated, not finalized
+
+    StatOptions resume = checkpoint_options(c);
+    StatScenario resumed_scenario(m, job, resume, killed.checkpoint);
+    const StatRunResult resumed = resumed_scenario.run();
+    ASSERT_TRUE(resumed.status.is_ok()) << resumed.status.to_string();
+    EXPECT_TRUE(resumed.restored);
+    EXPECT_EQ(resumed.restore_cursor, boundary);
+    EXPECT_EQ(resumed.phases.stream_rounds, rounds - boundary);
+    expect_same_product(resumed, baseline);
+  }
+}
+
+TEST_P(CheckpointRestartMatrix, ReshardedResumeStaysBitIdentical) {
+  const FailureCell& c = GetParam();
+  const machine::MachineConfig m = failure_machine(c);
+  const machine::JobConfig job = failure_job(c);
+  const StatRunResult& baseline = checkpoint_baseline(c);
+  ASSERT_TRUE(baseline.status.is_ok()) << baseline.status.to_string();
+
+  StatOptions options = checkpoint_options(c);
+  options.vacate_at_round = 1;
+  StatScenario killed_scenario(m, job, options);
+  const StatRunResult killed = killed_scenario.run();
+  ASSERT_TRUE(killed.status.is_ok()) << killed.status.to_string();
+  ASSERT_NE(killed.checkpoint, nullptr);
+
+  // Resume under a *different* explicit K (the restore resolution folds it
+  // over the checkpointed spec): the product must not move.
+  StatOptions resume = checkpoint_options(c);
+  resume.fe_shards = c.fe_shards == 1 ? 16 : 4;
+  StatScenario resumed_scenario(m, job, resume, killed.checkpoint);
+  const StatRunResult resumed = resumed_scenario.run();
+  ASSERT_TRUE(resumed.status.is_ok()) << resumed.status.to_string();
+  EXPECT_TRUE(resumed.restored);
+  EXPECT_EQ(resumed.topology.fe_shards, resume.fe_shards);
+  expect_same_product(resumed, baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sampled, CheckpointRestartMatrix,
+    ::testing::Values(FailureCell{FailureMachine::kAtlas, 1},
+                      FailureCell{FailureMachine::kAtlas, 16},
+                      FailureCell{FailureMachine::kAtlas, 64},
+                      FailureCell{FailureMachine::kBgl, 1},
+                      FailureCell{FailureMachine::kBgl, 16},
+                      FailureCell{FailureMachine::kBgl, 64},
+                      FailureCell{FailureMachine::kPetascale, 1},
+                      FailureCell{FailureMachine::kPetascale, 16},
+                      FailureCell{FailureMachine::kPetascale, 64}),
+    failure_cell_name);
+
+// --- Kill-at-a-round-boundary ordering regression ---------------------------
+// `--fail-at` landing exactly on a round boundary (t = 0 included) used to
+// race the boundary sweep: whether the kill event drained before or after the
+// next SampleRequest broadcast depended on event insertion order. The kill
+// must drain *first* — deterministically — so two identical runs agree and
+// the victim never acks the round it died before.
+TEST(StreamFailAtBoundary, KillOnTheBoundaryIsDeterministic) {
+  StatOptions options;
+  options.topology = tbon::TopologySpec::flat();
+  options.fe_shards = 16;
+  options.repr = TaskSetRepr::kHierarchical;
+  options.stream_samples = 3;
+  options.fail_at_seconds = 0.0;  // exactly on the first round boundary
+  options.ping_period_seconds = 0.05;
+  options.exec_threads = exec_threads_from_env();
+  machine::JobConfig job;
+  job.num_tasks = 512;
+
+  StatScenario first_scenario(machine::atlas(), job, options);
+  const StatRunResult first = first_scenario.run();
+  ASSERT_TRUE(first.status.is_ok()) << first.status.to_string();
+  EXPECT_EQ(first.phases.killed_procs, 1u);
+
+  StatScenario second_scenario(machine::atlas(), job, options);
+  const StatRunResult second = second_scenario.run();
+  ASSERT_TRUE(second.status.is_ok()) << second.status.to_string();
+  EXPECT_EQ(second.phases.killed_procs, 1u);
+  EXPECT_TRUE(first.tree_3d == second.tree_3d);
+  EXPECT_EQ(class_signature(first), class_signature(second));
+  EXPECT_EQ(first.phases.failure_detect_latency,
+            second.phases.failure_detect_latency);
+  EXPECT_EQ(first.total_virtual_time, second.total_virtual_time);
+}
 
 TEST(ScenarioMatrixPruning, CrossProductKeepsAtLeast24ValidCells) {
   EXPECT_EQ(all_cases().size(), 360u);

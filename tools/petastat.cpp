@@ -4,17 +4,44 @@
 //   $ petastat --machine bgl --tasks 212992 --mode vn
 //              --topology bgl2deep --repr hier --format json
 #include <cstdio>
+#include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/serializer.hpp"
 #include "service/report.hpp"
 #include "service/scheduler.hpp"
 #include "service/trace.hpp"
+#include "stat/checkpoint.hpp"
 #include "stat/cli_config.hpp"
 #include "stat/report.hpp"
 #include "stat/scenario.hpp"
 
 namespace {
+
+/// `--restore PATH`: read and decode the checkpoint file; decode failures
+/// (truncation, corruption, version skew) surface exactly like any other
+/// invalid invocation.
+petastat::Result<std::shared_ptr<const petastat::stat::SessionCheckpoint>>
+load_checkpoint(const std::string& path) {
+  using namespace petastat;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return not_found("cannot read checkpoint file " + path);
+  }
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  ByteSource source(bytes);
+  auto decoded = stat::SessionCheckpoint::decode(source);
+  if (!decoded.is_ok()) return decoded.status();
+  return std::make_shared<const stat::SessionCheckpoint>(
+      std::move(decoded).value());
+}
 
 /// `--service trace.json`: replay the arrival trace through the session
 /// scheduler and emit the service report instead of a single-run report.
@@ -74,7 +101,17 @@ int main(int argc, char** argv) {
   const stat::CliConfig& config = parsed.value();
   if (!config.service_trace_path.empty()) return run_service_mode(config);
 
-  stat::StatScenario scenario(config.machine, config.job, config.options);
+  std::shared_ptr<const stat::SessionCheckpoint> restore;
+  if (!config.restore_path.empty()) {
+    auto loaded = load_checkpoint(config.restore_path);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
+      return 2;
+    }
+    restore = std::move(loaded).value();
+  }
+  stat::StatScenario scenario(config.machine, config.job, config.options,
+                              std::move(restore));
   const stat::StatRunResult result = scenario.run();
   const auto& frames = scenario.app().frames();
 
@@ -91,6 +128,19 @@ int main(int argc, char** argv) {
     case stat::OutputFormat::kJson:
       std::fputs(stat::render_json_report(result, frames).c_str(), stdout);
       break;
+  }
+
+  if (!config.checkpoint_path.empty() && result.checkpoint != nullptr) {
+    if (std::FILE* f = std::fopen(config.checkpoint_path.c_str(), "wb")) {
+      const std::vector<std::uint8_t> bytes = result.checkpoint->encoded();
+      std::fwrite(bytes.data(), 1, bytes.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "wrote %s\n", config.checkpoint_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   config.checkpoint_path.c_str());
+      return 3;
+    }
   }
 
   if (!config.dot_path.empty() && result.status.is_ok()) {
